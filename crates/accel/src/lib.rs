@@ -1,0 +1,29 @@
+//! # sconna-accel — system-level accelerator models
+//!
+//! The top of the SCONNA reproduction stack: the SCONNA accelerator
+//! (Fig. 8 — 1024 VDPEs of 176 OSMs each), the two analog photonic
+//! baselines it is compared against (MAM / HOLYLIGHT and AMM / DEAP-CNN,
+//! area-proportionately scaled), the weight-stationary transaction-level
+//! performance simulation behind Fig. 9, and the accuracy-under-error
+//! pipeline behind Table V.
+//!
+//! ```
+//! use sconna_accel::organization::AcceleratorConfig;
+//! use sconna_accel::perf::simulate_inference;
+//! use sconna_tensor::models::shufflenet_v2;
+//!
+//! let perf = simulate_inference(&AcceleratorConfig::sconna(), &shufflenet_v2());
+//! assert!(perf.fps > 0.0);
+//! ```
+
+pub mod accuracy;
+pub mod engine;
+pub mod mapper;
+pub mod organization;
+pub mod perf;
+pub mod peripherals;
+pub mod report;
+
+pub use engine::SconnaEngine;
+pub use organization::{AcceleratorConfig, AcceleratorKind};
+pub use perf::{simulate_inference, InferencePerf};

@@ -1,0 +1,203 @@
+//! Weight-stationary work mapping: assigns (kernel, chunk, slice) DKV
+//! tasks to physical VDPEs and reports load balance.
+//!
+//! The analytic performance model (`perf`) divides pass counts by the
+//! VDPE count; this module does the actual assignment, which matters at
+//! the edges: a layer with fewer kernels than VDPEs leaves elements
+//! idle, and ceiling effects at chunk boundaries skew per-VDPE loads.
+//! The mapper is also what a software stack for the real accelerator
+//! would ship.
+
+use crate::organization::AcceleratorConfig;
+use sconna_tensor::models::VdpWorkload;
+use serde::{Deserialize, Serialize};
+
+/// One DKV assignment: this VDPE holds chunk `chunk` of kernel `kernel`
+/// (slice `slice` of the bit-sliced pair) and performs `passes` VDP
+/// passes (one per output position of the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Kernel index within the layer.
+    pub kernel: u32,
+    /// Chunk index within the kernel vector.
+    pub chunk: u32,
+    /// Bit slice (0 for SCONNA; 0/1 for the analog baselines).
+    pub slice: u8,
+    /// VDP passes this assignment executes.
+    pub passes: u32,
+}
+
+/// The mapping of one layer onto the accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Per-VDPE assignment queues, indexed by physical VDPE.
+    pub queues: Vec<Vec<Assignment>>,
+    /// Total passes across all VDPEs.
+    pub total_passes: u64,
+}
+
+impl LayerMapping {
+    /// Passes on the most-loaded VDPE — the layer's critical path in
+    /// rounds.
+    pub fn max_passes(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.iter().map(|a| a.passes as u64).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of VDPEs with at least one assignment.
+    pub fn occupancy(&self) -> f64 {
+        if self.queues.is_empty() {
+            return 0.0;
+        }
+        let busy = self.queues.iter().filter(|q| !q.is_empty()).count();
+        busy as f64 / self.queues.len() as f64
+    }
+
+    /// Load balance: mean per-VDPE passes over the maximum (1.0 =
+    /// perfectly balanced).
+    pub fn balance(&self) -> f64 {
+        let max = self.max_passes();
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.total_passes as f64 / self.queues.len() as f64;
+        mean / max as f64
+    }
+}
+
+/// Maps a layer onto the accelerator round-robin over (kernel, chunk,
+/// slice) tasks — the weight-stationary schedule: each task is pinned to
+/// one VDPE and re-used for all of the kernel's output positions.
+pub fn map_layer(cfg: &AcceleratorConfig, w: &VdpWorkload) -> LayerMapping {
+    let chunks = cfg.chunks(w.vector_len);
+    let slices = cfg.bit_slices;
+    let vdpes = cfg.total_vdpes;
+    let mut queues: Vec<Vec<Assignment>> = vec![Vec::new(); vdpes];
+    let mut next = 0usize;
+    let mut total_passes = 0u64;
+    for kernel in 0..w.kernels {
+        for chunk in 0..chunks {
+            for slice in 0..slices {
+                queues[next].push(Assignment {
+                    kernel: kernel as u32,
+                    chunk: chunk as u32,
+                    slice: slice as u8,
+                    passes: w.ops_per_kernel as u32,
+                });
+                total_passes += w.ops_per_kernel as u64;
+                next = (next + 1) % vdpes;
+            }
+        }
+    }
+    LayerMapping {
+        queues,
+        total_passes,
+    }
+}
+
+/// Mapping statistics of a whole model: per-layer occupancy and balance,
+/// for spotting layers that underfill the accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingReport {
+    /// Layer name.
+    pub layer: String,
+    /// Fraction of VDPEs used.
+    pub occupancy: f64,
+    /// Load balance (mean/max).
+    pub balance: f64,
+    /// Critical-path passes.
+    pub max_passes: u64,
+}
+
+/// Maps every layer of a model and reports.
+pub fn map_model(
+    cfg: &AcceleratorConfig,
+    model: &sconna_tensor::models::CnnModel,
+) -> Vec<MappingReport> {
+    model
+        .workloads
+        .iter()
+        .map(|w| {
+            let m = map_layer(cfg, w);
+            MappingReport {
+                layer: w.layer.clone(),
+                occupancy: m.occupancy(),
+                balance: m.balance(),
+                max_passes: m.max_passes(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sconna_tensor::models::resnet50;
+
+    fn workload(s: usize, l: usize, p: usize) -> VdpWorkload {
+        VdpWorkload {
+            layer: "t".into(),
+            vector_len: s,
+            kernels: l,
+            ops_per_kernel: p,
+        }
+    }
+
+    #[test]
+    fn big_layer_fills_and_balances() {
+        let cfg = AcceleratorConfig::sconna();
+        // 512 kernels x 27 chunks = 13824 tasks over 1024 VDPEs.
+        let m = map_layer(&cfg, &workload(4608, 512, 49));
+        assert_eq!(m.occupancy(), 1.0);
+        assert!(m.balance() > 0.95, "balance {}", m.balance());
+        assert_eq!(m.total_passes, 512 * 27 * 49);
+        // Critical path: ceil(13824/1024) = 14 tasks x 49 passes.
+        assert_eq!(m.max_passes(), 14 * 49);
+    }
+
+    #[test]
+    fn small_layer_underfills() {
+        let cfg = AcceleratorConfig::sconna();
+        // 32 kernels x 1 chunk: only 32 of 1024 VDPEs busy.
+        let m = map_layer(&cfg, &workload(9, 32, 196));
+        assert!((m.occupancy() - 32.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(m.max_passes(), 196);
+    }
+
+    #[test]
+    fn bit_slicing_doubles_tasks() {
+        let mam = AcceleratorConfig::mam();
+        let m = map_layer(&mam, &workload(22, 100, 10));
+        let tasks: usize = m.queues.iter().map(Vec::len).sum();
+        assert_eq!(tasks, 100 * 1 * 2);
+    }
+
+    #[test]
+    fn mapper_critical_path_brackets_perf_model() {
+        // The analytic model splits work at pass granularity; the mapper
+        // pins whole (kernel, chunk) tasks to VDPEs, so its critical path
+        // is at least the analytic rounds and at most one task longer.
+        let cfg = AcceleratorConfig::sconna();
+        let w = workload(2304, 256, 196);
+        let m = map_layer(&cfg, &w);
+        let analytic = crate::perf::analyze_layer(&cfg, &w);
+        let rounds_analytic = analytic.compute.as_ps() / cfg.symbol_time.as_ps();
+        assert!(m.max_passes() >= rounds_analytic);
+        assert!(m.max_passes() <= rounds_analytic + w.ops_per_kernel as u64);
+    }
+
+    #[test]
+    fn model_report_flags_depthwise_underfill() {
+        let cfg = AcceleratorConfig::sconna();
+        let reports = map_model(&cfg, &resnet50());
+        assert_eq!(reports.len(), resnet50().workloads.len());
+        // Early ResNet50 layers (64 kernels x few chunks) underfill the
+        // 1024-VDPE array; late layers fill it.
+        let first = &reports[0];
+        let last_conv = reports.iter().rev().find(|r| r.layer.contains("conv")).unwrap();
+        assert!(first.occupancy < last_conv.occupancy + 1e-9);
+    }
+}

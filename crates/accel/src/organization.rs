@@ -1,0 +1,334 @@
+//! Accelerator organizations: SCONNA and the two analog baselines, with
+//! the paper's Section VI-B configuration (1024 SCONNA VDPEs; MAM and AMM
+//! scaled to the same die area: 3971 and 3172 VDPEs).
+//!
+//! All three share the Fig. 8 system organization — a mesh of tiles with
+//! 4 VDPCs per tile, each VDPC holding M = N VDPE arms behind one
+//! N-wavelength laser bank — and differ in what a VDPE is:
+//!
+//! * **SCONNA** — N = 176 OSMs + filter bank + PCA pair; one VDP pass per
+//!   `2^B / BR = 8.53 ns` stream; weights *stream* from the LUT, so a
+//!   VDPE can process consecutive DKV chunks of the same output and
+//!   accumulate locally — no shared psum traffic.
+//! * **MAM / AMM** — 4-bit analog VDPE (N = 22 / 16 at 5 GS/s); 8-bit
+//!   inference needs two bit-sliced VDPEs per result; DKVs are imprinted
+//!   in MRR thermal tuning, so chunks of one output land on different
+//!   VDPEs and every psum crosses the electronic reduction network; and
+//!   changing a VDPE's DKV assignment pays a thermal reprogramming
+//!   latency.
+
+use crate::peripherals;
+use sconna_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which architecture a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// The paper's stochastic-computing accelerator.
+    Sconna,
+    /// MAM-organized analog baseline (HOLYLIGHT).
+    Mam,
+    /// AMM-organized analog baseline (DEAP-CNN).
+    Amm,
+}
+
+/// Calibrated thermal DKV reprogramming latency of the analog baselines
+/// (MRR heater settling; microsecond-class per the thermal-tuning
+/// literature, calibrated within that range against Fig. 9(a) — see
+/// EXPERIMENTS.md).
+pub const ANALOG_DKV_REPROGRAM: SimTime = SimTime::from_ps(20_000_000); // 20 µs
+
+/// Serializer switching-activity factor: the 5 mW Table IV figure is the
+/// full-rate toggling power; shifting stochastic bit-vectors toggles a
+/// fraction of cycles (calibrated against Fig. 9(b), documented in
+/// EXPERIMENTS.md).
+pub const SERIALIZER_ACTIVITY: f64 = 0.25;
+
+/// MAM VDPE area implied by the paper's scaling (Section VI-B):
+/// `(area(SCONNA, 1024 VDPEs) − tile peripherals) / 3971`.
+pub const MAM_VDPE_AREA_MM2: f64 = 0.723_59;
+
+/// AMM VDPE area implied by the paper's scaling:
+/// `(area(SCONNA, 1024 VDPEs) − tile peripherals) / 3172`.
+pub const AMM_VDPE_AREA_MM2: f64 = 0.905_44;
+
+/// One accelerator configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Architecture.
+    pub kind: AcceleratorKind,
+    /// Display name matching the paper's figures.
+    pub name: &'static str,
+    /// VDPE size N (points per VDP element).
+    pub vdpe_size_n: usize,
+    /// Total VDPEs across all VDPCs.
+    pub total_vdpes: usize,
+    /// Hardware precision per pass, bits.
+    pub native_bits: u8,
+    /// VDPEs ganged per 8-bit result (bit slicing).
+    pub bit_slices: usize,
+    /// Time per VDP pass on one VDPE.
+    pub symbol_time: SimTime,
+    /// Latency to change a VDPE's DKV assignment.
+    pub dkv_reprogram: SimTime,
+    /// True when an output's DKV chunks accumulate locally on one VDPE
+    /// (SCONNA); false when every psum crosses the reduction network.
+    pub local_psum_accumulate: bool,
+}
+
+/// VDPCs per tile (Fig. 8: each tile holds 4 VDPCs).
+pub const VDPCS_PER_TILE: usize = 4;
+
+impl AcceleratorConfig {
+    /// The paper's SCONNA configuration: 1024 VDPEs of N = 176 at
+    /// BR = 30 Gb/s with 256-bit streams.
+    pub fn sconna() -> Self {
+        Self {
+            kind: AcceleratorKind::Sconna,
+            name: "SCONNA",
+            vdpe_size_n: 176,
+            total_vdpes: 1024,
+            native_bits: 8,
+            bit_slices: 1,
+            // 2^8 bits / 30 Gb/s = 8533.3 ps.
+            symbol_time: SimTime::from_ps(8_533),
+            dkv_reprogram: SimTime::ZERO,
+            local_psum_accumulate: true,
+        }
+    }
+
+    /// MAM (HOLYLIGHT) baseline: N = 22 at 4-bit / 5 GS/s (Table I),
+    /// area-proportionately scaled to 3971 VDPEs (Section VI-B).
+    pub fn mam() -> Self {
+        Self {
+            kind: AcceleratorKind::Mam,
+            name: "MAM (HOLYLIGHT)",
+            vdpe_size_n: 22,
+            total_vdpes: 3971,
+            native_bits: 4,
+            bit_slices: 2,
+            symbol_time: SimTime::from_ps(200), // 1 / 5 GS/s
+            dkv_reprogram: ANALOG_DKV_REPROGRAM,
+            local_psum_accumulate: false,
+        }
+    }
+
+    /// AMM (DEAP-CNN) baseline: N = 16 at 4-bit / 5 GS/s, scaled to 3172
+    /// VDPEs.
+    pub fn amm() -> Self {
+        Self {
+            kind: AcceleratorKind::Amm,
+            name: "AMM (DEAPCNN)",
+            vdpe_size_n: 16,
+            total_vdpes: 3172,
+            native_bits: 4,
+            bit_slices: 2,
+            symbol_time: SimTime::from_ps(200),
+            dkv_reprogram: ANALOG_DKV_REPROGRAM,
+            local_psum_accumulate: false,
+        }
+    }
+
+    /// All three evaluated configurations in the paper's order.
+    pub fn all() -> [Self; 3] {
+        [Self::sconna(), Self::mam(), Self::amm()]
+    }
+
+    /// VDPEs per VDPC: the paper's VDPCs have M = N arms sharing one
+    /// N-wavelength laser bank.
+    pub fn vdpes_per_vdpc(&self) -> usize {
+        self.vdpe_size_n
+    }
+
+    /// Number of VDPCs (the last may be partially populated).
+    pub fn vdpc_count(&self) -> usize {
+        self.total_vdpes.div_ceil(self.vdpes_per_vdpc())
+    }
+
+    /// Tiles in the mesh (4 VDPCs per tile, Fig. 8).
+    pub fn tiles(&self) -> usize {
+        self.vdpc_count().div_ceil(VDPCS_PER_TILE)
+    }
+
+    /// VDPEs usable in parallel for independent 8-bit results
+    /// (bit-slicing gangs VDPEs together).
+    pub fn effective_parallel_vdpes(&self) -> usize {
+        self.total_vdpes / self.bit_slices
+    }
+
+    /// Laser diodes: one bank of N per VDPC.
+    pub fn laser_count(&self) -> usize {
+        self.vdpc_count() * self.vdpe_size_n
+    }
+
+    /// Chunks (psum passes) an `s`-point vector needs on this VDPE size.
+    pub fn chunks(&self, vector_len: usize) -> usize {
+        vector_len.div_ceil(self.vdpe_size_n)
+    }
+
+    /// VDPE area, mm².
+    ///
+    /// SCONNA's is the mechanical sum of its per-element components
+    /// (Table IV + MRR footprints). The analog VDPE areas are the values
+    /// *implied by the paper's own area-proportionate scaling* (Section
+    /// VI-B: MAM 3971 and AMM 3172 VDPEs match SCONNA's 1024-VDPE die),
+    /// i.e. the published counts are inverted into per-VDPE areas; our
+    /// independent mechanical estimates land within ~35 % of these (see
+    /// [`AcceleratorConfig::mechanical_vdpe_area_estimate`]).
+    pub fn vdpe_area_mm2(&self) -> f64 {
+        match self.kind {
+            AcceleratorKind::Sconna => self.mechanical_vdpe_area_estimate(),
+            AcceleratorKind::Mam => MAM_VDPE_AREA_MM2,
+            AcceleratorKind::Amm => AMM_VDPE_AREA_MM2,
+        }
+    }
+
+    /// Bottom-up component-sum estimate of the VDPE area, mm².
+    pub fn mechanical_vdpe_area_estimate(&self) -> f64 {
+        let n = self.vdpe_size_n as f64;
+        match self.kind {
+            AcceleratorKind::Sconna => {
+                // Per OSM: OAG ring + filter ring + serializer + LUT.
+                n * (2.0 * peripherals::MRR_AREA_MM2
+                    + peripherals::SERIALIZER.area_mm2
+                    + peripherals::OSM_LUT.area_mm2)
+                    + 2.0 * peripherals::PCA.area_mm2
+                    + peripherals::SCONNA_ADC.area_mm2
+            }
+            AcceleratorKind::Mam => {
+                // Per element: DKV ring + DAC; one ADC per SE; the shared
+                // DIV block amortizes to one ring + DAC per VDPE.
+                n * (peripherals::MRR_AREA_MM2 + peripherals::ANALOG_DAC.area_mm2)
+                    + peripherals::MRR_AREA_MM2
+                    + peripherals::ANALOG_DAC.area_mm2
+                    + peripherals::ANALOG_ADC.area_mm2
+            }
+            AcceleratorKind::Amm => {
+                // Per element: DIV ring + DKV ring, each with a DAC.
+                n * 2.0 * (peripherals::MRR_AREA_MM2 + peripherals::ANALOG_DAC.area_mm2)
+                    + peripherals::ANALOG_ADC.area_mm2
+            }
+        }
+    }
+
+    /// Tile peripheral area, mm² (per tile).
+    pub fn tile_peripheral_area_mm2(&self) -> f64 {
+        peripherals::REDUCTION_NETWORK.area_mm2
+            + peripherals::ACTIVATION_UNIT.area_mm2
+            + peripherals::IO_INTERFACE.area_mm2
+            + peripherals::POOLING_UNIT.area_mm2
+            + peripherals::EDRAM.area_mm2
+            + peripherals::BUS.area_mm2
+            + peripherals::ROUTER.area_mm2
+    }
+
+    /// Total accelerator area, mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.total_vdpes as f64 * self.vdpe_area_mm2()
+            + self.tiles() as f64 * self.tile_peripheral_area_mm2()
+    }
+
+    /// Area-proportionate VDPE count for this architecture matching a
+    /// target die area — the Section VI-B scaling procedure.
+    pub fn area_proportionate_vdpes(&self, target_area_mm2: f64) -> usize {
+        let peripheral = self.tiles() as f64 * self.tile_peripheral_area_mm2();
+        ((target_area_mm2 - peripheral) / self.vdpe_area_mm2()).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organization_counts() {
+        let s = AcceleratorConfig::sconna();
+        assert_eq!(s.vdpc_count(), 6);
+        assert_eq!(s.vdpes_per_vdpc(), 176);
+        assert_eq!(s.tiles(), 2);
+        assert_eq!(s.effective_parallel_vdpes(), 1024);
+        let m = AcceleratorConfig::mam();
+        assert_eq!(m.effective_parallel_vdpes(), 1985);
+        assert_eq!(m.vdpes_per_vdpc(), 22);
+        assert_eq!(m.vdpc_count(), 181);
+        assert_eq!(m.tiles(), 46);
+    }
+
+    #[test]
+    fn chunk_counts_match_paper_examples() {
+        // Section III-A: S = 4608 on N = 44 → 105 chunks; SCONNA
+        // N = 176 → 27 chunks.
+        let s = AcceleratorConfig::sconna();
+        assert_eq!(s.chunks(4608), 27);
+        let m = AcceleratorConfig::mam();
+        assert_eq!(m.chunks(4608), 210); // 4608/22 = 209.45 → 210
+        assert_eq!(4608usize.div_ceil(44), 105); // the paper's N=44 example
+    }
+
+    #[test]
+    fn symbol_times() {
+        // SCONNA: 256 bits at 30 Gb/s ≈ 8.53 ns; analog: 0.2 ns.
+        let s = AcceleratorConfig::sconna();
+        assert!((s.symbol_time.as_secs_f64() - 256.0 / 30e9).abs() < 1e-12);
+        assert_eq!(AcceleratorConfig::mam().symbol_time, SimTime::from_ps(200));
+    }
+
+    #[test]
+    fn area_proportionate_scaling_recovers_paper_counts() {
+        // Section VI-B: matching SCONNA's 1024-VDPE area gives MAM 3971
+        // and AMM 3172 VDPEs; the calibrated per-VDPE areas invert that
+        // relation, so the solver must recover the published counts.
+        let target = AcceleratorConfig::sconna().total_area_mm2();
+        let mam_count = AcceleratorConfig::mam().area_proportionate_vdpes(target);
+        let amm_count = AcceleratorConfig::amm().area_proportionate_vdpes(target);
+        assert!(
+            (mam_count as i64 - 3971).abs() <= 2,
+            "MAM scaled count {mam_count} vs paper 3971"
+        );
+        assert!(
+            (amm_count as i64 - 3172).abs() <= 2,
+            "AMM scaled count {amm_count} vs paper 3172"
+        );
+    }
+
+    #[test]
+    fn mechanical_area_estimates_corroborate_calibration() {
+        // The independent bottom-up component sums must land within 35 %
+        // of the paper-implied per-VDPE areas.
+        let mam = AcceleratorConfig::mam();
+        let amm = AcceleratorConfig::amm();
+        let mam_rel = (mam.mechanical_vdpe_area_estimate() - MAM_VDPE_AREA_MM2).abs()
+            / MAM_VDPE_AREA_MM2;
+        let amm_rel = (amm.mechanical_vdpe_area_estimate() - AMM_VDPE_AREA_MM2).abs()
+            / AMM_VDPE_AREA_MM2;
+        assert!(mam_rel < 0.35, "MAM mechanical estimate off by {mam_rel:.2}");
+        assert!(amm_rel < 0.35, "AMM mechanical estimate off by {amm_rel:.2}");
+    }
+
+    #[test]
+    fn all_areas_are_comparable_by_construction() {
+        // With the paper's published VDPE counts and the calibrated
+        // per-VDPE areas, total areas agree closely.
+        let areas: Vec<f64> = AcceleratorConfig::all()
+            .iter()
+            .map(AcceleratorConfig::total_area_mm2)
+            .collect();
+        let max = areas.iter().fold(0f64, |a, &b| a.max(b));
+        let min = areas.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(max / min < 1.01, "areas {areas:?} diverge");
+    }
+
+    #[test]
+    fn raw_mac_rate_favors_analog() {
+        // Sanity: the analog baselines have higher *raw* MAC throughput;
+        // SCONNA wins on psums/reprogramming, not raw rate (Section VI-C
+        // attributes the win to psum reduction + higher N).
+        let s = AcceleratorConfig::sconna();
+        let m = AcceleratorConfig::mam();
+        let rate = |c: &AcceleratorConfig| {
+            (c.effective_parallel_vdpes() * c.vdpe_size_n) as f64
+                / c.symbol_time.as_secs_f64()
+        };
+        assert!(rate(&m) > rate(&s));
+    }
+}

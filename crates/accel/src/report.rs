@@ -1,0 +1,140 @@
+//! Report formatting for the benchmark harness: the Fig. 9 comparison
+//! table and gmean speedup summaries.
+
+use crate::organization::AcceleratorConfig;
+use crate::perf::{simulate_inference, InferencePerf};
+use sconna_sim::stats::gmean;
+use sconna_tensor::models::CnnModel;
+use std::fmt::Write as _;
+
+/// Boxed metric selector used by the speedup table.
+type MetricFn = Box<dyn Fn(&InferencePerf) -> f64>;
+
+/// The full Fig. 9 result grid: one [`InferencePerf`] per
+/// (accelerator, model) pair, accelerators outermost.
+pub struct Fig9Results {
+    /// Accelerators in evaluation order.
+    pub accelerators: Vec<AcceleratorConfig>,
+    /// Model names in evaluation order.
+    pub models: Vec<String>,
+    /// Results, `[accelerator][model]`.
+    pub results: Vec<Vec<InferencePerf>>,
+}
+
+/// Runs the full Fig. 9 grid.
+pub fn run_fig9(models: &[CnnModel]) -> Fig9Results {
+    let accelerators = AcceleratorConfig::all().to_vec();
+    let results = accelerators
+        .iter()
+        .map(|cfg| models.iter().map(|m| simulate_inference(cfg, m)).collect())
+        .collect();
+    Fig9Results {
+        accelerators,
+        models: models.iter().map(|m| m.name.clone()).collect(),
+        results,
+    }
+}
+
+impl Fig9Results {
+    /// Gmean ratio of a metric between accelerator rows `a` and `b`.
+    pub fn gmean_ratio(&self, a: usize, b: usize, metric: impl Fn(&InferencePerf) -> f64) -> f64 {
+        let ratios: Vec<f64> = self.results[a]
+            .iter()
+            .zip(&self.results[b])
+            .map(|(ra, rb)| metric(ra) / metric(rb))
+            .collect();
+        gmean(&ratios)
+    }
+
+    /// Formats one metric as a table with per-model columns.
+    pub fn format_metric(
+        &self,
+        title: &str,
+        unit: &str,
+        metric: impl Fn(&InferencePerf) -> f64,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{title} ({unit})");
+        let _ = write!(out, "{:<18}", "accelerator");
+        for m in &self.models {
+            let _ = write!(out, "{m:>16}");
+        }
+        let _ = writeln!(out, "{:>12}", "gmean");
+        for (ai, cfg) in self.accelerators.iter().enumerate() {
+            let _ = write!(out, "{:<18}", cfg.name);
+            let values: Vec<f64> = self.results[ai].iter().map(&metric).collect();
+            for v in &values {
+                let _ = write!(out, "{v:>16.3}");
+            }
+            let _ = writeln!(out, "{:>12.3}", gmean(&values));
+        }
+        out
+    }
+
+    /// Formats the headline gmean speedups of accelerator 0 (SCONNA)
+    /// over the others, against the paper's published factors.
+    pub fn format_speedups(&self) -> String {
+        let paper = [
+            ("FPS", [66.5, 146.4]),
+            ("FPS/W", [90.0, 183.0]),
+            ("FPS/W/mm2", [91.0, 184.0]),
+        ];
+        let metrics: [MetricFn; 3] = [
+            Box::new(|p| p.fps),
+            Box::new(|p| p.fps_per_w),
+            Box::new(|p| p.fps_per_w_per_mm2),
+        ];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12}{:>24}{:>14}{:>24}{:>14}",
+            "metric", "SCONNA/MAM (measured)", "(paper)", "SCONNA/AMM (measured)", "(paper)"
+        );
+        for ((name, paper_vals), metric) in paper.iter().zip(metrics.iter()) {
+            let m = self.gmean_ratio(0, 1, metric);
+            let a = self.gmean_ratio(0, 2, metric);
+            let _ = writeln!(
+                out,
+                "{:<12}{:>23.1}x{:>13.1}x{:>23.1}x{:>13.1}x",
+                name, m, paper_vals[0], a, paper_vals[1]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sconna_tensor::models::shufflenet_v2;
+
+    #[test]
+    fn fig9_grid_dimensions() {
+        let models = vec![shufflenet_v2()];
+        let grid = run_fig9(&models);
+        assert_eq!(grid.accelerators.len(), 3);
+        assert_eq!(grid.results.len(), 3);
+        assert_eq!(grid.results[0].len(), 1);
+    }
+
+    #[test]
+    fn format_contains_all_accelerators() {
+        let models = vec![shufflenet_v2()];
+        let grid = run_fig9(&models);
+        let table = grid.format_metric("FPS", "frames/s", |p| p.fps);
+        assert!(table.contains("SCONNA"));
+        assert!(table.contains("MAM (HOLYLIGHT)"));
+        assert!(table.contains("AMM (DEAPCNN)"));
+        assert!(table.contains("gmean"));
+        let speedups = grid.format_speedups();
+        assert!(speedups.contains("FPS/W/mm2"));
+    }
+
+    #[test]
+    fn gmean_ratio_of_self_is_one() {
+        let models = vec![shufflenet_v2()];
+        let grid = run_fig9(&models);
+        let r = grid.gmean_ratio(1, 1, |p| p.fps);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion macro-benchmarks: the end-to-end system simulations behind
+//! Fig. 9 (one full CNN inference on each accelerator model) and the
+//! stochastic engine on a real layer geometry.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sconna_accel::engine::SconnaEngine;
+use sconna_accel::organization::AcceleratorConfig;
+use sconna_accel::perf::simulate_inference;
+use sconna_tensor::engine::VdpEngine;
+use sconna_tensor::models::{resnet50, shufflenet_v2};
+
+fn bench_inference_sim(c: &mut Criterion) {
+    let resnet = resnet50();
+    let shuffle = shufflenet_v2();
+    let mut g = c.benchmark_group("inference_simulation");
+    g.sample_size(30);
+    for cfg in AcceleratorConfig::all() {
+        g.bench_function(format!("resnet50_{:?}", cfg.kind), |b| {
+            b.iter(|| simulate_inference(black_box(&cfg), black_box(&resnet)))
+        });
+    }
+    g.bench_function("shufflenet_sconna", |b| {
+        b.iter(|| {
+            simulate_inference(black_box(&AcceleratorConfig::sconna()), black_box(&shuffle))
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_vdp(c: &mut Criterion) {
+    // A ResNet50 stage-4 geometry: S = 4608 (27 SCONNA chunks).
+    let inputs: Vec<u32> = (0..4608).map(|k| ((k * 37) % 256) as u32).collect();
+    let weights: Vec<i32> = (0..4608).map(|k| ((k * 53) % 255) - 127).collect();
+    let noiseless = SconnaEngine::noiseless();
+    let noisy = SconnaEngine::paper_default(1);
+    let mut g = c.benchmark_group("engine_vdp_s4608");
+    g.bench_function("noiseless", |b| {
+        b.iter(|| noiseless.vdp(black_box(&inputs), black_box(&weights)))
+    });
+    g.bench_function("with_adc_noise", |b| {
+        b.iter(|| noisy.vdp(black_box(&inputs), black_box(&weights)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference_sim, bench_engine_vdp);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks over the CNN substrate: quantized
+//! convolution on the exact and stochastic engines, and model-zoo
+//! construction/census.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sconna_accel::engine::SconnaEngine;
+use sconna_tensor::engine::ExactEngine;
+use sconna_tensor::layers::{MaxPool2d, QConv2d};
+use sconna_tensor::models::{all_models, resnet50};
+use sconna_tensor::quant::{ActivationQuant, Requant, WeightQuant};
+use sconna_tensor::Tensor;
+
+fn test_conv(channels: usize, kernels: usize) -> (QConv2d, Tensor<u32>) {
+    let aq = ActivationQuant { scale: 1.0, bits: 8 };
+    let wq = WeightQuant { scale: 1.0, bits: 8 };
+    let conv = QConv2d {
+        name: "bench".into(),
+        weights: Tensor::from_fn(&[kernels, channels, 3, 3], |i| (i % 255) as i32 - 127),
+        bias: vec![0.0; kernels],
+        stride: 1,
+        padding: 1,
+        groups: 1,
+        requant: Requant::new(aq, wq, aq),
+    };
+    let input = Tensor::from_fn(&[channels, 14, 14], |i| (i % 256) as u32);
+    (conv, input)
+}
+
+fn bench_qconv(c: &mut Criterion) {
+    let (conv, input) = test_conv(16, 16);
+    let mut g = c.benchmark_group("qconv_16x16x14x14");
+    g.sample_size(20);
+    g.bench_function("exact_engine", |b| {
+        b.iter(|| conv.forward(black_box(&input), &ExactEngine))
+    });
+    let sconna = SconnaEngine::noiseless();
+    g.bench_function("sconna_engine", |b| {
+        b.iter(|| conv.forward(black_box(&input), &sconna))
+    });
+    g.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let input = Tensor::from_fn(&[64, 56, 56], |i| (i % 256) as u32);
+    let pool = MaxPool2d { kernel: 3, stride: 2, padding: 1 };
+    c.bench_function("maxpool_3x3s2_64x56x56", |b| {
+        b.iter(|| pool.forward(black_box(&input)))
+    });
+}
+
+fn bench_model_zoo(c: &mut Criterion) {
+    c.bench_function("build_all_models", |b| b.iter(all_models));
+    let model = resnet50();
+    c.bench_function("resnet50_census", |b| {
+        b.iter(|| black_box(&model).kernel_census(44))
+    });
+}
+
+criterion_group!(benches, bench_qconv, bench_pooling, bench_model_zoo);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks over the stochastic-computing substrate:
+//! bit-stream generation, AND-multiplication and the closed-form fast
+//! path, and full VDP accumulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sconna_sc::accumulate::stochastic_vdp;
+use sconna_sc::lut::PairLut;
+use sconna_sc::multiply::{lds_product, osm_product_stream};
+use sconna_sc::sng::{LdsSng, LfsrSng, StochasticNumberGenerator, ThermometerSng};
+use sconna_sc::Precision;
+
+fn bench_sng(c: &mut Criterion) {
+    let p = Precision::B8;
+    let mut g = c.benchmark_group("sng");
+    g.bench_function("lds_generate_256b", |b| {
+        b.iter(|| LdsSng.generate(black_box(173), p))
+    });
+    g.bench_function("thermometer_generate_256b", |b| {
+        b.iter(|| ThermometerSng.generate(black_box(173), p))
+    });
+    g.bench_function("lfsr_generate_256b", |b| {
+        b.iter(|| LfsrSng::default().generate(black_box(173), p))
+    });
+    g.finish();
+}
+
+fn bench_multiply(c: &mut Criterion) {
+    let p = Precision::B8;
+    let lut = PairLut::generate(p);
+    let mut g = c.benchmark_group("multiply");
+    g.bench_function("stream_multiply", |b| {
+        b.iter(|| osm_product_stream(black_box(173), black_box(88), p).count_ones())
+    });
+    g.bench_function("closed_form_multiply", |b| {
+        b.iter(|| lds_product(black_box(173), black_box(88), p))
+    });
+    g.bench_function("lut_fetch_multiply", |b| {
+        b.iter(|| lut.multiply(black_box(173), black_box(88)))
+    });
+    g.finish();
+}
+
+fn bench_vdp(c: &mut Criterion) {
+    let p = Precision::B8;
+    let mut g = c.benchmark_group("vdp");
+    for &len in &[176usize, 1024, 4608] {
+        let inputs: Vec<u32> = (0..len).map(|k| ((k * 37) % 256) as u32).collect();
+        let weights: Vec<i32> = (0..len).map(|k| ((k * 53) % 255) as i32 - 127).collect();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_function(format!("stochastic_vdp_s{len}"), |b| {
+            b.iter(|| stochastic_vdp(black_box(&inputs), black_box(&weights), p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lut_generation(c: &mut Criterion) {
+    c.bench_function("pair_lut_generate_b8", |b| {
+        b.iter(|| PairLut::generate(Precision::B8))
+    });
+}
+
+criterion_group!(benches, bench_sng, bench_multiply, bench_vdp, bench_lut_generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation A5: batch-size sensitivity. The paper evaluates at batch 1
+//! (Section VI-B); batching lets the analog baselines amortize their
+//! thermal DKV reprogramming — but not their psum traffic, so SCONNA's
+//! advantage is structural, not a batch-1 artifact.
+
+use sconna_accel::organization::AcceleratorConfig;
+use sconna_accel::perf::simulate_inference_batched;
+use sconna_bench::banner;
+use sconna_tensor::models::resnet50;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Ablation A5 — FPS vs batch size (ResNet50)",
+            "robustness of the Fig. 9 comparison beyond batch 1"
+        )
+    );
+    let model = resnet50();
+    println!(
+        "{:<8}{:>14}{:>16}{:>14}{:>18}",
+        "batch", "SCONNA FPS", "MAM FPS", "AMM FPS", "SCONNA/MAM"
+    );
+    for batch in [1usize, 4, 16, 64, 256] {
+        let s = simulate_inference_batched(&AcceleratorConfig::sconna(), &model, batch);
+        let m = simulate_inference_batched(&AcceleratorConfig::mam(), &model, batch);
+        let a = simulate_inference_batched(&AcceleratorConfig::amm(), &model, batch);
+        println!(
+            "{:<8}{:>14.1}{:>16.2}{:>14.2}{:>17.1}x",
+            batch,
+            s.fps,
+            m.fps,
+            a.fps,
+            s.fps / m.fps
+        );
+    }
+    println!();
+    println!("analog FPS rises with batch as thermal reprogramming amortizes,");
+    println!("then flattens at the psum-reduction bound; SCONNA stays");
+    println!("compute-bound and ahead at every batch size.");
+}

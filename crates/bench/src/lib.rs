@@ -1,0 +1,47 @@
+//! # sconna-bench — benchmark harness
+//!
+//! One binary per paper table/figure (see DESIGN.md §3 for the experiment
+//! index) plus ablation studies, and Criterion micro-benchmarks over the
+//! substrate crates. Shared table-formatting helpers live here.
+
+/// Prints a rule line sized to a header.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Formats a `(label, value)` listing with aligned columns.
+pub fn format_kv(pairs: &[(&str, String)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    out
+}
+
+/// Standard banner for experiment binaries.
+pub fn banner(experiment: &str, paper_ref: &str) -> String {
+    format!(
+        "=== {experiment} ===\nreproduces: {paper_ref}\n{}\n",
+        rule(60)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_contains_experiment_and_reference() {
+        let b = banner("Table I", "VDPE size vs precision/data-rate");
+        assert!(b.contains("Table I"));
+        assert!(b.contains("VDPE size"));
+    }
+
+    #[test]
+    fn kv_alignment() {
+        let s = format_kv(&[("a", "1".into()), ("long-key", "2".into())]);
+        assert!(s.contains("a         1"));
+        assert!(s.contains("long-key  2"));
+    }
+}

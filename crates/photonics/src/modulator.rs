@@ -1,0 +1,152 @@
+//! Analog MRR modulator — the device behind the baselines' DIV/DKV
+//! blocks (Fig. 2).
+//!
+//! An analog VDPC imprints a 4-bit value onto a wavelength's power by
+//! detuning a ring: the DAC drives the junction, the resonance moves,
+//! and the through-port transmission sets the amplitude. Two properties
+//! of this device are what Table I's level-count argument rests on:
+//!
+//! 1. the transmission-vs-detuning curve is a Lorentzian, so uniformly
+//!    spaced *electrical* codes give **non-uniform optical levels** —
+//!    the smallest level gap, not the average, must stay above the
+//!    detector's resolution;
+//! 2. the usable swing is bounded by the ring's extinction, so packing
+//!    `2^B` levels into it shrinks gaps exponentially with `B`.
+
+use crate::mrr::Mrr;
+use crate::units::REFERENCE_WAVELENGTH_M;
+use serde::{Deserialize, Serialize};
+
+/// An analog amplitude modulator built from a through-port MRR.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AnalogModulator {
+    /// The ring; its resonance sits `max_detuning_m` below the carrier
+    /// at code 0 and moves onto the carrier at full code.
+    pub ring: Mrr,
+    /// Carrier wavelength, metres.
+    pub lambda_m: f64,
+    /// Electro-refractive shift at full-scale drive, metres.
+    pub max_detuning_m: f64,
+    /// DAC resolution, bits.
+    pub dac_bits: u8,
+}
+
+impl AnalogModulator {
+    /// A representative 4-bit modulator: 0.8 nm FWHM ring, full-scale
+    /// shift of two linewidths.
+    pub fn baseline_4bit() -> Self {
+        let fwhm = 0.8e-9;
+        Self {
+            ring: Mrr::new(REFERENCE_WAVELENGTH_M - 2.0 * fwhm, fwhm, 50e-9, 1.0),
+            lambda_m: REFERENCE_WAVELENGTH_M,
+            max_detuning_m: 2.0 * fwhm,
+            dac_bits: 4,
+        }
+    }
+
+    /// Number of DAC codes.
+    pub fn codes(&self) -> u32 {
+        1u32 << self.dac_bits
+    }
+
+    /// Through-port transmission for a DAC code (code 0 = most detuned =
+    /// highest transmission; full code = on resonance = darkest).
+    ///
+    /// # Panics
+    /// Panics if the code is out of range.
+    pub fn transmission(&self, code: u32) -> f64 {
+        assert!(code < self.codes(), "code {code} out of {}", self.codes());
+        let frac = code as f64 / (self.codes() - 1) as f64;
+        let shifted = self.ring.shifted(frac * self.max_detuning_m);
+        shifted.through_transmission(self.lambda_m)
+    }
+
+    /// All optical levels in code order.
+    pub fn levels(&self) -> Vec<f64> {
+        (0..self.codes()).map(|c| self.transmission(c)).collect()
+    }
+
+    /// Smallest gap between adjacent optical levels — the quantity the
+    /// summation element must resolve.
+    pub fn min_level_gap(&self) -> f64 {
+        let levels = self.levels();
+        levels
+            .windows(2)
+            .map(|w| (w[0] - w[1]).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Usable optical swing (brightest minus darkest level).
+    pub fn swing(&self) -> f64 {
+        let levels = self.levels();
+        let max = levels.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let min = levels.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        max - min
+    }
+
+    /// Ratio of the worst gap to the ideal uniform gap `swing / (2^B−1)`
+    /// — 1.0 for a perfectly linear modulator, below 1 for the
+    /// Lorentzian's crowded shoulder.
+    pub fn linearity(&self) -> f64 {
+        let ideal = self.swing() / (self.codes() - 1) as f64;
+        self.min_level_gap() / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_decrease_monotonically() {
+        let m = AnalogModulator::baseline_4bit();
+        let levels = m.levels();
+        assert_eq!(levels.len(), 16);
+        for pair in levels.windows(2) {
+            assert!(pair[0] > pair[1], "levels must fall toward resonance");
+        }
+    }
+
+    #[test]
+    fn swing_spans_most_of_the_extinction() {
+        let m = AnalogModulator::baseline_4bit();
+        // From 2 FWHM detuned (T≈0.94) to on-resonance (T≈0).
+        assert!(m.swing() > 0.85, "swing {}", m.swing());
+    }
+
+    #[test]
+    fn lorentzian_levels_are_non_uniform() {
+        // The defining analog problem: the minimum gap is well below the
+        // uniform ideal, so the detector budget is set by the shoulder.
+        let m = AnalogModulator::baseline_4bit();
+        assert!(
+            m.linearity() < 0.6,
+            "Lorentzian levels should crowd: linearity {}",
+            m.linearity()
+        );
+        assert!(m.min_level_gap() > 0.0);
+    }
+
+    #[test]
+    fn more_bits_shrink_the_worst_gap() {
+        let b4 = AnalogModulator::baseline_4bit();
+        let b6 = AnalogModulator {
+            dac_bits: 6,
+            ..AnalogModulator::baseline_4bit()
+        };
+        // 4x the codes → roughly 4x smaller worst-case gap: the Table I
+        // mechanism (N·2^B levels must fit the same dynamic range).
+        let ratio = b4.min_level_gap() / b6.min_level_gap();
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "gap shrink ratio {ratio} should track the code-count ratio"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn code_out_of_range_panics() {
+        let m = AnalogModulator::baseline_4bit();
+        let _ = m.transmission(16);
+    }
+}

@@ -1,0 +1,104 @@
+//! Physical units, conversions and constants used across the photonic
+//! models.
+//!
+//! Power is carried either in watts (`W`) or in decibel-milliwatts (`dBm`);
+//! losses and gains in decibels. Conversions are kept as free functions so
+//! call sites read like the link-budget equations of the paper (Eq. 4).
+
+/// Elementary charge, coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 2.997_924_58e8;
+
+/// C-band reference wavelength used by every MRR model, metres (1550 nm).
+pub const REFERENCE_WAVELENGTH_M: f64 = 1550e-9;
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Panics
+/// Panics if `ratio <= 0`.
+#[inline]
+pub fn linear_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "dB of non-positive ratio {ratio}");
+    10.0 * ratio.log10()
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * db_to_linear(dbm)
+}
+
+/// Converts watts to dBm.
+///
+/// # Panics
+/// Panics if `watts <= 0`.
+#[inline]
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    assert!(watts > 0.0, "dBm of non-positive power {watts} W");
+    linear_to_db(watts / 1e-3)
+}
+
+/// Converts a wavelength bandwidth (metres, around the reference
+/// wavelength) to a frequency bandwidth (hertz): `Δf = c·Δλ / λ²`.
+#[inline]
+pub fn wavelength_bw_to_frequency_bw(delta_lambda_m: f64) -> f64 {
+    SPEED_OF_LIGHT * delta_lambda_m / (REFERENCE_WAVELENGTH_M * REFERENCE_WAVELENGTH_M)
+}
+
+/// Cavity photon lifetime of a resonator with the given FWHM linewidth
+/// (metres): `τ_p = 1 / (2π·Δf_FWHM)`.
+#[inline]
+pub fn photon_lifetime_s(fwhm_m: f64) -> f64 {
+    1.0 / (2.0 * std::f64::consts::PI * wavelength_bw_to_frequency_bw(fwhm_m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 20.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dbm_anchors() {
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-12);
+        assert!((dbm_to_watts(10.0) - 10e-3).abs() < 1e-12);
+        assert!((dbm_to_watts(-28.0) - 1.585e-6).abs() < 1e-8);
+        assert!((watts_to_dbm(1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn dbm_of_zero_panics() {
+        let _ = watts_to_dbm(0.0);
+    }
+
+    #[test]
+    fn photon_lifetime_magnitude() {
+        // 0.8 nm FWHM at 1550 nm → ~1.6 ps photon lifetime.
+        let tau = photon_lifetime_s(0.8e-9);
+        assert!(tau > 1.0e-12 && tau < 3.0e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn frequency_bw_of_quarter_nm() {
+        // The 0.25 nm DWDM channel gap at 1550 nm is ~31 GHz.
+        let f = wavelength_bw_to_frequency_bw(0.25e-9);
+        assert!((f - 31.2e9).abs() < 1e9, "f = {f}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Statistical analysis of stochastic-computing error.
+//!
+//! The accuracy story of the paper rests on how per-multiply rounding
+//! error behaves when a VDPE sums 176 products and a CNN sums thousands
+//! of VDPE results: deterministic per-element errors are bounded
+//! (`O(B)` counts), the alternating LUT pairing makes them zero-mean,
+//! and accumulation then concentrates the relative error like `1/√n`.
+//! This module computes those statistics exactly (exhaustive over the
+//! operand grid) and empirically (over operand distributions), feeding
+//! both the tests and the reports.
+
+use crate::format::Precision;
+use crate::multiply::{lds_product, lds_product_floor, real_product};
+use rand::Rng;
+
+/// Exhaustive error statistics of a multiplier against the real-valued
+/// product, over the full `(i, w)` operand grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean signed error (bias), ones-counts.
+    pub bias: f64,
+    /// Standard deviation of the error, ones-counts.
+    pub std_dev: f64,
+    /// Largest |error|, ones-counts.
+    pub worst: f64,
+}
+
+/// Computes [`ErrorStats`] for a multiplier function over the full grid.
+pub fn multiplier_stats(
+    precision: Precision,
+    mul: impl Fn(u32, u32, Precision) -> u32,
+) -> ErrorStats {
+    let l = precision.stream_len() as u32;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut worst = 0.0f64;
+    let mut n = 0u64;
+    for i in 0..=l {
+        for w in 0..=l {
+            let e = mul(i, w, precision) as f64 - real_product(i, w, precision);
+            sum += e;
+            sum_sq += e * e;
+            worst = worst.max(e.abs());
+            n += 1;
+        }
+    }
+    let n = n as f64;
+    let bias = sum / n;
+    ErrorStats {
+        bias,
+        std_dev: (sum_sq / n - bias * bias).max(0.0).sqrt(),
+        worst,
+    }
+}
+
+/// Stats of the ceil (LDS × thermometer) pairing.
+pub fn ceil_pairing_stats(precision: Precision) -> ErrorStats {
+    multiplier_stats(precision, lds_product)
+}
+
+/// Stats of the floor (complement) pairing.
+pub fn floor_pairing_stats(precision: Precision) -> ErrorStats {
+    multiplier_stats(precision, lds_product_floor)
+}
+
+/// Stats of the alternating (debiased) pairing, averaged over both
+/// parities.
+pub fn debiased_pairing_stats(precision: Precision) -> ErrorStats {
+    multiplier_stats(precision, |i, w, p| {
+        // Average of both pairings, rounded — the per-pair effective
+        // multiplier of an even/odd OSM couple.
+        (lds_product(i, w, p) + lds_product_floor(i, w, p)).div_ceil(2)
+    })
+}
+
+/// Empirical relative error of `n`-element stochastic dot products over
+/// random operands (uniform codes), as RMSE over RMS of the exact value.
+///
+/// With `signed_weights`, the reference dot product is zero-mean and
+/// grows like `√n`, matching the error's growth — relative error stays
+/// roughly flat. With non-negative weights the reference grows like `n`
+/// and the relative error concentrates like `1/√n` (the accumulation
+/// argument behind the paper's small accuracy drops: post-ReLU rail
+/// sums are non-negative).
+pub fn empirical_vdp_relative_error<R: Rng + ?Sized>(
+    precision: Precision,
+    n: usize,
+    trials: usize,
+    signed_weights: bool,
+    rng: &mut R,
+) -> f64 {
+    assert!(n > 0 && trials > 0, "degenerate experiment");
+    let qmax = precision.max_value();
+    let lo = if signed_weights { -(qmax as i32) } else { 0 };
+    let mut err_sq = 0.0f64;
+    let mut ref_sq = 0.0f64;
+    for _ in 0..trials {
+        let inputs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..=qmax)).collect();
+        let weights: Vec<i32> = (0..n)
+            .map(|_| rng.gen_range(lo..=qmax as i32))
+            .collect();
+        let sc = crate::accumulate::stochastic_vdp(&inputs, &weights, precision) as f64;
+        let exact: f64 = inputs
+            .iter()
+            .zip(&weights)
+            .map(|(&i, &w)| i as f64 * w as f64 / precision.stream_len() as f64)
+            .sum();
+        err_sq += (sc - exact) * (sc - exact);
+        ref_sq += exact * exact;
+    }
+    (err_sq / ref_sq.max(1e-12)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ceil_and_floor_are_mirror_images() {
+        let p = Precision::new(6);
+        let ceil = ceil_pairing_stats(p);
+        let floor = floor_pairing_stats(p);
+        assert!(ceil.bias > 0.4, "ceil bias {}", ceil.bias);
+        assert!(floor.bias < -0.4, "floor bias {}", floor.bias);
+        assert!((ceil.bias + floor.bias).abs() < 0.05, "biases must cancel");
+        assert!((ceil.worst - floor.worst).abs() < 1.5);
+    }
+
+    #[test]
+    fn debiasing_kills_the_bias_without_hurting_worst_case() {
+        let p = Precision::new(6);
+        let ceil = ceil_pairing_stats(p);
+        let debiased = debiased_pairing_stats(p);
+        assert!(
+            debiased.bias.abs() < 0.51,
+            "debiased bias {}",
+            debiased.bias
+        );
+        assert!(debiased.bias.abs() < ceil.bias.abs());
+        assert!(debiased.worst <= ceil.worst + 1.0);
+    }
+
+    #[test]
+    fn worst_error_scales_with_bits() {
+        // The discrepancy bound is O(B): each extra bit adds at most one
+        // more up-rounding dyadic interval.
+        let w4 = ceil_pairing_stats(Precision::B4).worst;
+        let w8 = ceil_pairing_stats(Precision::B8).worst;
+        assert!(w8 > w4);
+        assert!(w8 <= 8.0 && w4 <= 4.0);
+    }
+
+    #[test]
+    fn positive_rail_error_concentrates_with_length() {
+        // Non-negative weights model a single PCA rail: the reference
+        // grows like n while the error grows like sqrt(n), so relative
+        // error concentrates.
+        let p = Precision::B8;
+        let mut rng = StdRng::seed_from_u64(9);
+        let short = empirical_vdp_relative_error(p, 16, 200, false, &mut rng);
+        let long = empirical_vdp_relative_error(p, 1024, 50, false, &mut rng);
+        assert!(
+            long < short,
+            "rail relative error must shrink: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn signed_vdp_error_stays_flat_and_small() {
+        // Zero-mean references grow like sqrt(n), matching the error's
+        // growth: relative error neither explodes nor concentrates.
+        let p = Precision::B8;
+        let mut rng = StdRng::seed_from_u64(9);
+        let short = empirical_vdp_relative_error(p, 16, 200, true, &mut rng);
+        let long = empirical_vdp_relative_error(p, 1024, 50, true, &mut rng);
+        assert!(short < 0.05 && long < 0.05, "short {short}, long {long}");
+        assert!((short - long).abs() < 0.02, "flat: {short} vs {long}");
+    }
+
+    #[test]
+    fn vdp_relative_error_is_small_at_vdpe_size() {
+        let p = Precision::B8;
+        let mut rng = StdRng::seed_from_u64(4);
+        let at_176 = empirical_vdp_relative_error(p, 176, 200, true, &mut rng);
+        assert!(at_176 < 0.05, "VDPE-size relative error {at_176}");
+    }
+}

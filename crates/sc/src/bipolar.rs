@@ -1,0 +1,194 @@
+//! Bipolar stochastic computing.
+//!
+//! SCONNA's data path is unipolar (ReLU activations carry no sign; weight
+//! signs ride a separate bit into the filter MRRs), but the SC literature
+//! the paper builds on — and any extension handling signed activations in
+//! the stream domain — uses the **bipolar** format: a stream of length
+//! `L` with `N₁` ones encodes `v = 2·N₁/L − 1 ∈ [−1, 1]`. Multiplication
+//! becomes XNOR, and scaled addition a 2:1 multiplexer driven by a
+//! half-density select stream. This module provides both, with the same
+//! LDS-based deterministic generation discipline as the unipolar path.
+
+use crate::bitstream::PackedBitstream;
+use crate::format::Precision;
+use crate::sng::{LdsSng, StochasticNumberGenerator, ThermometerSng};
+
+/// A bipolar stochastic value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bipolar {
+    /// Number of ones in the stream.
+    pub ones: u32,
+    /// Precision (stream length `2^B`).
+    pub precision: Precision,
+}
+
+impl Bipolar {
+    /// Quantizes a real value in `[−1, 1]` to the nearest representable
+    /// bipolar stream.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside `[−1, 1]` or not finite.
+    pub fn quantize(v: f64, precision: Precision) -> Self {
+        assert!(v.is_finite() && (-1.0..=1.0).contains(&v), "bipolar value {v}");
+        let l = precision.stream_len() as f64;
+        let ones = ((v + 1.0) / 2.0 * l).round() as u32;
+        Self { ones, precision }
+    }
+
+    /// Real value `2·ones/L − 1`.
+    pub fn value(self) -> f64 {
+        2.0 * self.ones as f64 / self.precision.stream_len() as f64 - 1.0
+    }
+
+    /// Generates the stream with the low-discrepancy SNG.
+    pub fn stream_lds(self) -> PackedBitstream {
+        LdsSng.generate(self.ones, self.precision)
+    }
+
+    /// Generates the stream with the thermometer SNG (for pairing).
+    pub fn stream_thermometer(self) -> PackedBitstream {
+        ThermometerSng.generate(self.ones, self.precision)
+    }
+}
+
+/// Bipolar multiplication: XNOR of the two streams. For the
+/// LDS × thermometer pairing the result value approximates `a·b` with
+/// the same discrepancy bound as the unipolar AND (the XNOR count is an
+/// affine function of the AND overlap).
+pub fn bipolar_multiply(a: &PackedBitstream, b: &PackedBitstream) -> PackedBitstream {
+    a.xnor(b)
+}
+
+/// Closed-form ones-count of the XNOR product of the LDS(a) ×
+/// thermometer(b) pairing: `L − a₁ − b₁ + 2·overlap`.
+pub fn bipolar_multiply_count(a: Bipolar, b: Bipolar) -> u32 {
+    assert_eq!(a.precision, b.precision, "precision mismatch");
+    let l = a.precision.stream_len() as i64;
+    let overlap = crate::multiply::lds_product(a.ones, b.ones, a.precision) as i64;
+    (l - a.ones as i64 - b.ones as i64 + 2 * overlap) as u32
+}
+
+/// Scaled (MUX) addition: a 2:1 multiplexer selecting between streams
+/// `a` and `b` under a half-density select stream computes `(a + b) / 2`
+/// in either format.
+///
+/// The select source must be **uncorrelated with both inputs** — any
+/// deterministic pattern correlates with some operand of the
+/// deterministic SNGs (e.g. a half-density LDS select picks exactly the
+/// even stream positions, which is also where small-value LDS operands
+/// concentrate their ones). A maximal-length LFSR with a fixed seed is
+/// the standard independent source; its residual correlation gives the
+/// classic `O(√L)` MUX-adder error instead of the multiplier's `O(log L)`.
+///
+/// # Panics
+/// Panics if the streams differ in length.
+pub fn scaled_add(a: &PackedBitstream, b: &PackedBitstream, precision: Precision) -> PackedBitstream {
+    assert_eq!(a.len(), b.len(), "stream length mismatch");
+    assert_eq!(a.len(), precision.stream_len(), "stream/precision mismatch");
+    let half = precision.stream_len() as u32 / 2;
+    let select = crate::sng::LfsrSng::new(0xB5).generate(half, precision);
+    // out = (select AND a) OR (NOT select AND b)
+    select.and(a).or(&select.not().and(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantize_roundtrip_endpoints() {
+        let p = Precision::B8;
+        assert_eq!(Bipolar::quantize(-1.0, p).ones, 0);
+        assert_eq!(Bipolar::quantize(0.0, p).ones, 128);
+        assert_eq!(Bipolar::quantize(1.0, p).ones, 256);
+        assert!((Bipolar::quantize(0.5, p).value() - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn xnor_multiply_signs() {
+        let p = Precision::B8;
+        let cases = [
+            (0.75, 0.5, 0.375),
+            (-0.75, 0.5, -0.375),
+            (-0.5, -0.5, 0.25),
+            (1.0, -1.0, -1.0),
+            (0.0, 0.9, 0.0),
+        ];
+        for (av, bv, want) in cases {
+            let a = Bipolar::quantize(av, p);
+            let b = Bipolar::quantize(bv, p);
+            let out = bipolar_multiply(&a.stream_lds(), &b.stream_thermometer());
+            let got = out.bipolar_value();
+            assert!(
+                (got - want).abs() < 0.08,
+                "{av} x {bv}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_stream_xnor() {
+        let p = Precision::B8;
+        for a1 in (0..=256u32).step_by(16) {
+            for b1 in (0..=256u32).step_by(16) {
+                let a = Bipolar { ones: a1, precision: p };
+                let b = Bipolar { ones: b1, precision: p };
+                let stream = bipolar_multiply(&a.stream_lds(), &b.stream_thermometer());
+                assert_eq!(
+                    stream.count_ones() as u32,
+                    bipolar_multiply_count(a, b),
+                    "a={a1} b={b1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_add_halves_the_sum() {
+        let p = Precision::B8;
+        let a = LdsSng.generate(200, p);
+        let b = ThermometerSng.generate(60, p);
+        let out = scaled_add(&a, &b, p);
+        let got = out.count_ones() as f64;
+        let want = (200.0 + 60.0) / 2.0;
+        assert!((got - want).abs() <= 24.0, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn scaled_add_identity_and_zero() {
+        let p = Precision::B8;
+        let zeros = PackedBitstream::zeros(256);
+        let ones = PackedBitstream::ones(256);
+        // (0 + 0)/2 = 0, (1 + 1)/2 = 1.
+        assert_eq!(scaled_add(&zeros, &zeros, p).count_ones(), 0);
+        assert_eq!(scaled_add(&ones, &ones, p).count_ones(), 256);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bipolar_multiply_error_bounded(
+            a1 in 0u32..=256, b1 in 0u32..=256
+        ) {
+            // XNOR count error inherits 2x the AND-overlap discrepancy.
+            let p = Precision::B8;
+            let a = Bipolar { ones: a1, precision: p };
+            let b = Bipolar { ones: b1, precision: p };
+            let got = Bipolar { ones: bipolar_multiply_count(a, b), precision: p }.value();
+            let want = a.value() * b.value();
+            prop_assert!((got - want).abs() <= 2.0 * 8.0 * 2.0 / 256.0 + 1e-9);
+        }
+
+        #[test]
+        fn prop_scaled_add_bounded(a1 in 0u32..=256, b1 in 0u32..=256) {
+            let p = Precision::B8;
+            let a = LdsSng.generate(a1, p);
+            let b = ThermometerSng.generate(b1, p);
+            let got = scaled_add(&a, &b, p).count_ones() as f64;
+            let want = (a1 + b1) as f64 / 2.0;
+            // MUX selection error is the O(sqrt(L)) pseudo-random bound
+            // of the LFSR select source.
+            prop_assert!((got - want).abs() <= 32.0, "got {} want {}", got, want);
+        }
+    }
+}

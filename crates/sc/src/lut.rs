@@ -1,0 +1,234 @@
+//! The OSM peripheral: offline-generated bit-vector LUT plus serializers
+//! (Fig. 5 of the paper).
+//!
+//! Section IV-B stores, for `B`-bit precision, `2^B` LUT entries, each
+//! holding **two `2^B`-bit vectors** — the uncorrelated encoding of a value
+//! as an input stream `Iv` and as a weight stream `Wv`. At run time the OSM
+//! fetches `Iv` from the entry addressed by `Ib`, `Wv` from the entry
+//! addressed by `Wb`, and pushes both through high-speed serializers into
+//! the optical AND gate.
+//!
+//! The paper compresses the two fetches into one via an `Ib ⊕ Wb` hash; the
+//! hash aliases distinct operand pairs onto one entry, so we model both the
+//! collision-free two-fetch LUT (`PairLut`) and the hashed variant
+//! (`XorHashedLut`) and quantify the hash's aliasing error in the SNG
+//! ablation.
+
+use crate::bitstream::PackedBitstream;
+use crate::format::Precision;
+use crate::multiply::multiply_streams;
+use crate::sng::{LdsSng, StochasticNumberGenerator, ThermometerSng};
+
+/// Offline-generated LUT of uncorrelated stream pairs: entry `k` stores
+/// `(Iv(k), Wv(k))` where `Iv` is the low-discrepancy encoding and `Wv` the
+/// thermometer encoding — a combination whose AND is the bounded-error
+/// product (see [`crate::multiply`]).
+#[derive(Debug, Clone)]
+pub struct PairLut {
+    precision: Precision,
+    entries: Vec<(PackedBitstream, PackedBitstream)>,
+}
+
+impl PairLut {
+    /// Generates the LUT offline for the given precision (`2^B + 1` entries
+    /// so the full-scale value `2^B` is also encodable).
+    pub fn generate(precision: Precision) -> Self {
+        let l = precision.stream_len() as u32;
+        let entries = (0..=l)
+            .map(|k| {
+                (
+                    LdsSng.generate(k, precision),
+                    ThermometerSng.generate(k, precision),
+                )
+            })
+            .collect();
+        Self { precision, entries }
+    }
+
+    /// Precision the LUT was generated for.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Fetches the input-side stream for binary value `ib`.
+    ///
+    /// # Panics
+    /// Panics if `ib` is out of range.
+    pub fn input_stream(&self, ib: u32) -> &PackedBitstream {
+        &self.entries[ib as usize].0
+    }
+
+    /// Fetches the weight-side stream for binary value `wb`.
+    ///
+    /// # Panics
+    /// Panics if `wb` is out of range.
+    pub fn weight_stream(&self, wb: u32) -> &PackedBitstream {
+        &self.entries[wb as usize].1
+    }
+
+    /// Full OSM data path: fetch both streams and AND them, returning the
+    /// product ones-count.
+    pub fn multiply(&self, ib: u32, wb: u32) -> u32 {
+        multiply_streams(self.input_stream(ib), self.weight_stream(wb)) as u32
+    }
+
+    /// Storage footprint in bits: entries × two vectors × stream length —
+    /// the eDRAM sizing quoted in Section IV-B ("2^B entries, each entry
+    /// storing two 2^B-bits long bit-vectors").
+    pub fn storage_bits(&self) -> usize {
+        self.entries.len() * 2 * self.precision.stream_len()
+    }
+}
+
+/// The paper's single-fetch variant: one `2^B`-entry table addressed by the
+/// XOR hash `Ib ⊕ Wb`. Since the hash is lossy, the entry stores the pair
+/// generated for the *representative* operand pair `(h, h)` of each hash
+/// bucket; any other `(Ib, Wb)` in the bucket reads streams encoding the
+/// wrong values. This type exists to measure that aliasing cost — the
+/// collision-free [`PairLut`] is what the rest of the system uses.
+#[derive(Debug, Clone)]
+pub struct XorHashedLut {
+    lut: PairLut,
+}
+
+impl XorHashedLut {
+    /// Builds the hashed LUT on top of the canonical pair table.
+    pub fn generate(precision: Precision) -> Self {
+        Self {
+            lut: PairLut::generate(precision),
+        }
+    }
+
+    /// Hash index for an operand pair.
+    #[inline]
+    pub fn index(ib: u32, wb: u32) -> u32 {
+        ib ^ wb
+    }
+
+    /// Single-fetch multiply: both streams come from the hashed entry.
+    /// Exact when `ib == wb` (hash 0 bucket aside) and increasingly wrong
+    /// as the operands diverge.
+    pub fn multiply(&self, ib: u32, wb: u32) -> u32 {
+        let h = Self::index(ib, wb) & (self.lut.precision.stream_len() as u32 - 1);
+        multiply_streams(self.lut.input_stream(h), self.lut.weight_stream(h)) as u32
+    }
+}
+
+/// A serializer models the LUT-to-OAG path: it drains a fetched bit-vector
+/// one bit per `1/bitrate` interval (Section IV-B drives the OAG PN
+/// junctions at up to 40 Gb/s). The iterator yields `(time_ps, bit)` pairs.
+#[derive(Debug, Clone)]
+pub struct Serializer {
+    /// Serialization bitrate in bits per second.
+    pub bitrate_hz: f64,
+}
+
+impl Serializer {
+    /// Creates a serializer at the given bitrate.
+    ///
+    /// # Panics
+    /// Panics if the bitrate is not positive.
+    pub fn new(bitrate_hz: f64) -> Self {
+        assert!(bitrate_hz > 0.0, "bitrate must be positive");
+        Self { bitrate_hz }
+    }
+
+    /// Bit interval in picoseconds.
+    pub fn bit_period_ps(&self) -> f64 {
+        1e12 / self.bitrate_hz
+    }
+
+    /// Time to serialize a full stream of `len` bits, in picoseconds.
+    pub fn stream_duration_ps(&self, len: usize) -> f64 {
+        len as f64 * self.bit_period_ps()
+    }
+
+    /// Serializes a stream into `(time_ps, bit)` events.
+    pub fn serialize<'a>(
+        &'a self,
+        stream: &'a PackedBitstream,
+    ) -> impl Iterator<Item = (f64, bool)> + 'a {
+        let period = self.bit_period_ps();
+        stream.iter().enumerate().map(move |(t, b)| (t as f64 * period, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiply::{ideal_product, lds_product};
+
+    #[test]
+    fn pair_lut_matches_closed_form_b4() {
+        let p = Precision::B4;
+        let lut = PairLut::generate(p);
+        for i in 0..=16u32 {
+            for w in 0..=16u32 {
+                assert_eq!(lut.multiply(i, w), lds_product(i, w, p), "i={i} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lut_storage_matches_paper_sizing() {
+        let p = Precision::B8;
+        let lut = PairLut::generate(p);
+        // Paper: 2^B entries × two 2^B-bit vectors = 256 * 2 * 256 bits
+        // (plus our one extra full-scale entry).
+        assert_eq!(lut.storage_bits(), 257 * 2 * 256);
+    }
+
+    #[test]
+    fn xor_hash_is_exact_on_diagonal() {
+        let p = Precision::B4;
+        let hashed = XorHashedLut::generate(p);
+        for v in 1..16u32 {
+            // On the diagonal the hash is 0, so the fetched entry encodes
+            // (0,0) — demonstrating that even the diagonal aliases under a
+            // pure XOR index. This documents why the collision-free LUT is
+            // the faithful model.
+            assert_eq!(hashed.multiply(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn xor_hash_error_is_nonzero_off_diagonal() {
+        let p = Precision::B4;
+        let hashed = XorHashedLut::generate(p);
+        let mut total_err = 0u64;
+        for i in 0..=15u32 {
+            for w in 0..=15u32 {
+                let got = hashed.multiply(i, w) as i64;
+                let want = ideal_product(i, w, p) as i64;
+                total_err += got.abs_diff(want);
+            }
+        }
+        assert!(total_err > 0, "XOR hashing should show aliasing error");
+    }
+
+    #[test]
+    fn serializer_timing() {
+        let s = Serializer::new(30e9); // SCONNA's 30 Gb/s
+        assert!((s.bit_period_ps() - 33.333).abs() < 0.01);
+        // A 256-bit stream at 30 Gb/s takes ~8.53 ns (Section VI-C).
+        assert!((s.stream_duration_ps(256) - 8533.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn serializer_emits_all_bits_in_order() {
+        let s = Serializer::new(10e9);
+        let stream = PackedBitstream::from_bits([true, false, true, true]);
+        let events: Vec<(f64, bool)> = s.serialize(&stream).collect();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], (0.0, true));
+        assert!((events[1].0 - 100.0).abs() < 1e-9);
+        assert!(!events[1].1);
+        assert!(events[3].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitrate must be positive")]
+    fn serializer_rejects_zero_bitrate() {
+        let _ = Serializer::new(0.0);
+    }
+}

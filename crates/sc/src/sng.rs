@@ -1,0 +1,253 @@
+//! Stochastic number generators (SNGs).
+//!
+//! An SNG converts a binary integer into a bit-stream whose fraction of ones
+//! encodes the value. The SCONNA paper generates **pairs** of uncorrelated
+//! streams offline and stores them in a LUT (see [`crate::lut`]); the
+//! generators here are the building blocks for that LUT plus the
+//! conventional LFSR baseline used for comparison in the SNG ablation.
+
+use crate::bitstream::PackedBitstream;
+use crate::format::Precision;
+
+/// Converts a binary numerator into a stochastic bit-stream of length
+/// `precision.stream_len()`.
+pub trait StochasticNumberGenerator {
+    /// Generates the stream for `numerator / 2^B`.
+    ///
+    /// Implementations must produce a stream of exactly
+    /// `precision.stream_len()` bits.
+    ///
+    /// # Panics
+    /// Panics if `numerator > precision.stream_len()`.
+    fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Reverses the low `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: u32, bits: u8) -> u32 {
+    x.reverse_bits() >> (32 - bits as u32)
+}
+
+/// Deterministic low-discrepancy SNG based on the van der Corput (bit
+/// reversal) sequence.
+///
+/// Bit `t` of the stream is `1` iff `bit_reverse(t, B) < numerator`. Because
+/// bit reversal permutes `[0, 2^B)`, the stream contains *exactly*
+/// `numerator` ones — the encoding is error-free — and the ones are spread
+/// maximally evenly, which is what bounds the multiplication error when
+/// paired with a thermometer stream (see [`crate::multiply`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LdsSng;
+
+impl StochasticNumberGenerator for LdsSng {
+    fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
+        let l = precision.stream_len();
+        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        let b = precision.bits();
+        PackedBitstream::from_bits((0..l).map(|t| bit_reverse(t as u32, b) < numerator))
+    }
+
+    fn name(&self) -> &'static str {
+        "lds"
+    }
+}
+
+/// Thermometer (unary-prefix) SNG: the first `numerator` bits are `1`.
+///
+/// On its own a thermometer stream is maximally correlated with any other
+/// thermometer stream; its role is as the *partner* of an [`LdsSng`] stream,
+/// where the pair behaves as an uncorrelated combination (the
+/// clock-division construction of UGEMM's unipolar circuit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThermometerSng;
+
+impl StochasticNumberGenerator for ThermometerSng {
+    fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
+        let l = precision.stream_len();
+        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        PackedBitstream::from_bits((0..l).map(|t| (t as u32) < numerator))
+    }
+
+    fn name(&self) -> &'static str {
+        "thermometer"
+    }
+}
+
+/// Maximal-length LFSR feedback taps (Fibonacci form, XOR of the tapped
+/// bits feeds bit 0) for register widths 3..=16. Tap positions are 1-based
+/// bit indices as conventionally tabulated.
+const LFSR_TAPS: [(u8, &[u8]); 14] = [
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 11, 10, 4]),
+    (13, &[13, 12, 11, 8]),
+    (14, &[14, 13, 12, 2]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+];
+
+/// Classic comparator SNG driven by a maximal-length LFSR.
+///
+/// At cycle `t` the stream bit is `1` iff the LFSR state is **less than**
+/// the numerator. A `B`-bit maximal LFSR visits every value in
+/// `[1, 2^B - 1]` exactly once per period, so over `2^B` cycles the stream
+/// carries `numerator` ones up to a ±1 bias from the missing zero state —
+/// this small bias and the pseudo-random correlation between two LFSR
+/// streams are exactly the error sources the paper's LUT approach avoids.
+#[derive(Debug, Clone, Copy)]
+pub struct LfsrSng {
+    /// Initial LFSR state (seed); must be non-zero.
+    pub seed: u32,
+}
+
+impl Default for LfsrSng {
+    fn default() -> Self {
+        Self { seed: 1 }
+    }
+}
+
+impl LfsrSng {
+    /// Creates an LFSR SNG with the given non-zero seed.
+    ///
+    /// # Panics
+    /// Panics if `seed == 0` (the all-zero state is absorbing).
+    pub fn new(seed: u32) -> Self {
+        assert!(seed != 0, "LFSR seed must be non-zero");
+        Self { seed }
+    }
+
+    fn taps(width: u8) -> &'static [u8] {
+        LFSR_TAPS
+            .iter()
+            .find(|(w, _)| *w == width)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("no LFSR taps tabulated for width {width}"))
+    }
+
+    /// Advances a Fibonacci LFSR of `width` bits by one step.
+    #[inline]
+    fn step(state: u32, width: u8, taps: &[u8]) -> u32 {
+        let fb = taps
+            .iter()
+            .fold(0u32, |acc, &tap| acc ^ (state >> (tap - 1)) & 1);
+        ((state << 1) | fb) & ((1u32 << width) - 1)
+    }
+
+    /// Full LFSR state sequence of length `2^width` starting from the seed
+    /// (the maximal period is `2^width - 1`; the final element repeats the
+    /// first so that stream lengths of `2^B` are covered).
+    pub fn sequence(&self, width: u8) -> Vec<u32> {
+        let taps = Self::taps(width);
+        let mask = (1u32 << width) - 1;
+        let mut state = self.seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        let len = 1usize << width;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(state);
+            state = Self::step(state, width, taps);
+        }
+        out
+    }
+}
+
+impl StochasticNumberGenerator for LfsrSng {
+    fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
+        let l = precision.stream_len();
+        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        let seq = self.sequence(precision.bits());
+        PackedBitstream::from_bits(seq.iter().map(|&s| s < numerator))
+    }
+
+    fn name(&self) -> &'static str {
+        "lfsr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_is_permutation() {
+        for b in [3u8, 4, 8] {
+            let n = 1u32 << b;
+            let mut seen = vec![false; n as usize];
+            for x in 0..n {
+                let r = bit_reverse(x, b);
+                assert!(r < n);
+                assert!(!seen[r as usize], "collision at {x}");
+                seen[r as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn lds_exact_encoding() {
+        let p = Precision::B8;
+        for n in [0u32, 1, 7, 128, 255, 256] {
+            let s = LdsSng.generate(n, p);
+            assert_eq!(s.count_ones() as u32, n, "n={n}");
+            assert_eq!(s.len(), 256);
+        }
+    }
+
+    #[test]
+    fn thermometer_prefix_property() {
+        let p = Precision::B4;
+        let s = ThermometerSng.generate(5, p);
+        for t in 0..16 {
+            assert_eq!(s.get(t), t < 5);
+        }
+    }
+
+    #[test]
+    fn lfsr_is_maximal_period() {
+        for width in 3u8..=12 {
+            let seq = LfsrSng::default().sequence(width);
+            let period = 1usize << width;
+            // All 2^width - 1 non-zero states must appear in one period.
+            let mut seen = vec![false; period];
+            for &s in &seq[..period - 1] {
+                assert!(s != 0, "LFSR reached zero state at width {width}");
+                assert!(!seen[s as usize], "LFSR repeated state early at width {width}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr_encoding_error_is_at_most_one() {
+        let p = Precision::B8;
+        for n in 0..=256u32 {
+            let s = LfsrSng::default().generate(n, p);
+            let err = (s.count_ones() as i64 - n as i64).abs();
+            assert!(err <= 1, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn lfsr_zero_seed_rejected() {
+        let _ = LfsrSng::new(0);
+    }
+
+    #[test]
+    fn generators_report_names() {
+        assert_eq!(LdsSng.name(), "lds");
+        assert_eq!(ThermometerSng.name(), "thermometer");
+        assert_eq!(LfsrSng::default().name(), "lfsr");
+    }
+}

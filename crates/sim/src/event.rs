@@ -1,0 +1,207 @@
+//! Deterministic discrete-event queue.
+//!
+//! The heart of a transaction-level, event-driven simulator (the paper's
+//! Section VI-B evaluation vehicle): events carry an arbitrary payload and
+//! fire in `(time, insertion order)` order, so simulations are exactly
+//! reproducible regardless of payload content.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An event queue with a simulation clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the firing time of the last popped
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Schedules `payload` at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — causality violations are
+    /// bugs in the caller's model, not recoverable conditions.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {} < {}",
+            at,
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.payload))
+    }
+
+    /// Runs the queue to exhaustion, handing each event to `handler`
+    /// together with a mutable reference to the queue for scheduling
+    /// follow-ups. Returns the final simulation time.
+    pub fn run(mut self, mut handler: impl FnMut(&mut Self, SimTime, E)) -> SimTime {
+        while let Some(s) = self.heap.pop() {
+            self.now = s.at;
+            self.processed += 1;
+            handler(&mut self, s.at, s.payload);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(30), "c");
+        q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_ps(30));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_ps(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_ps(10), 1);
+        q.pop();
+        q.schedule_in(SimTime::from_ps(5), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(15));
+    }
+
+    #[test]
+    fn run_allows_cascading_events() {
+        // Each event spawns a follow-up until a counter empties — the
+        // canonical self-scheduling component pattern.
+        let q = {
+            let mut q = EventQueue::new();
+            q.schedule_at(SimTime::from_ps(1), 5u32);
+            q
+        };
+        let mut fired = Vec::new();
+        let end = q.run(|q, t, remaining| {
+            fired.push((t.as_ps(), remaining));
+            if remaining > 0 {
+                q.schedule_in(SimTime::from_ps(2), remaining - 1);
+            }
+        });
+        assert_eq!(fired.len(), 6);
+        assert_eq!(end, SimTime::from_ps(11));
+        assert_eq!(fired.last(), Some(&(11, 0)));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_ps(5), ());
+    }
+}

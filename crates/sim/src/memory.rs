@@ -1,0 +1,119 @@
+//! Memory hierarchy models: global memory, eDRAM scratchpads and output
+//! buffers, parameterized Table IV-style (latency + access energy +
+//! bandwidth).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth/latency memory model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Fixed access latency.
+    pub access_latency: SimTime,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Energy per byte transferred, joules.
+    pub energy_per_byte_j: f64,
+}
+
+impl MemoryModel {
+    /// Creates a memory model.
+    ///
+    /// # Panics
+    /// Panics on non-positive bandwidth.
+    pub fn new(access_latency: SimTime, bandwidth_bps: f64, energy_per_byte_j: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        Self {
+            access_latency,
+            bandwidth_bps,
+            energy_per_byte_j,
+        }
+    }
+
+    /// Latency to move `bytes` in one burst.
+    pub fn transfer_latency(&self, bytes: usize) -> SimTime {
+        self.access_latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Energy to move `bytes`, joules.
+    pub fn transfer_energy_j(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.energy_per_byte_j
+    }
+
+    /// Effective bandwidth achieved by `bytes`-sized bursts (amortizing
+    /// the fixed latency), bytes/second.
+    pub fn effective_bandwidth(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.transfer_latency(bytes).as_secs_f64()
+    }
+}
+
+/// A double-buffered staging buffer: while one half drains into the
+/// compute units, the other fills from memory — the standard latency
+/// hiding idiom the weight-stationary dataflow relies on.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleBuffer {
+    /// Capacity of each half, bytes.
+    pub half_capacity_bytes: usize,
+}
+
+impl DoubleBuffer {
+    /// Effective stall per phase when refilling one half takes
+    /// `fill` while compute takes `drain`: zero if the fill hides behind
+    /// compute, otherwise the exposed difference.
+    pub fn stall(&self, fill: SimTime, drain: SimTime) -> SimTime {
+        fill.saturating_sub(drain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edram() -> MemoryModel {
+        // Table IV eDRAM: 1.56 ns access; assume 64 GB/s, 1 pJ/B.
+        MemoryModel::new(SimTime::from_ps(1_560), 64e9, 1e-12)
+    }
+
+    #[test]
+    fn latency_has_fixed_and_bandwidth_parts() {
+        let m = edram();
+        let lat64 = m.transfer_latency(64);
+        // 1.56 ns + 64/64e9 s = 1.56 + 1.0 ns.
+        assert_eq!(lat64, SimTime::from_ps(2_560));
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        let m = edram();
+        assert!((m.transfer_energy_j(1000) - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_peak() {
+        let m = edram();
+        let small = m.effective_bandwidth(64);
+        let large = m.effective_bandwidth(1 << 20);
+        assert!(small < large);
+        assert!(large < 64e9);
+        assert!(large > 0.9 * 64e9);
+    }
+
+    #[test]
+    fn double_buffer_hides_fast_fills() {
+        let db = DoubleBuffer { half_capacity_bytes: 4096 };
+        assert_eq!(
+            db.stall(SimTime::from_ns(5), SimTime::from_ns(10)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            db.stall(SimTime::from_ns(15), SimTime::from_ns(10)),
+            SimTime::from_ns(5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = MemoryModel::new(SimTime::ZERO, 0.0, 0.0);
+    }
+}

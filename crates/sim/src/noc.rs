@@ -1,0 +1,168 @@
+//! Mesh network-on-chip model.
+//!
+//! The SCONNA system (Fig. 8) connects tiles through a mesh of routers.
+//! The model is transaction-level: a transfer's latency is
+//! `hops × router_delay + serialization`, with XY dimension-ordered
+//! routing giving the hop count, and energy is charged per router
+//! traversal.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Coordinates of a tile in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileCoord {
+    /// Column (x).
+    pub x: usize,
+    /// Row (y).
+    pub y: usize,
+}
+
+/// A rectangular mesh NoC.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeshNoc {
+    /// Mesh width in tiles.
+    pub cols: usize,
+    /// Mesh height in tiles.
+    pub rows: usize,
+    /// Per-router traversal latency (Table IV: 2 cycles).
+    pub router_latency: SimTime,
+    /// Link bandwidth, bytes per second.
+    pub link_bandwidth_bps: f64,
+}
+
+impl MeshNoc {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    /// Panics on a degenerate mesh or non-positive bandwidth.
+    pub fn new(cols: usize, rows: usize, router_latency: SimTime, link_bandwidth_bps: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh must be at least 1x1");
+        assert!(link_bandwidth_bps > 0.0, "bandwidth must be positive");
+        Self {
+            cols,
+            rows,
+            router_latency,
+            link_bandwidth_bps,
+        }
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Tile coordinate of a linear tile index (row-major).
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn coord(&self, index: usize) -> TileCoord {
+        assert!(index < self.tiles(), "tile {index} out of {}", self.tiles());
+        TileCoord {
+            x: index % self.cols,
+            y: index / self.cols,
+        }
+    }
+
+    /// XY-routing hop count between two tiles (router traversals,
+    /// including the destination router; 1 for a self-transfer).
+    pub fn hops(&self, from: TileCoord, to: TileCoord) -> usize {
+        from.x.abs_diff(to.x) + from.y.abs_diff(to.y) + 1
+    }
+
+    /// Latency of transferring `bytes` from one tile to another.
+    pub fn transfer_latency(&self, from: TileCoord, to: TileCoord, bytes: usize) -> SimTime {
+        let hops = self.hops(from, to) as u64;
+        let routing = SimTime::from_ps(self.router_latency.as_ps() * hops);
+        let serialization = SimTime::from_secs_f64(bytes as f64 / self.link_bandwidth_bps);
+        routing + serialization
+    }
+
+    /// Router traversals for energy accounting of a transfer.
+    pub fn transfer_router_ops(&self, from: TileCoord, to: TileCoord) -> u64 {
+        self.hops(from, to) as u64
+    }
+
+    /// Worst-case (corner-to-corner) transfer latency for `bytes`.
+    pub fn worst_case_latency(&self, bytes: usize) -> SimTime {
+        self.transfer_latency(
+            TileCoord { x: 0, y: 0 },
+            TileCoord {
+                x: self.cols - 1,
+                y: self.rows - 1,
+            },
+            bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshNoc {
+        // 4x4 mesh, 2-cycle routers at 1 GHz = 2 ns, 32 GB/s links.
+        MeshNoc::new(4, 4, SimTime::from_ns(2), 32e9)
+    }
+
+    #[test]
+    fn coord_mapping_row_major() {
+        let m = mesh();
+        assert_eq!(m.coord(0), TileCoord { x: 0, y: 0 });
+        assert_eq!(m.coord(5), TileCoord { x: 1, y: 1 });
+        assert_eq!(m.coord(15), TileCoord { x: 3, y: 3 });
+        assert_eq!(m.tiles(), 16);
+    }
+
+    #[test]
+    fn hops_manhattan_plus_one() {
+        let m = mesh();
+        let a = TileCoord { x: 0, y: 0 };
+        let b = TileCoord { x: 3, y: 2 };
+        assert_eq!(m.hops(a, b), 6);
+        assert_eq!(m.hops(a, a), 1);
+        // Symmetric.
+        assert_eq!(m.hops(a, b), m.hops(b, a));
+    }
+
+    #[test]
+    fn transfer_latency_components() {
+        let m = mesh();
+        let a = m.coord(0);
+        let b = m.coord(3); // 3 hops east + 1 = 4 routers
+        let lat = m.transfer_latency(a, b, 64);
+        // 4 × 2 ns + 64 B / 32 GB/s (= 2 ns) = 10 ns.
+        assert_eq!(lat, SimTime::from_ns(10));
+        assert_eq!(m.transfer_router_ops(a, b), 4);
+    }
+
+    #[test]
+    fn larger_payload_takes_longer() {
+        let m = mesh();
+        let a = m.coord(0);
+        let b = m.coord(15);
+        assert!(m.transfer_latency(a, b, 1024) > m.transfer_latency(a, b, 64));
+    }
+
+    #[test]
+    fn worst_case_is_corner_to_corner() {
+        let m = mesh();
+        let wc = m.worst_case_latency(64);
+        for i in 0..m.tiles() {
+            let lat = m.transfer_latency(m.coord(0), m.coord(i), 64);
+            assert!(lat <= wc, "tile {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn coord_out_of_range_panics() {
+        let _ = mesh().coord(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1x1")]
+    fn degenerate_mesh_panics() {
+        let _ = MeshNoc::new(0, 4, SimTime::from_ns(1), 1e9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fork-join data parallelism for parameter sweeps.
+//!
+//! The benchmark harness sweeps accelerator configurations and Monte-Carlo
+//! seeds; each sweep point is independent, so the classic data-parallel
+//! map applies. `rayon` is not in the sanctioned offline dependency set,
+//! so this is the same fork-join idiom built from `std::thread::scope`
+//! plus a `crossbeam` work queue: order-preserving, panic-propagating,
+//! work-stealing-by-index.
+
+use crossbeam::queue::SegQueue;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Number of worker threads to use (logical CPUs, at least 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `workers` threads, preserving
+/// input order in the output.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers).
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Index queue: workers steal the next unprocessed index.
+    let queue = SegQueue::new();
+    for i in 0..n {
+        queue.push(i);
+    }
+    // Items move into slots the workers take from; results come back by
+    // index.
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| {
+                while let Some(i) = queue.pop() {
+                    let item = items[i]
+                        .lock()
+                        .expect("item lock")
+                        .take()
+                        .expect("item taken twice");
+                    let r = f(item);
+                    *results[i].lock().expect("result lock") = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("worker completed"))
+        .collect()
+}
+
+/// [`parallel_map_with`] on the default worker count.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(items, default_workers(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_with((0..1000).collect::<Vec<_>>(), 8, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let out = parallel_map_with(vec![3, 1, 4, 1, 5], 1, |i| i + 1);
+        assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn moves_non_clone_values() {
+        // T need not be Clone or Sync — only Send.
+        let items: Vec<Box<i32>> = (0..10).map(Box::new).collect();
+        let out = parallel_map(items, |b| *b * 10);
+        assert_eq!(out[9], 90);
+    }
+
+    #[test]
+    fn workers_exceeding_items_is_fine() {
+        let out = parallel_map_with(vec![1, 2], 64, |i| i);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Run statistics: counters and utilization tracking for simulation
+//! reports.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Named monotonic counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.values.entry(name.to_string()).or_default() += n;
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// Busy-time tracker for one resource: accumulates busy intervals and
+/// reports utilization against a makespan.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Utilization {
+    busy: SimTime,
+}
+
+impl Utilization {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval.
+    pub fn add_busy(&mut self, duration: SimTime) {
+        self.busy += duration;
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Utilization in `[0, 1]` against a makespan (capped at 1 for
+    /// pipelined resources that overlap work).
+    ///
+    /// # Panics
+    /// Panics if the makespan is zero.
+    pub fn ratio(&self, makespan: SimTime) -> f64 {
+        assert!(makespan > SimTime::ZERO, "makespan must be positive");
+        (self.busy.as_secs_f64() / makespan.as_secs_f64()).min(1.0)
+    }
+}
+
+/// Geometric mean of a slice of positive values — the aggregation the
+/// paper uses across CNNs ("on gmean across the CNNs").
+///
+/// # Panics
+/// Panics if the slice is empty or contains a non-positive value.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.bump("vdp_ops");
+        c.add("vdp_ops", 9);
+        c.add("psum", 4);
+        assert_eq!(c.get("vdp_ops"), 10);
+        assert_eq!(c.get("psum"), 4);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn counters_iterate_sorted() {
+        let mut c = Counters::new();
+        c.add("zeta", 1);
+        c.add("alpha", 1);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let mut u = Utilization::new();
+        u.add_busy(SimTime::from_ns(30));
+        u.add_busy(SimTime::from_ns(20));
+        assert!((u.ratio(SimTime::from_ns(100)) - 0.5).abs() < 1e-12);
+        // Overlapping (pipelined) busy time caps at 1.
+        u.add_busy(SimTime::from_ns(100));
+        assert_eq!(u.ratio(SimTime::from_ns(100)), 1.0);
+    }
+
+    #[test]
+    fn gmean_matches_hand_calc() {
+        assert!((gmean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulated time.
+//!
+//! All latencies in the accelerator models are derived from physical
+//! quantities (bit periods, Table IV peripheral latencies, NoC cycles), so
+//! time is carried as integer **picoseconds** — fine enough to represent a
+//! 33.3 ps optical bit slot exactly enough, coarse enough that a u64 spans
+//! half a year of simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Constructs from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Constructs from a (non-negative, finite) floating-point count of
+    /// seconds, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative, NaN or too large for the range.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        let ps = s * 1e12;
+        assert!(ps <= u64::MAX as f64, "duration {s} s overflows SimTime");
+        SimTime(ps.round() as u64)
+    }
+
+    /// Picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as f64 (for rate computations such as FPS).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Element-wise maximum.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3} s", ps as f64 / 1e12)
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3} ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3} µs", ps as f64 / 1e6)
+        } else if ps >= 1_000 {
+            write!(f, "{:.3} ns", ps as f64 / 1e3)
+        } else {
+            write!(f, "{ps} ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ns(3).as_ps(), 3_000);
+        assert_eq!(SimTime::from_secs_f64(1e-9).as_ps(), 1_000);
+        assert!((SimTime::from_ps(2_500).as_secs_f64() - 2.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ps(100);
+        let b = SimTime::from_ps(40);
+        assert_eq!((a + b).as_ps(), 140);
+        assert_eq!((a - b).as_ps(), 60);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ps(), 140);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_ps(500).to_string(), "500 ps");
+        assert_eq!(SimTime::from_ps(8_533).to_string(), "8.533 ns");
+        assert_eq!(SimTime::from_ns(1_500_000).to_string(), "1.500 ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ps(1) - SimTime::from_ps(2);
+    }
+}

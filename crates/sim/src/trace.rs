@@ -1,0 +1,179 @@
+//! Event tracing: a lightweight recorder for debugging and analyzing
+//! simulations — what fired, when, and how densely.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Event label (component / transaction name).
+    pub label: String,
+}
+
+/// A bounded-capacity trace recorder. When full it drops the *newest*
+/// entries (keeping the head of the run, which is usually where bugs
+/// live) and counts what it dropped.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if the capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, label: &str) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(TraceEntry {
+                at,
+                label: label.to_string(),
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded entries, in record order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries dropped after the capacity filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries whose label matches a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&str) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| pred(&e.label))
+    }
+
+    /// Count of entries per distinct label, sorted by label.
+    pub fn histogram(&self) -> Vec<(String, usize)> {
+        let mut map = std::collections::BTreeMap::<&str, usize>::new();
+        for e in &self.entries {
+            *map.entry(&e.label).or_default() += 1;
+        }
+        map.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// Inter-arrival statistics `(min, mean, max)` over consecutive
+    /// recorded entries; `None` with fewer than two entries.
+    pub fn inter_arrival(&self) -> Option<(SimTime, SimTime, SimTime)> {
+        if self.entries.len() < 2 {
+            return None;
+        }
+        let mut min = SimTime(u64::MAX);
+        let mut max = SimTime::ZERO;
+        let mut total = 0u64;
+        for pair in self.entries.windows(2) {
+            let gap = pair[1].at.saturating_sub(pair[0].at);
+            min = if gap < min { gap } else { min };
+            max = max.max(gap);
+            total += gap.as_ps();
+        }
+        let mean = SimTime::from_ps(total / (self.entries.len() as u64 - 1));
+        Some((min, mean, max))
+    }
+
+    /// Renders a compact textual timeline (one line per entry).
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{:>14}  {}\n", e.at.to_string(), e.label));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} entries dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut t = TraceRecorder::new(3);
+        for k in 0..5 {
+            t.record(SimTime::from_ps(k * 10), &format!("e{k}"));
+        }
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.entries()[2].label, "e2");
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let mut t = TraceRecorder::new(16);
+        for k in 0..6 {
+            t.record(SimTime::from_ps(k), if k % 2 == 0 { "vdp" } else { "psum" });
+        }
+        assert_eq!(
+            t.histogram(),
+            vec![("psum".to_string(), 3), ("vdp".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn inter_arrival_statistics() {
+        let mut t = TraceRecorder::new(16);
+        for at in [0u64, 10, 30, 60] {
+            t.record(SimTime::from_ps(at), "x");
+        }
+        let (min, mean, max) = t.inter_arrival().unwrap();
+        assert_eq!(min, SimTime::from_ps(10));
+        assert_eq!(mean, SimTime::from_ps(20));
+        assert_eq!(max, SimTime::from_ps(30));
+        assert!(TraceRecorder::new(4).inter_arrival().is_none());
+    }
+
+    #[test]
+    fn traces_an_event_queue_run() {
+        let mut trace = TraceRecorder::new(64);
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(5), "layer0");
+        q.schedule_at(SimTime::from_ps(9), "layer1");
+        let end = q.run(|_, t, label| trace.record(t, label));
+        assert_eq!(end, SimTime::from_ps(9));
+        assert_eq!(trace.entries().len(), 2);
+        assert!(trace.format().contains("layer1"));
+    }
+
+    #[test]
+    fn filter_selects_by_label() {
+        let mut t = TraceRecorder::new(8);
+        t.record(SimTime::ZERO, "vdp:0");
+        t.record(SimTime::from_ps(1), "psum:0");
+        t.record(SimTime::from_ps(2), "vdp:1");
+        let vdps: Vec<&TraceEntry> = t.filter(|l| l.starts_with("vdp")).collect();
+        assert_eq!(vdps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRecorder::new(0);
+    }
+}

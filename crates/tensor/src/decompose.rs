@@ -1,0 +1,234 @@
+//! Explicit DIV/DKV decomposition — Section II-B of the paper.
+//!
+//! A convolution's input vector `I` and kernel vector `F` (each
+//! `S = K·K·D` points) are split into `C = ceil(S/N)` **decomposed input
+//! vectors** (DIVs) and **decomposed kernel vectors** (DKVs) of `N`
+//! points each (zero-padded at the tail), one pair per VDPE pass. The
+//! quantized conv layer does this implicitly inside its loop; this
+//! module materializes the decomposition — what the accelerator's
+//! preprocessing-and-mapping unit (Fig. 8) ships to the VDPCs — and the
+//! tests prove the explicit path computes the identical convolution.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One decomposed vector (a DIV or a DKV): `N` points, tail zero-padded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposed<T> {
+    /// Chunk index within the original vector.
+    pub chunk: usize,
+    /// The `N` points (tail chunks padded with zeros).
+    pub points: Vec<T>,
+    /// How many of the points are live (non-padding).
+    pub live: usize,
+}
+
+/// Splits a flat vector into `ceil(len/n)` chunks of exactly `n` points,
+/// zero-padding the final chunk.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn decompose<T: Copy + Default>(vector: &[T], n: usize) -> Vec<Decomposed<T>> {
+    assert!(n > 0, "VDPE size must be positive");
+    if vector.is_empty() {
+        return Vec::new();
+    }
+    vector
+        .chunks(n)
+        .enumerate()
+        .map(|(chunk, slice)| {
+            let mut points = vec![T::default(); n];
+            points[..slice.len()].copy_from_slice(slice);
+            Decomposed {
+                chunk,
+                points,
+                live: slice.len(),
+            }
+        })
+        .collect()
+}
+
+/// Gathers the flattened `(c, y, x)`-ordered input vector (the `I` of
+/// Eq. 1) for output position `(oy, ox)` of a convolution.
+///
+/// # Panics
+/// Panics if the kernel does not fit the padded input.
+pub fn gather_input_vector(
+    input: &Tensor<u32>,
+    oy: usize,
+    ox: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Vec<u32> {
+    let [d, h, w] = *input.dims() else {
+        panic!("input must be rank 3, got {:?}", input.dims());
+    };
+    assert!(
+        h + 2 * padding >= kernel && w + 2 * padding >= kernel,
+        "kernel {kernel} does not fit {h}x{w} with padding {padding}"
+    );
+    let mut out = Vec::with_capacity(d * kernel * kernel);
+    for c in 0..d {
+        for ky in 0..kernel {
+            let iy = oy * stride + ky;
+            for kx in 0..kernel {
+                let ix = ox * stride + kx;
+                let v = iy
+                    .checked_sub(padding)
+                    .zip(ix.checked_sub(padding))
+                    .filter(|&(y, x)| y < h && x < w)
+                    .map(|(y, x)| input.at3(c, y, x))
+                    .unwrap_or(0);
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Flattens kernel `k` of a `[L, D, K, K]` weight tensor into its kernel
+/// vector (the `F` of Eq. 1), in the same `(c, y, x)` order as
+/// [`gather_input_vector`].
+///
+/// # Panics
+/// Panics if `k` is out of range.
+pub fn kernel_vector(weights: &Tensor<i32>, k: usize) -> Vec<i32> {
+    let [l, d, kh, kw] = *weights.dims() else {
+        panic!("weights must be rank 4, got {:?}", weights.dims());
+    };
+    assert!(k < l, "kernel {k} out of {l}");
+    let len = d * kh * kw;
+    weights.as_slice()[k * len..(k + 1) * len].to_vec()
+}
+
+/// Computes one convolution output via the explicit DIV/DKV path: gather
+/// → decompose both vectors → one engine pass per chunk pair → sum.
+pub fn conv_output_via_decomposition(
+    input: &Tensor<u32>,
+    weights: &Tensor<i32>,
+    k: usize,
+    oy: usize,
+    ox: usize,
+    stride: usize,
+    padding: usize,
+    vdpe_size: usize,
+    engine: &dyn crate::engine::VdpEngine,
+) -> f64 {
+    let kernel = weights.dims()[2];
+    let iv = gather_input_vector(input, oy, ox, kernel, stride, padding);
+    let kv = kernel_vector(weights, k);
+    assert_eq!(iv.len(), kv.len(), "vector length mismatch");
+    let divs = decompose(&iv, vdpe_size);
+    let dkvs = decompose(&kv, vdpe_size);
+    divs.iter()
+        .zip(&dkvs)
+        .map(|(div, dkv)| engine.vdp(&div.points, &dkv.points))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::layers::QConv2d;
+    use crate::quant::{ActivationQuant, Requant, WeightQuant};
+    use crate::VdpEngine;
+
+    #[test]
+    fn decompose_pads_tail_chunk() {
+        // The paper's example: S = 4608 on N = 176 -> 27 chunks, last
+        // chunk has 4608 - 26*176 = 32 live points.
+        let v: Vec<u32> = (0..4608).collect();
+        let chunks = decompose(&v, 176);
+        assert_eq!(chunks.len(), 27);
+        assert!(chunks[..26].iter().all(|c| c.live == 176));
+        let tail = &chunks[26];
+        assert_eq!(tail.live, 32);
+        assert_eq!(tail.points.len(), 176);
+        assert!(tail.points[32..].iter().all(|&p| p == 0));
+        assert_eq!(tail.points[0], 26 * 176);
+    }
+
+    #[test]
+    fn decompose_preserves_every_point() {
+        let v: Vec<i32> = (0..1000).map(|k| k * 3 - 500).collect();
+        let chunks = decompose(&v, 176);
+        let rebuilt: Vec<i32> = chunks
+            .iter()
+            .flat_map(|c| c.points[..c.live].iter().copied())
+            .collect();
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn empty_vector_decomposes_to_nothing() {
+        assert!(decompose::<u32>(&[], 176).is_empty());
+    }
+
+    #[test]
+    fn decomposed_vdp_equals_whole_vdp() {
+        // Zero padding contributes nothing, so chunked dot products sum
+        // to the whole-vector dot product.
+        let iv: Vec<u32> = (0..400).map(|k| (k * 7) % 256).collect();
+        let kv: Vec<i32> = (0..400).map(|k| (k as i32 * 11) % 255 - 127).collect();
+        let whole = ExactEngine.vdp(&iv, &kv);
+        let chunked: f64 = decompose(&iv, 176)
+            .iter()
+            .zip(&decompose(&kv, 176))
+            .map(|(a, b)| ExactEngine.vdp(&a.points, &b.points))
+            .sum();
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn explicit_decomposition_path_matches_qconv() {
+        // The materialized DIV/DKV path must produce the exact same
+        // accumulator as the quantized conv layer's internal loop.
+        let conv = QConv2d {
+            name: "probe".into(),
+            weights: Tensor::from_fn(&[4, 3, 3, 3], |i| (i as i32 * 13) % 255 - 127),
+            bias: vec![0.0; 4],
+            stride: 2,
+            padding: 1,
+            groups: 1,
+            requant: Requant::new(
+                ActivationQuant { scale: 1.0, bits: 8 },
+                WeightQuant { scale: 1.0, bits: 8 },
+                ActivationQuant { scale: 1e6, bits: 8 }, // wide scale: no clipping
+            ),
+        };
+        let input = Tensor::from_fn(&[3, 8, 8], |i| (i as u32 * 5) % 256);
+        let out = conv.forward(&input, &ExactEngine);
+        let (h_out, w_out) = conv.output_hw(8, 8);
+        for k in 0..4 {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let acc = conv_output_via_decomposition(
+                        &input, &conv.weights, k, oy, ox, 2, 1, 16, &ExactEngine,
+                    );
+                    let expected = conv.requant.apply(acc);
+                    assert_eq!(out.at3(k, oy, ox), expected, "k={k} oy={oy} ox={ox}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_respects_padding_and_stride() {
+        let input = Tensor::from_fn(&[1, 3, 3], |i| i as u32 + 1);
+        // 3x3 kernel at (0,0) with padding 1: corners are zero-padded.
+        let v = gather_input_vector(&input, 0, 0, 3, 1, 1);
+        assert_eq!(v, vec![0, 0, 0, 0, 1, 2, 0, 4, 5]);
+        // Stride 2 at (1,1) without padding on a 1x1 kernel region.
+        let v2 = gather_input_vector(&input, 1, 1, 1, 2, 0);
+        assert_eq!(v2, vec![9]);
+    }
+
+    #[test]
+    fn kernel_vector_matches_row_major_layout() {
+        let w = Tensor::from_fn(&[2, 2, 2, 2], |i| i as i32);
+        assert_eq!(kernel_vector(&w, 0), (0..8).collect::<Vec<i32>>());
+        assert_eq!(kernel_vector(&w, 1), (8..16).collect::<Vec<i32>>());
+    }
+}

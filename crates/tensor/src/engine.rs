@@ -1,0 +1,61 @@
+//! Pluggable vector-dot-product engines.
+//!
+//! Every quantized layer reduces to VDP operations between an unsigned
+//! input vector and a signed weight vector (Section II-B). The engine
+//! trait abstracts *how* that VDP is computed: exactly in binary integer
+//! arithmetic (the functional reference), or through the SCONNA stochastic
+//! pipeline with its rounding and ADC error (implemented in
+//! `sconna-accel`, which layers the photonics models on top).
+//!
+//! Engines return `f64` because hardware engines produce estimates; the
+//! exact engine's result is integral by construction.
+
+/// Computes vector dot products between quantized operand vectors.
+pub trait VdpEngine: Sync {
+    /// Estimates `Σ inputs[k] · weights[k]` in integer-product units.
+    ///
+    /// # Panics
+    /// Implementations panic if the slices differ in length.
+    fn vdp(&self, inputs: &[u32], weights: &[i32]) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bit-exact binary reference engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEngine;
+
+impl VdpEngine for ExactEngine {
+    fn vdp(&self, inputs: &[u32], weights: &[i32]) -> f64 {
+        assert_eq!(inputs.len(), weights.len(), "vector length mismatch");
+        inputs
+            .iter()
+            .zip(weights)
+            .map(|(&i, &w)| i as i64 * w as i64)
+            .sum::<i64>() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_engine_small_cases() {
+        let e = ExactEngine;
+        assert_eq!(e.vdp(&[], &[]), 0.0);
+        assert_eq!(e.vdp(&[1, 2, 3], &[4, -5, 6]), (4 - 10 + 18) as f64);
+        assert_eq!(e.vdp(&[255; 4], &[-127; 4]), -4.0 * 255.0 * 127.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn exact_engine_length_mismatch() {
+        let _ = ExactEngine.vdp(&[1], &[1, 2]);
+    }
+}

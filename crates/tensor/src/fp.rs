@@ -1,0 +1,345 @@
+#![allow(clippy::needless_range_loop)] // index loops span several parallel slices
+
+//! Floating-point reference operators: forward passes for quantization
+//! calibration / parity tests, and backward passes for training the small
+//! CNN. Stride-1 convolution only — the small CNN downsamples with
+//! pooling, and the big models run through the quantized path.
+
+use crate::tensor::Tensor;
+
+/// Stride-1 zero-padded convolution forward: input `[C, H, W]`, weights
+/// `[L, C, K, K]`, bias `[L]` → output `[L, H', W']`.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn conv_forward(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: &[f32],
+    pad: usize,
+) -> Tensor<f32> {
+    let [c_in, h, w] = *input.dims() else {
+        panic!("conv input must be rank 3, got {:?}", input.dims());
+    };
+    let [l, c_w, kh, kw] = *weights.dims() else {
+        panic!("conv weights must be rank 4, got {:?}", weights.dims());
+    };
+    assert_eq!(c_in, c_w, "channel mismatch");
+    assert_eq!(bias.len(), l, "bias length mismatch");
+    let h_out = h + 2 * pad - kh + 1;
+    let w_out = w + 2 * pad - kw + 1;
+    let mut out = Tensor::<f32>::zeros(&[l, h_out, w_out]);
+    for k in 0..l {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = bias[k];
+                for c in 0..c_in {
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if ix < pad || ix - pad >= w {
+                                continue;
+                            }
+                            acc += input.at3(c, iy - pad, ix - pad) * weights.at4(k, c, ky, kx);
+                        }
+                    }
+                }
+                out.set3(k, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Convolution backward: returns `(grad_input, grad_weights, grad_bias)`.
+pub fn conv_backward(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    grad_out: &Tensor<f32>,
+    pad: usize,
+) -> (Tensor<f32>, Tensor<f32>, Vec<f32>) {
+    let [c_in, h, w] = *input.dims() else { panic!("rank") };
+    let [l, _, kh, kw] = *weights.dims() else { panic!("rank") };
+    let [lo, h_out, w_out] = *grad_out.dims() else { panic!("rank") };
+    assert_eq!(l, lo, "kernel count mismatch");
+
+    let mut grad_in = Tensor::<f32>::zeros(&[c_in, h, w]);
+    let mut grad_w = Tensor::<f32>::zeros(weights.dims());
+    let mut grad_b = vec![0.0f32; l];
+
+    for k in 0..l {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let g = grad_out.at3(k, oy, ox);
+                if g == 0.0 {
+                    continue;
+                }
+                grad_b[k] += g;
+                for c in 0..c_in {
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        if iy < pad || iy - pad >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if ix < pad || ix - pad >= w {
+                                continue;
+                            }
+                            let (y, x) = (iy - pad, ix - pad);
+                            let gw = grad_w.at4(k, c, ky, kx) + g * input.at3(c, y, x);
+                            grad_w.set4(k, c, ky, kx, gw);
+                            let gi = grad_in.at3(c, y, x) + g * weights.at4(k, c, ky, kx);
+                            grad_in.set3(c, y, x, gi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (grad_in, grad_w, grad_b)
+}
+
+/// ReLU forward.
+pub fn relu_forward(x: &Tensor<f32>) -> Tensor<f32> {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: gates the gradient by the forward input's sign.
+pub fn relu_backward(x: &Tensor<f32>, grad_out: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(x.dims(), grad_out.dims(), "shape mismatch");
+    Tensor::from_fn(x.dims(), |i| {
+        if x.as_slice()[i] > 0.0 {
+            grad_out.as_slice()[i]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 2×2 stride-2 max-pool forward; also returns the argmax flat indices
+/// for the backward pass.
+pub fn maxpool2_forward(x: &Tensor<f32>) -> (Tensor<f32>, Vec<usize>) {
+    let [c, h, w] = *x.dims() else { panic!("rank") };
+    assert!(h % 2 == 0 && w % 2 == 0, "maxpool2 needs even spatial dims");
+    let (h2, w2) = (h / 2, w / 2);
+    let mut out = Tensor::<f32>::zeros(&[c, h2, w2]);
+    let mut arg = vec![0usize; c * h2 * w2];
+    for ci in 0..c {
+        for oy in 0..h2 {
+            for ox in 0..w2 {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let (y, x_) = (oy * 2 + dy, ox * 2 + dx);
+                        let v = x.at3(ci, y, x_);
+                        if v > best {
+                            best = v;
+                            best_idx = (ci * h + y) * w + x_;
+                        }
+                    }
+                }
+                out.set3(ci, oy, ox, best);
+                arg[(ci * h2 + oy) * w2 + ox] = best_idx;
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// 2×2 max-pool backward: routes gradients to the argmax positions.
+pub fn maxpool2_backward(
+    input_dims: &[usize],
+    argmax: &[usize],
+    grad_out: &Tensor<f32>,
+) -> Tensor<f32> {
+    let mut grad_in = Tensor::<f32>::zeros(input_dims);
+    for (i, &src) in argmax.iter().enumerate() {
+        grad_in.as_mut_slice()[src] += grad_out.as_slice()[i];
+    }
+    grad_in
+}
+
+/// Fully-connected forward: `y = W x + b` with `W: [out, in]`.
+pub fn fc_forward(x: &[f32], weights: &Tensor<f32>, bias: &[f32]) -> Vec<f32> {
+    let [out_f, in_f] = *weights.dims() else { panic!("rank") };
+    assert_eq!(x.len(), in_f, "fc input length mismatch");
+    assert_eq!(bias.len(), out_f, "fc bias length mismatch");
+    (0..out_f)
+        .map(|o| {
+            let row = &weights.as_slice()[o * in_f..(o + 1) * in_f];
+            row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + bias[o]
+        })
+        .collect()
+}
+
+/// Fully-connected backward: returns `(grad_x, grad_w, grad_b)`.
+pub fn fc_backward(
+    x: &[f32],
+    weights: &Tensor<f32>,
+    grad_out: &[f32],
+) -> (Vec<f32>, Tensor<f32>, Vec<f32>) {
+    let [out_f, in_f] = *weights.dims() else { panic!("rank") };
+    let mut grad_x = vec![0.0f32; in_f];
+    let mut grad_w = Tensor::<f32>::zeros(&[out_f, in_f]);
+    for o in 0..out_f {
+        let g = grad_out[o];
+        let row = &weights.as_slice()[o * in_f..(o + 1) * in_f];
+        let grow = &mut grad_w.as_mut_slice()[o * in_f..(o + 1) * in_f];
+        for i in 0..in_f {
+            grad_x[i] += g * row[i];
+            grow[i] = g * x[i];
+        }
+    }
+    (grad_x, grad_w, grad_out.to_vec())
+}
+
+/// Softmax + cross-entropy: returns `(loss, grad_logits)` for one sample.
+pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    assert!(label < logits.len(), "label out of range");
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -probs[label].max(1e-12).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(dims: &[usize], rng: &mut StdRng) -> Tensor<f32> {
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn conv_forward_identity() {
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]);
+        let out = conv_forward(&input, &w, &[1.0], 0);
+        assert_eq!(out.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        // Numerical vs analytic gradients on a tiny problem.
+        let mut rng = StdRng::seed_from_u64(42);
+        let input = rand_tensor(&[2, 4, 4], &mut rng);
+        let w = rand_tensor(&[3, 2, 3, 3], &mut rng);
+        let bias = vec![0.1, -0.2, 0.3];
+        let pad = 1;
+
+        // Loss = sum of outputs (grad_out = ones).
+        let out = conv_forward(&input, &w, &bias, pad);
+        let grad_out = Tensor::from_fn(out.dims(), |_| 1.0f32);
+        let (gi, gw, gb) = conv_backward(&input, &w, &grad_out, pad);
+
+        let eps = 1e-3f32;
+        let loss = |inp: &Tensor<f32>, wt: &Tensor<f32>, b: &[f32]| -> f32 {
+            conv_forward(inp, wt, b, pad).as_slice().iter().sum()
+        };
+        // Check a handful of weight coordinates.
+        for &idx in &[0usize, 7, 23, 53] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05, "w[{idx}]: num {num} ana {ana}");
+        }
+        // Check input coordinates.
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let num = (loss(&ip, &w, &bias) - loss(&im, &w, &bias)) / (2.0 * eps);
+            let ana = gi.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05, "x[{idx}]: num {num} ana {ana}");
+        }
+        // Bias gradient = number of output positions.
+        assert!((gb[0] - out.dims()[1] as f32 * out.dims()[2] as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_gates_gradient() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let g = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
+        let y = relu_forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(relu_backward(&x, &g).as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_roundtrip() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let (y, arg) = maxpool2_forward(&x);
+        assert_eq!(y.as_slice(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+        let g = maxpool2_backward(&[1, 2, 2], &arg, &Tensor::from_vec(&[1, 1, 1], vec![2.0]));
+        assert_eq!(g.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fc_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let w = rand_tensor(&[3, 6], &mut rng);
+        let b = vec![0.0f32; 3];
+        let grad_out = vec![1.0f32, -2.0, 0.5];
+        let (gx, gw, gb) = fc_backward(&x, &w, &grad_out);
+
+        let eps = 1e-3f32;
+        let loss = |x_: &[f32], w_: &Tensor<f32>| -> f32 {
+            fc_forward(x_, w_, &b)
+                .iter()
+                .zip(&grad_out)
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - gx[idx]).abs() < 0.02, "x[{idx}]");
+        }
+        for idx in 0..18 {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 0.02, "w[{idx}]");
+        }
+        assert_eq!(gb, grad_out);
+    }
+
+    #[test]
+    fn softmax_ce_properties() {
+        let (loss, grad) = softmax_cross_entropy(&[1.0, 2.0, 3.0], 2);
+        assert!(loss > 0.0);
+        // Gradient sums to zero and is negative only at the label.
+        let sum: f32 = grad.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(grad[2] < 0.0 && grad[0] > 0.0 && grad[1] > 0.0);
+        // Confident correct prediction → low loss.
+        let (low, _) = softmax_cross_entropy(&[0.0, 20.0], 1);
+        assert!(low < 1e-6);
+    }
+}

@@ -1,0 +1,502 @@
+//! Quantized CNN layers executing on a pluggable [`VdpEngine`].
+//!
+//! Every layer that multiplies — convolution (with groups/depthwise) and
+//! fully-connected — routes its inner products through the engine, so the
+//! same network definition runs bit-exactly (ExactEngine) or through the
+//! SCONNA stochastic pipeline (engine from `sconna-accel`). Pooling and
+//! ReLU act directly on activation codes (ReLU is folded into
+//! requantization's clamp at zero).
+
+use crate::engine::VdpEngine;
+use crate::quant::Requant;
+use crate::tensor::Tensor;
+
+/// Quantized 2-D convolution.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    /// Layer name for reports.
+    pub name: String,
+    /// Weights `[L, D/groups, K, K]` in signed integer codes.
+    pub weights: Tensor<i32>,
+    /// Per-kernel bias in integer accumulator units.
+    pub bias: Vec<f64>,
+    /// Spatial stride ψ.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+    /// Channel groups (`groups == in_channels` is depthwise).
+    pub groups: usize,
+    /// Accumulator→activation requantizer (ReLU folded in).
+    pub requant: Requant,
+}
+
+impl QConv2d {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let k = self.weights.dims()[2];
+        (
+            (h + 2 * self.padding - k) / self.stride + 1,
+            (w + 2 * self.padding - k) / self.stride + 1,
+        )
+    }
+
+    /// Flattened vector length `S = K·K·D/groups` of this layer's VDP
+    /// operations.
+    pub fn vector_len(&self) -> usize {
+        let d = self.weights.dims()[1];
+        let k = self.weights.dims()[2];
+        d * k * k
+    }
+
+    /// Runs the convolution on activation codes (ReLU folded into the
+    /// requantizer's clamp at zero).
+    ///
+    /// # Panics
+    /// Panics if the input channel count does not match the weights and
+    /// groups, or the kernel does not fit the padded input.
+    pub fn forward(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<u32> {
+        let mut out = Tensor::<u32>::zeros(&self.out_dims(input));
+        self.for_each_accumulator(input, engine, |k, oy, ox, acc, requant| {
+            out.set3(k, oy, ox, requant.apply(acc));
+        });
+        out
+    }
+
+    /// Runs the convolution but keeps **signed pre-activation codes**
+    /// (same scale as [`QConv2d::forward`], no ReLU clamp) — what a
+    /// residual branch produces before the skip addition.
+    pub fn forward_preactivation(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<i32> {
+        let mut out = Tensor::<i32>::zeros(&self.out_dims(input));
+        self.for_each_accumulator(input, engine, |k, oy, ox, acc, requant| {
+            out.set3(k, oy, ox, requant.apply_signed(acc));
+        });
+        out
+    }
+
+    fn out_dims(&self, input: &Tensor<u32>) -> [usize; 3] {
+        let [_, h, w] = *input.dims() else {
+            panic!("conv input must be rank 3, got {:?}", input.dims());
+        };
+        let (h_out, w_out) = self.output_hw(h, w);
+        [self.weights.dims()[0], h_out, w_out]
+    }
+
+    fn for_each_accumulator(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        mut emit: impl FnMut(usize, usize, usize, f64, &Requant),
+    ) {
+        let [l, d_g, kh, kw] = *self.weights.dims() else {
+            panic!("conv weights must be rank 4, got {:?}", self.weights.dims());
+        };
+        assert_eq!(kh, kw, "only square kernels are used by the evaluated CNNs");
+        let [d_in, h, w] = *input.dims() else {
+            panic!("conv input must be rank 3, got {:?}", input.dims());
+        };
+        assert_eq!(
+            d_in,
+            d_g * self.groups,
+            "{}: input channels {d_in} != {d_g} x {} groups",
+            self.name,
+            self.groups
+        );
+        assert_eq!(l % self.groups, 0, "{}: kernels not divisible by groups", self.name);
+        assert_eq!(self.bias.len(), l, "{}: bias length mismatch", self.name);
+        assert!(
+            h + 2 * self.padding >= kh && w + 2 * self.padding >= kw,
+            "{}: kernel {kh} does not fit input {h}x{w} with padding {}",
+            self.name,
+            self.padding
+        );
+
+        let (h_out, w_out) = self.output_hw(h, w);
+        let patch_len = self.vector_len();
+        let kernels_per_group = l / self.groups;
+        let mut patch: Vec<u32> = vec![0; patch_len];
+
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                for g in 0..self.groups {
+                    // Gather the (c, y, x)-ordered patch for this group —
+                    // the DIV of Section II-B.
+                    let mut idx = 0;
+                    for c in 0..d_g {
+                        let ic = g * d_g + c;
+                        for ky in 0..kh {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..kw {
+                                let ix = ox * self.stride + kx;
+                                patch[idx] = in_bounds(iy, ix, self.padding, h, w)
+                                    .map(|(y, x)| input.at3(ic, y, x))
+                                    .unwrap_or(0);
+                                idx += 1;
+                            }
+                        }
+                    }
+                    for kg in 0..kernels_per_group {
+                        let k = g * kernels_per_group + kg;
+                        let wrow = &self.weights.as_slice()[k * patch_len..(k + 1) * patch_len];
+                        let acc = engine.vdp(&patch, wrow) + self.bias[k];
+                        emit(k, oy, ox, acc, &self.requant);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Residual merge on codes: signed pre-activation branch + unsigned skip
+/// at the **same scale**, ReLU'd and saturated back into activation
+/// codes. (The standard int8 residual-add discipline: the branch's
+/// requantizer targets the skip's scale.)
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn residual_relu_add(branch: &Tensor<i32>, skip: &Tensor<u32>, qmax: u32) -> Tensor<u32> {
+    assert_eq!(branch.dims(), skip.dims(), "residual shape mismatch");
+    Tensor::from_fn(branch.dims(), |i| {
+        let v = branch.as_slice()[i] as i64 + skip.as_slice()[i] as i64;
+        v.clamp(0, qmax as i64) as u32
+    })
+}
+
+#[inline]
+fn in_bounds(iy: usize, ix: usize, pad: usize, h: usize, w: usize) -> Option<(usize, usize)> {
+    let y = iy.checked_sub(pad)?;
+    let x = ix.checked_sub(pad)?;
+    (y < h && x < w).then_some((y, x))
+}
+
+/// Max pooling on activation codes (quantization is monotone, so pooling
+/// codes equals pooling real values).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+}
+
+impl MaxPool2d {
+    /// Runs the pooling.
+    pub fn forward(&self, input: &Tensor<u32>) -> Tensor<u32> {
+        let [d, h, w] = *input.dims() else {
+            panic!("pool input must be rank 3, got {:?}", input.dims());
+        };
+        let h_out = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let w_out = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        let mut out = Tensor::<u32>::zeros(&[d, h_out, w_out]);
+        for c in 0..d {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut best = 0u32; // padding contributes code 0
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            if let Some((y, x)) = in_bounds(
+                                oy * self.stride + ky,
+                                ox * self.stride + kx,
+                                self.padding,
+                                h,
+                                w,
+                            ) {
+                                best = best.max(input.at3(c, y, x));
+                            }
+                        }
+                    }
+                    out.set3(c, oy, ox, best);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Global average pooling: collapses each channel to one code
+/// (round-to-nearest).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Runs the pooling, producing a rank-1 tensor of `D` codes.
+    pub fn forward(&self, input: &Tensor<u32>) -> Tensor<u32> {
+        let [d, h, w] = *input.dims() else {
+            panic!("pool input must be rank 3, got {:?}", input.dims());
+        };
+        let area = (h * w) as u64;
+        let mut out = Tensor::<u32>::zeros(&[d]);
+        for c in 0..d {
+            let mut sum = 0u64;
+            for y in 0..h {
+                for x in 0..w {
+                    sum += input.at3(c, y, x) as u64;
+                }
+            }
+            out.as_mut_slice()[c] = ((sum + area / 2) / area) as u32;
+        }
+        out
+    }
+}
+
+/// Quantized fully-connected classifier head. Unlike conv layers its
+/// output is signed logits, so no requantization/ReLU is applied — the
+/// accumulator is dequantized directly.
+#[derive(Debug, Clone)]
+pub struct QFc {
+    /// Layer name.
+    pub name: String,
+    /// Weights `[out_features, in_features]` in signed codes.
+    pub weights: Tensor<i32>,
+    /// Real-valued bias per output.
+    pub bias: Vec<f32>,
+    /// Dequantization multiplier `in_scale · w_scale`.
+    pub dequant: f32,
+}
+
+impl QFc {
+    /// Computes real-valued logits.
+    ///
+    /// # Panics
+    /// Panics if the input length does not match the weight matrix.
+    pub fn forward_logits(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Vec<f32> {
+        let [out_f, in_f] = *self.weights.dims() else {
+            panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
+        };
+        assert_eq!(input.len(), in_f, "{}: input length mismatch", self.name);
+        assert_eq!(self.bias.len(), out_f, "{}: bias length mismatch", self.name);
+        (0..out_f)
+            .map(|o| {
+                let wrow = &self.weights.as_slice()[o * in_f..(o + 1) * in_f];
+                let acc = engine.vdp(input.as_slice(), wrow);
+                acc as f32 * self.dequant + self.bias[o]
+            })
+            .collect()
+    }
+}
+
+/// Index of the largest logit.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "argmax of empty logits");
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Indices of the top-k logits in descending order.
+pub fn top_k(logits: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::quant::{ActivationQuant, Requant, WeightQuant};
+
+    fn unit_requant() -> Requant {
+        Requant::new(
+            ActivationQuant { scale: 1.0, bits: 8 },
+            WeightQuant { scale: 1.0, bits: 8 },
+            ActivationQuant { scale: 1.0, bits: 8 },
+        )
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 passes the input through.
+        let conv = QConv2d {
+            name: "id".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![1]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 2, 2], vec![1, 2, 3, 4]);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conv_hand_computed_3x3() {
+        // 3x3 all-ones kernel over a 3x3 all-ones input, no padding:
+        // single output = 9.
+        let conv = QConv2d {
+            name: "sum".into(),
+            weights: Tensor::from_vec(&[1, 1, 3, 3], vec![1; 9]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 3, 3], vec![1; 9]);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.dims(), &[1, 1, 1]);
+        assert_eq!(out.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn conv_padding_zeros_border() {
+        // Same kernel with padding 1: corners see only 4 live taps.
+        let conv = QConv2d {
+            name: "pad".into(),
+            weights: Tensor::from_vec(&[1, 1, 3, 3], vec![1; 9]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 3, 3], vec![1; 9]);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.dims(), &[1, 3, 3]);
+        assert_eq!(out.at3(0, 0, 0), 4);
+        assert_eq!(out.at3(0, 1, 1), 9);
+        assert_eq!(out.at3(0, 0, 1), 6);
+    }
+
+    #[test]
+    fn conv_stride_subsamples() {
+        let conv = QConv2d {
+            name: "s2".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![1]),
+            bias: vec![0.0],
+            stride: 2,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_fn(&[1, 4, 4], |i| i as u32);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[0, 2, 8, 10]);
+    }
+
+    #[test]
+    fn conv_relu_clamps_negative_accumulators() {
+        let conv = QConv2d {
+            name: "neg".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![-1]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 1, 1], vec![5]);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.as_slice(), &[0]);
+    }
+
+    #[test]
+    fn depthwise_conv_keeps_channels_separate() {
+        // 2 channels, depthwise 1x1 with weights [2, 3]: each channel
+        // scales independently.
+        let conv = QConv2d {
+            name: "dw".into(),
+            weights: Tensor::from_vec(&[2, 1, 1, 1], vec![2, 3]),
+            bias: vec![0.0, 0.0],
+            stride: 1,
+            padding: 0,
+            groups: 2,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[2, 1, 2], vec![1, 2, 10, 20]);
+        let out = conv.forward(&input, &ExactEngine);
+        assert_eq!(out.as_slice(), &[2, 4, 30, 60]);
+    }
+
+    #[test]
+    fn conv_bias_applies_before_requant() {
+        let conv = QConv2d {
+            name: "bias".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![1]),
+            bias: vec![10.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 1, 1], vec![5]);
+        assert_eq!(conv.forward(&input, &ExactEngine).as_slice(), &[15]);
+    }
+
+    #[test]
+    fn maxpool_basic() {
+        let pool = MaxPool2d { kernel: 2, stride: 2, padding: 0 };
+        let input = Tensor::<u32>::from_vec(&[1, 4, 4], (0..16).collect());
+        let out = pool.forward(&input);
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_overlapping_window() {
+        // 3x3 window, stride 2, padding 1 — GoogleNet/ResNet style.
+        let pool = MaxPool2d { kernel: 3, stride: 2, padding: 1 };
+        let input = Tensor::<u32>::from_fn(&[1, 4, 4], |i| i as u32);
+        let out = pool.forward(&input);
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.at3(0, 1, 1), 15);
+    }
+
+    #[test]
+    fn global_avg_pool_rounds() {
+        let input = Tensor::<u32>::from_vec(&[2, 1, 2], vec![1, 2, 10, 20]);
+        let out = GlobalAvgPool.forward(&input);
+        assert_eq!(out.dims(), &[2]);
+        assert_eq!(out.as_slice(), &[2, 15]); // (1+2)/2 rounds to 2
+    }
+
+    #[test]
+    fn fc_logits_with_bias() {
+        let fc = QFc {
+            name: "head".into(),
+            weights: Tensor::from_vec(&[2, 3], vec![1, 0, -1, 2, 2, 2]),
+            bias: vec![0.5, -1.0],
+            dequant: 0.1,
+        };
+        let input = Tensor::<u32>::from_vec(&[3], vec![10, 20, 30]);
+        let logits = fc.forward_logits(&input, &ExactEngine);
+        // row0: 10 - 30 = -20 → -2.0 + 0.5 = -1.5
+        // row1: 2*(60) = 120 → 12.0 - 1.0 = 11.0
+        assert!((logits[0] + 1.5).abs() < 1e-6);
+        assert!((logits[1] - 11.0).abs() < 1e-6);
+        assert_eq!(argmax(&logits), 1);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let logits = [0.1f32, 5.0, -2.0, 3.0];
+        assert_eq!(top_k(&logits, 3), vec![1, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn conv_channel_mismatch_panics() {
+        let conv = QConv2d {
+            name: "bad".into(),
+            weights: Tensor::from_vec(&[1, 2, 1, 1], vec![1, 1]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::zeros(&[3, 2, 2]);
+        let _ = conv.forward(&input, &ExactEngine);
+    }
+}

@@ -1,0 +1,160 @@
+//! Quantized network container: an ordered stack of quantized layers that
+//! runs end-to-end on any [`VdpEngine`].
+
+use crate::engine::VdpEngine;
+use crate::layers::{GlobalAvgPool, MaxPool2d, QConv2d, QFc};
+use crate::quant::ActivationQuant;
+use crate::tensor::Tensor;
+
+/// One layer of a quantized network.
+#[derive(Debug, Clone)]
+pub enum QLayer {
+    /// Quantized convolution (ReLU folded into requantization).
+    Conv(QConv2d),
+    /// Max pooling on codes.
+    MaxPool(MaxPool2d),
+    /// Global average pooling to a rank-1 tensor.
+    GlobalAvgPool,
+    /// Final classifier producing logits; must be last.
+    Fc(QFc),
+}
+
+/// An integer-quantized CNN.
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    /// Input image quantizer.
+    pub input_quant: ActivationQuant,
+    /// Layers in execution order; the last must be [`QLayer::Fc`].
+    pub layers: Vec<QLayer>,
+}
+
+impl QuantizedNetwork {
+    /// Runs a real-valued image through the network on the given engine
+    /// and returns the class logits.
+    ///
+    /// # Panics
+    /// Panics if the network does not end in an FC layer or an FC layer
+    /// appears before the end.
+    pub fn forward(&self, image: &Tensor<f32>, engine: &dyn VdpEngine) -> Vec<f32> {
+        let mut act: Tensor<u32> = self.input_quant.quantize_tensor(image);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                QLayer::Conv(conv) => act = conv.forward(&act, engine),
+                QLayer::MaxPool(pool) => act = pool.forward(&act),
+                QLayer::GlobalAvgPool => act = GlobalAvgPool.forward(&act),
+                QLayer::Fc(fc) => {
+                    assert_eq!(i, last, "FC must be the final layer");
+                    return fc.forward_logits(&act, engine);
+                }
+            }
+        }
+        panic!("network must end in an FC classifier");
+    }
+
+    /// Predicted class for an image.
+    pub fn predict(&self, image: &Tensor<f32>, engine: &dyn VdpEngine) -> usize {
+        crate::layers::argmax(&self.forward(image, engine))
+    }
+
+    /// Top-1 accuracy over a labelled set.
+    pub fn accuracy(
+        &self,
+        samples: &[crate::dataset::Sample],
+        engine: &dyn VdpEngine,
+    ) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(&s.image, engine) == s.label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Top-k accuracy over a labelled set.
+    pub fn top_k_accuracy(
+        &self,
+        samples: &[crate::dataset::Sample],
+        k: usize,
+        engine: &dyn VdpEngine,
+    ) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| {
+                crate::layers::top_k(&self.forward(&s.image, engine), k).contains(&s.label)
+            })
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::quant::{Requant, WeightQuant};
+
+    fn tiny_network() -> QuantizedNetwork {
+        let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
+        let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+        QuantizedNetwork {
+            input_quant: aq,
+            layers: vec![
+                QLayer::Conv(QConv2d {
+                    name: "c1".into(),
+                    weights: Tensor::from_vec(&[2, 1, 1, 1], vec![127, -127]),
+                    bias: vec![0.0, 0.0],
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                    requant: Requant::new(aq, wq, aq),
+                }),
+                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::GlobalAvgPool,
+                QLayer::Fc(QFc {
+                    name: "fc".into(),
+                    weights: Tensor::from_vec(&[2, 2], vec![127, 0, 0, 127]),
+                    bias: vec![0.0, 0.0],
+                    dequant: aq.scale * wq.scale,
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = tiny_network();
+        let image = Tensor::from_fn(&[1, 4, 4], |i| i as f32 / 16.0);
+        let logits = net.forward(&image, &ExactEngine);
+        assert_eq!(logits.len(), 2);
+        // Channel 0 passes the (bright) image through, channel 1 is its
+        // negation ReLU'd to zero → logit 0 must dominate.
+        assert!(logits[0] > logits[1]);
+        assert_eq!(net.predict(&image, &ExactEngine), 0);
+    }
+
+    #[test]
+    fn accuracy_on_trivial_set() {
+        use crate::dataset::Sample;
+        let net = tiny_network();
+        let bright = Sample {
+            image: Tensor::from_fn(&[1, 4, 4], |_| 0.9),
+            label: 0,
+        };
+        let acc = net.accuracy(std::slice::from_ref(&bright), &ExactEngine);
+        assert_eq!(acc, 1.0);
+        let top2 = net.top_k_accuracy(&[bright], 2, &ExactEngine);
+        assert_eq!(top2, 1.0);
+    }
+
+    #[test]
+    fn empty_sample_set_is_zero_accuracy() {
+        let net = tiny_network();
+        assert_eq!(net.accuracy(&[], &ExactEngine), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Integer quantization — Section II / VI of the paper (8-bit
+//! integer-quantized CNNs, per Krishnamoorthi's whitepaper [6]).
+//!
+//! The scheme matches what SCONNA's hardware consumes:
+//!
+//! * **activations** are post-ReLU, hence non-negative: affine-free
+//!   unsigned quantization `q = round(x / scale)` into `[0, 2^B − 1]`
+//!   (the paper's `I` streams carry no sign bit);
+//! * **weights** are symmetric signed: `q = round(w / scale)` into
+//!   `[−(2^B−1 − 1), 2^B−1 − 1]` (magnitude stream + sign bit for the
+//!   filter MRR).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Scale factor of an unsigned activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationQuant {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+    /// Quantization bits `B`.
+    pub bits: u8,
+}
+
+impl ActivationQuant {
+    /// Derives the scale that maps `[0, max_value]` onto the full unsigned
+    /// range.
+    ///
+    /// # Panics
+    /// Panics if `max_value` is not finite and positive.
+    pub fn fit(max_value: f32, bits: u8) -> Self {
+        assert!(
+            max_value.is_finite() && max_value > 0.0,
+            "activation range must be positive, got {max_value}"
+        );
+        let qmax = ((1u32 << bits) - 1) as f32;
+        Self {
+            scale: max_value / qmax,
+            bits,
+        }
+    }
+
+    /// Largest representable code.
+    pub fn qmax(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantizes one real activation (clamping; negatives clamp to 0,
+    /// which is exactly ReLU's effect).
+    pub fn quantize(&self, x: f32) -> u32 {
+        ((x / self.scale).round().max(0.0) as u32).min(self.qmax())
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, q: u32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, x: &Tensor<f32>) -> Tensor<u32> {
+        x.map(|v| self.quantize(v))
+    }
+}
+
+/// Scale factor of a symmetric signed weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightQuant {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+    /// Quantization bits `B`.
+    pub bits: u8,
+}
+
+impl WeightQuant {
+    /// Derives the symmetric scale from the weight tensor's max |w|.
+    ///
+    /// # Panics
+    /// Panics if `max_abs` is not finite and positive.
+    pub fn fit(max_abs: f32, bits: u8) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "weight range must be positive, got {max_abs}"
+        );
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        Self {
+            scale: max_abs / qmax,
+            bits,
+        }
+    }
+
+    /// Largest representable magnitude.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes one real weight (clamping).
+    pub fn quantize(&self, w: f32) -> i32 {
+        let q = (w / self.scale).round() as i32;
+        q.clamp(-self.qmax(), self.qmax())
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        w.map(|v| self.quantize(v))
+    }
+}
+
+/// Requantization of an integer accumulator into the next layer's
+/// activation codes: `q_out = round(acc · in_scale · w_scale / out_scale)`
+/// clamped to the unsigned range — ReLU is folded into the clamp at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Requant {
+    /// Combined multiplier `in_scale · w_scale / out_scale`.
+    pub multiplier: f32,
+    /// Output bits.
+    pub bits: u8,
+}
+
+impl Requant {
+    /// Builds the requantizer for a layer.
+    pub fn new(input: ActivationQuant, weights: WeightQuant, output: ActivationQuant) -> Self {
+        Self {
+            multiplier: input.scale * weights.scale / output.scale,
+            bits: output.bits,
+        }
+    }
+
+    /// Requantizes one accumulator value (f64 because SC engines return
+    /// estimates).
+    pub fn apply(&self, acc: f64) -> u32 {
+        let qmax = (1u32 << self.bits) - 1;
+        let v = (acc * self.multiplier as f64).round();
+        if v <= 0.0 {
+            0
+        } else if v >= qmax as f64 {
+            qmax
+        } else {
+            v as u32
+        }
+    }
+
+    /// Requantizes keeping the sign (no ReLU clamp): the pre-activation
+    /// code a residual branch carries to the skip addition. Saturates to
+    /// `±qmax`.
+    pub fn apply_signed(&self, acc: f64) -> i32 {
+        let qmax = ((1u32 << self.bits) - 1) as f64;
+        let v = (acc * self.multiplier as f64).round().clamp(-qmax, qmax);
+        v as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_roundtrip_within_half_step() {
+        let q = ActivationQuant::fit(6.0, 8);
+        for i in 0..100 {
+            let x = 6.0 * i as f32 / 100.0;
+            let code = q.quantize(x);
+            let back = q.dequantize(code);
+            assert!((back - x).abs() <= q.scale / 2.0 + 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn activation_clamps_negatives_and_overflow() {
+        let q = ActivationQuant::fit(1.0, 8);
+        assert_eq!(q.quantize(-3.0), 0);
+        assert_eq!(q.quantize(99.0), 255);
+        assert_eq!(q.qmax(), 255);
+    }
+
+    #[test]
+    fn weight_symmetric_range() {
+        let q = WeightQuant::fit(2.0, 8);
+        assert_eq!(q.qmax(), 127);
+        assert_eq!(q.quantize(2.0), 127);
+        assert_eq!(q.quantize(-2.0), -127);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn weight_roundtrip_within_half_step() {
+        let q = WeightQuant::fit(1.5, 8);
+        for i in -50..=50 {
+            let w = 1.5 * i as f32 / 50.0;
+            let back = q.dequantize(q.quantize(w));
+            assert!((back - w).abs() <= q.scale / 2.0 + 1e-6, "w={w}");
+        }
+    }
+
+    #[test]
+    fn requant_scales_accumulator() {
+        let input = ActivationQuant { scale: 0.1, bits: 8 };
+        let weights = WeightQuant { scale: 0.01, bits: 8 };
+        let output = ActivationQuant { scale: 0.05, bits: 8 };
+        let r = Requant::new(input, weights, output);
+        // acc = 1000 integer units ≙ 1000·0.1·0.01 = 1.0 real → 20 codes.
+        assert_eq!(r.apply(1000.0), 20);
+        // Negative accumulators ReLU to zero.
+        assert_eq!(r.apply(-500.0), 0);
+    }
+
+    #[test]
+    fn requant_saturates() {
+        let input = ActivationQuant { scale: 1.0, bits: 8 };
+        let weights = WeightQuant { scale: 1.0, bits: 8 };
+        let output = ActivationQuant { scale: 1.0, bits: 8 };
+        let r = Requant::new(input, weights, output);
+        assert_eq!(r.apply(1e9), 255);
+    }
+
+    #[test]
+    fn four_bit_ranges() {
+        let a = ActivationQuant::fit(1.0, 4);
+        let w = WeightQuant::fit(1.0, 4);
+        assert_eq!(a.qmax(), 15);
+        assert_eq!(w.qmax(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_range_panics() {
+        let _ = ActivationQuant::fit(0.0, 8);
+    }
+}

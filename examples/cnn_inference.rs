@@ -1,0 +1,65 @@
+//! End-to-end CNN inference on the SCONNA execution engine.
+//!
+//! Trains the small CNN on the synthetic dataset, quantizes it to int8,
+//! then classifies the same test set three ways: float32, exact int8, and
+//! through SCONNA's stochastic pipeline with ADC noise — the Table V
+//! experiment, interactively.
+//!
+//! Run with: `cargo run --release --example cnn_inference`
+
+use sconna::accel::SconnaEngine;
+use sconna::tensor::dataset::SyntheticDataset;
+use sconna::tensor::engine::ExactEngine;
+use sconna::tensor::smallcnn::{SmallCnn, SmallCnnConfig};
+
+fn main() {
+    let classes = 10;
+    let data = SyntheticDataset::new(classes, 16, 0.25, 7);
+    let train = data.batch(40, 8);
+    let test = data.batch(40, 9);
+    println!(
+        "synthetic dataset: {} classes, {} train / {} test samples",
+        classes,
+        train.len(),
+        test.len()
+    );
+
+    let mut net = SmallCnn::new(SmallCnnConfig::default(), 7);
+    println!("training (20 epochs of SGD)...");
+    for epoch in [5usize, 10, 15, 20] {
+        net.train(&train, 5, 0.05);
+        println!(
+            "  epoch {epoch:>2}: train accuracy {:.1}%",
+            100.0 * net.accuracy(&train)
+        );
+    }
+    println!("float32 test accuracy: {:.1}%", 100.0 * net.accuracy(&test));
+
+    println!();
+    println!("post-training quantization to int8...");
+    let qnet = net.quantize(&train, 8);
+    let exact_acc = qnet.accuracy(&test, &ExactEngine);
+    println!("exact int8 test accuracy: {:.1}%", 100.0 * exact_acc);
+
+    println!();
+    println!("running the same network through SCONNA's stochastic pipeline");
+    println!("(OSM multiplies, PCA accumulation, 1.45% sigma ADC noise)...");
+    let engine = SconnaEngine::paper_default(42);
+    let sc_acc = qnet.accuracy(&test, &engine);
+    let sc_top5 = qnet.top_k_accuracy(&test, 5, &engine);
+    println!("SCONNA Top-1: {:.1}%  Top-5: {:.1}%", 100.0 * sc_acc, 100.0 * sc_top5);
+    println!(
+        "Top-1 drop vs exact int8: {:.2} percentage points (paper: <=1.5 for small CNNs)",
+        100.0 * (exact_acc - sc_acc)
+    );
+
+    // Show a few individual classifications.
+    println!();
+    println!("sample predictions (label / exact / SCONNA):");
+    for s in test.iter().step_by(57).take(6) {
+        let exact_pred = qnet.predict(&s.image, &ExactEngine);
+        let sc_pred = qnet.predict(&s.image, &engine);
+        let mark = if sc_pred == s.label { "ok" } else { "MISS" };
+        println!("  {} / {} / {}  {}", s.label, exact_pred, sc_pred, mark);
+    }
+}

@@ -1,0 +1,81 @@
+//! Device-level walkthrough: one wavelength channel from laser to PCA.
+//!
+//! Builds the optical AND gate, drives it with two stochastic streams,
+//! follows the power budget down the waveguide, and accumulates the
+//! product stream on the photo-charge accumulator.
+//!
+//! Run with: `cargo run --release --example photonic_link`
+
+use sconna::photonics::link::{received_power_dbm, sconna_channel_loss, LinkParameters};
+use sconna::photonics::oag::{transient, OpticalAndGate};
+use sconna::photonics::pca::{DualTir, PcaCircuit};
+use sconna::photonics::spectrum::DwdmGrid;
+use sconna::photonics::units::{dbm_to_watts, watts_to_dbm};
+use sconna::sc::sng::{LdsSng, StochasticNumberGenerator, ThermometerSng};
+use sconna::sc::Precision;
+
+fn main() {
+    let p = Precision::B8;
+    let params = LinkParameters::default();
+
+    // --- the DWDM comb ----------------------------------------------------
+    let grid = DwdmGrid::within_fsr(50e-9, 0.25e-9);
+    println!(
+        "DWDM grid: {} channels, {:.2}-{:.2} nm",
+        grid.channels,
+        grid.wavelength_m(0) * 1e9,
+        grid.wavelength_m(grid.channels - 1) * 1e9
+    );
+
+    // --- power budget at N = M = 176 --------------------------------------
+    let loss = sconna_channel_loss(&params, 176, 176);
+    let rx_dbm = received_power_dbm(&params, 176, 176);
+    println!();
+    println!(
+        "link budget: {:.1} dBm laser - {:.2} dB losses = {:.2} dBm at the PD",
+        params.laser_power_dbm,
+        loss.total_db(),
+        rx_dbm
+    );
+
+    // --- the OAG computing one stochastic multiply -------------------------
+    let gate = OpticalAndGate::new(0.8e-9, 50e-9, dbm_to_watts(0.0));
+    let (ib, wb) = (180u32, 120u32);
+    let iv = LdsSng.generate(ib, p);
+    let wv = ThermometerSng.generate(wb, p);
+    let run = transient(&gate, &iv, &wv, 30e9, 2e-12, 8);
+    let ones = run.decisions.iter().filter(|&&b| b).count();
+    println!();
+    println!(
+        "OAG multiply {ib}/256 x {wb}/256 at 30 Gb/s: {} ones in the product \
+         stream (ideal {:.1})",
+        ones,
+        ib as f64 * wb as f64 / 256.0
+    );
+    println!(
+        "  static OMA: {:.2} dBm; supported bitrate at -28 dBm floor: {:.1} Gb/s",
+        watts_to_dbm(gate.static_oma_w()),
+        gate.supported_bitrate_hz(dbm_to_watts(-28.0)).unwrap_or(0.0) / 1e9
+    );
+
+    // --- the PCA integrating the product stream ---------------------------
+    let circuit = PcaCircuit {
+        one_level_power_w: dbm_to_watts(rx_dbm),
+        ..PcaCircuit::default()
+    };
+    let mut tir = DualTir::new(circuit);
+    tir.accumulate(ones as u64);
+    println!();
+    println!(
+        "PCA: {} ones -> {:.3} mV at the amplifier output (charge/one = {:.1} aC)",
+        ones,
+        tir.voltage() * 1e3,
+        circuit.charge_per_one_c() * 1e18
+    );
+    let result = tir.end_phase();
+    println!(
+        "  phase ended: binary result {result} ones; capacitors swapped \
+         (active: {:?})",
+        tir.active()
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the SCONNA pipeline in one page.
+//!
+//! 1. multiply two integers the way an Optical Stochastic Multiplier does;
+//! 2. run a signed vector dot product through the OSM + PCA pipeline;
+//! 3. size a SCONNA VDPC from the optical power budget;
+//! 4. simulate one CNN inference and compare with an analog baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sconna::accel::{simulate_inference, AcceleratorConfig, SconnaEngine};
+use sconna::photonics::scalability::sconna_scalability_default;
+use sconna::sc::accumulate::stochastic_vdp;
+use sconna::sc::multiply::{ideal_product, osm_product};
+use sconna::sc::Precision;
+use sconna::tensor::engine::VdpEngine;
+use sconna::tensor::models::googlenet;
+
+fn main() {
+    // --- 1. one stochastic multiply -------------------------------------
+    let p = Precision::B8;
+    let (i, w) = (200u32, 100u32);
+    println!("OSM multiply: {i}/256 x {w}/256");
+    println!("  stochastic product: {} ones", osm_product(i, w, p));
+    println!("  ideal (rounded)   : {} ones", ideal_product(i, w, p));
+
+    // --- 2. one VDPE dot product ----------------------------------------
+    let inputs: Vec<u32> = (0..176).map(|k| (k * 3) % 256).collect();
+    let weights: Vec<i32> = (0..176).map(|k| (k * 7) % 255 - 127).collect();
+    let sc_result = stochastic_vdp(&inputs, &weights, p);
+    let exact: i64 = inputs
+        .iter()
+        .zip(&weights)
+        .map(|(&i, &w)| i as i64 * w as i64)
+        .sum();
+    println!();
+    println!("VDPE dot product (176 points):");
+    println!("  stochastic: {} (ones-count units)", sc_result);
+    println!("  exact/256 : {:.1}", exact as f64 / 256.0);
+
+    // --- 3. how big can a VDPC be? --------------------------------------
+    let s = sconna_scalability_default();
+    println!();
+    println!("VDPC scalability at B=8, BR=30 Gb/s:");
+    println!(
+        "  P_PD-opt = {:.1} dBm, power-limited N = {}, channels = {}",
+        s.p_pd_opt_dbm, s.power_limited_n, s.channel_limited_n
+    );
+    println!("  achievable N = M = {} (paper: 176)", s.achievable_n);
+
+    // --- 4. system-level inference --------------------------------------
+    let model = googlenet();
+    let sconna = simulate_inference(&AcceleratorConfig::sconna(), &model);
+    let mam = simulate_inference(&AcceleratorConfig::mam(), &model);
+    println!();
+    println!("GoogleNet inference (batch 1):");
+    println!(
+        "  SCONNA         : {:>10.1} FPS  {:>7.2} FPS/W  ({} in {})",
+        sconna.fps, sconna.fps_per_w, model.name, sconna.makespan
+    );
+    println!(
+        "  MAM (HOLYLIGHT): {:>10.1} FPS  {:>7.2} FPS/W",
+        mam.fps, mam.fps_per_w
+    );
+    println!("  speedup: {:.1}x", sconna.fps / mam.fps);
+
+    // --- bonus: the engine is a drop-in VdpEngine ------------------------
+    let engine = SconnaEngine::paper_default(1);
+    let est = engine.vdp(&inputs, &weights);
+    println!();
+    println!(
+        "SconnaEngine VDP estimate (with ADC noise): {:.0} vs exact {}",
+        est, exact
+    );
+}

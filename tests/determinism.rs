@@ -1,0 +1,68 @@
+//! Reproducibility guarantees: every simulation and every seeded
+//! stochastic component must be bit-identical across runs and across
+//! parallel execution.
+
+use sconna::accel::{simulate_inference, AcceleratorConfig, SconnaEngine};
+use sconna::sim::parallel::{parallel_map, parallel_map_with};
+use sconna::tensor::dataset::SyntheticDataset;
+use sconna::tensor::engine::VdpEngine;
+use sconna::tensor::models::{googlenet, shufflenet_v2};
+use sconna::tensor::smallcnn::{SmallCnn, SmallCnnConfig};
+
+#[test]
+fn inference_simulation_is_deterministic() {
+    let model = shufflenet_v2();
+    for cfg in AcceleratorConfig::all() {
+        let a = simulate_inference(&cfg, &model);
+        let b = simulate_inference(&cfg, &model);
+        assert_eq!(a.makespan, b.makespan, "{}", cfg.name);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{}", cfg.name);
+    }
+}
+
+#[test]
+fn parallel_simulation_matches_serial() {
+    let models = vec![googlenet(), shufflenet_v2()];
+    let serial: Vec<u64> = models
+        .iter()
+        .map(|m| simulate_inference(&AcceleratorConfig::sconna(), m).makespan.as_ps())
+        .collect();
+    let parallel: Vec<u64> = parallel_map(models.clone(), |m| {
+        simulate_inference(&AcceleratorConfig::sconna(), &m).makespan.as_ps()
+    });
+    assert_eq!(serial, parallel);
+    let single_worker: Vec<u64> = parallel_map_with(models, 1, |m| {
+        simulate_inference(&AcceleratorConfig::sconna(), &m).makespan.as_ps()
+    });
+    assert_eq!(serial, single_worker);
+}
+
+#[test]
+fn training_is_seed_deterministic() {
+    let data = SyntheticDataset::new(4, 12, 0.2, 9);
+    let train = data.batch(10, 1);
+    let run = || {
+        let mut net = SmallCnn::new(
+            SmallCnnConfig {
+                input_size: 12,
+                channels1: 4,
+                channels2: 8,
+                classes: 4,
+            },
+            9,
+        );
+        net.train(&train, 3, 0.05)
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}
+
+#[test]
+fn engine_stream_of_vdps_is_seed_deterministic() {
+    let inputs: Vec<u32> = (0..352).map(|k| (k * 11) % 256).collect();
+    let weights: Vec<i32> = (0..352).map(|k| (k * 13) % 255 - 127).collect();
+    let run = |seed: u64| -> Vec<u64> {
+        let e = SconnaEngine::paper_default(seed);
+        (0..10).map(|_| e.vdp(&inputs, &weights).to_bits()).collect()
+    };
+    assert_eq!(run(5), run(5));
+}

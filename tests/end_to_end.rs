@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: the same computation traced through
+//! every abstraction level of the stack, from optical transients to
+//! system-level inference.
+
+use sconna::accel::{simulate_inference, AcceleratorConfig, SconnaEngine};
+use sconna::photonics::oag::{transient, OpticalAndGate};
+use sconna::sc::multiply::{lds_product, osm_product_stream};
+use sconna::sc::sng::{LdsSng, StochasticNumberGenerator, ThermometerSng};
+use sconna::sc::Precision;
+use sconna::tensor::dataset::SyntheticDataset;
+use sconna::tensor::engine::{ExactEngine, VdpEngine};
+use sconna::tensor::models::all_models;
+use sconna::tensor::smallcnn::{SmallCnn, SmallCnnConfig};
+
+/// The same multiply agrees across three levels: closed form, packed
+/// bit-streams, and the optical transient of the AND gate.
+#[test]
+fn multiply_agrees_from_closed_form_to_photons() {
+    let p = Precision::B8;
+    for (i, w) in [(180u32, 120u32), (17, 255), (255, 17), (64, 64)] {
+        let closed = lds_product(i, w, p);
+        let stream = osm_product_stream(i, w, p).count_ones() as u32;
+        assert_eq!(closed, stream, "stream level, i={i} w={w}");
+
+        let gate = OpticalAndGate::new(0.8e-9, 50e-9, 1e-3);
+        let iv = LdsSng.generate(i, p);
+        let wv = ThermometerSng.generate(w, p);
+        let run = transient(&gate, &iv, &wv, 10e9, 2e-12, 8);
+        let optical = run.decisions.iter().filter(|&&b| b).count() as u32;
+        assert_eq!(closed, optical, "optical level, i={i} w={w}");
+    }
+}
+
+/// A trained, quantized network classifies (almost) identically on the
+/// exact engine and the noiseless stochastic engine, and the noisy engine
+/// stays within a few points.
+#[test]
+fn quantized_network_runs_on_all_engines() {
+    let data = SyntheticDataset::new(6, 12, 0.2, 5);
+    let train = data.batch(20, 1);
+    let test = data.batch(10, 2);
+    let mut net = SmallCnn::new(
+        SmallCnnConfig {
+            input_size: 12,
+            channels1: 6,
+            channels2: 12,
+            classes: 6,
+        },
+        5,
+    );
+    net.train(&train, 12, 0.05);
+    let qnet = net.quantize(&train, 8);
+
+    let exact = qnet.accuracy(&test, &ExactEngine);
+    let noiseless = qnet.accuracy(&test, &SconnaEngine::noiseless());
+    let noisy = qnet.accuracy(&test, &SconnaEngine::paper_default(3));
+
+    assert!(exact > 0.8, "exact engine accuracy {exact}");
+    assert!(
+        (exact - noiseless).abs() <= 0.1,
+        "noiseless SC accuracy {noiseless} vs exact {exact}"
+    );
+    assert!(
+        exact - noisy <= 0.15,
+        "noisy SC accuracy {noisy} vs exact {exact}"
+    );
+}
+
+/// The Fig. 9 ordering holds on every model: SCONNA > MAM > AMM in FPS,
+/// FPS/W and FPS/W/mm².
+#[test]
+fn fig9_ordering_holds_per_model() {
+    for model in all_models() {
+        let s = simulate_inference(&AcceleratorConfig::sconna(), &model);
+        let m = simulate_inference(&AcceleratorConfig::mam(), &model);
+        let a = simulate_inference(&AcceleratorConfig::amm(), &model);
+        assert!(s.fps > m.fps && m.fps > a.fps, "{}: FPS ordering", model.name);
+        assert!(
+            s.fps_per_w > m.fps_per_w && m.fps_per_w > a.fps_per_w,
+            "{}: FPS/W ordering",
+            model.name
+        );
+        assert!(
+            s.fps_per_w_per_mm2 > m.fps_per_w_per_mm2
+                && m.fps_per_w_per_mm2 > a.fps_per_w_per_mm2,
+            "{}: FPS/W/mm2 ordering",
+            model.name
+        );
+    }
+}
+
+/// The photonics scalability solve and the accelerator configuration
+/// agree on the headline N = 176.
+#[test]
+fn scalability_and_accelerator_config_agree() {
+    let solved = sconna::photonics::scalability::sconna_scalability_default().achievable_n;
+    assert_eq!(solved, AcceleratorConfig::sconna().vdpe_size_n);
+}
+
+/// The stochastic engine's estimate converges to the exact product as
+/// vectors grow (errors average out rather than accumulate).
+#[test]
+fn engine_relative_error_shrinks_with_vector_length() {
+    let engine = SconnaEngine::noiseless();
+    let rel_err = |len: usize| {
+        let inputs: Vec<u32> = (0..len).map(|k| ((k * 97) % 256) as u32).collect();
+        let weights: Vec<i32> = (0..len).map(|k| ((k * 31) % 255) as i32 - 127).collect();
+        let exact = ExactEngine.vdp(&inputs, &weights);
+        (engine.vdp(&inputs, &weights) - exact).abs() / exact.abs().max(1.0)
+    };
+    let short = rel_err(64);
+    let long = rel_err(4608);
+    assert!(
+        long <= short + 0.05,
+        "relative error must not grow with length: short {short}, long {long}"
+    );
+}

@@ -1,0 +1,138 @@
+//! Every calibration anchor from the paper, asserted in one place. If a
+//! model change breaks a published number, this file says which one.
+
+use sconna::accel::organization::AcceleratorConfig;
+use sconna::photonics::link::{received_power_dbm, LinkParameters};
+use sconna::photonics::pca::{AdcModel, PcaCircuit};
+use sconna::photonics::photodetector::{sconna_effective_dr_hz, Photodetector};
+use sconna::photonics::scalability::{
+    max_analog_n, sconna_scalability_default, AnalogOrganization,
+};
+use sconna::photonics::units::dbm_to_watts;
+use sconna::tensor::models::{googlenet, mobilenet_v2, resnet50, shufflenet_v2};
+
+/// Section V-B: P_PD-opt = −28 dBm.
+#[test]
+fn anchor_pd_sensitivity() {
+    let pd = Photodetector::default();
+    let sens = pd.sensitivity_dbm(1.0, sconna_effective_dr_hz(30e9, 8));
+    assert!((sens + 28.0).abs() < 0.5, "sensitivity {sens} dBm");
+}
+
+/// Section V-B: N = M = 176, under a 200-channel DWDM cap.
+#[test]
+fn anchor_sconna_n176() {
+    let s = sconna_scalability_default();
+    assert_eq!(s.achievable_n, 176);
+    assert_eq!(s.channel_limited_n, 200);
+}
+
+/// Table I anchors: MAM 44 / AMM 31 at 4-bit, 1 GS/s.
+#[test]
+fn anchor_table1() {
+    assert_eq!(max_analog_n(AnalogOrganization::Mam, 4, 1e9), 44);
+    assert_eq!(max_analog_n(AnalogOrganization::Amm, 4, 1e9), 31);
+}
+
+/// Section VI-B: evaluated configurations (N, DR, VDPE counts).
+#[test]
+fn anchor_evaluated_configs() {
+    let s = AcceleratorConfig::sconna();
+    assert_eq!((s.vdpe_size_n, s.total_vdpes), (176, 1024));
+    let m = AcceleratorConfig::mam();
+    assert_eq!((m.vdpe_size_n, m.total_vdpes), (22, 3971));
+    let a = AcceleratorConfig::amm();
+    assert_eq!((a.vdpe_size_n, a.total_vdpes), (16, 3172));
+    // Analog baselines run 4-bit at 5 GS/s with 2-way bit slicing.
+    assert_eq!(m.native_bits, 4);
+    assert_eq!(m.bit_slices, 2);
+    assert!((m.symbol_time.as_secs_f64() - 0.2e-9).abs() < 1e-15);
+}
+
+/// Section III-A: S = 4608 on N = 44 needs 105 psums; on SCONNA's
+/// N = 176 it needs 27.
+#[test]
+fn anchor_psum_counts() {
+    assert_eq!(4608usize.div_ceil(44), 105);
+    assert_eq!(AcceleratorConfig::sconna().chunks(4608), 27);
+}
+
+/// Section II-B: ResNet50's largest kernel vector is 4608 points.
+#[test]
+fn anchor_resnet_vector() {
+    assert_eq!(resnet50().max_vector_len(), 4608);
+}
+
+/// Table II's claim: >98 % of kernels exceed S = 44 on the large CNNs.
+#[test]
+fn anchor_kernel_census() {
+    for m in [googlenet(), resnet50()] {
+        let (small, large) = m.conv_kernel_census(44);
+        assert!(large as f64 / (small + large) as f64 > 0.98, "{}", m.name);
+    }
+    // The depthwise models keep small kernels — the reason their Fig. 9
+    // gains are smaller.
+    for m in [mobilenet_v2(), shufflenet_v2()] {
+        let (small, _) = m.conv_kernel_census(44);
+        assert!(small > 0, "{}", m.name);
+    }
+}
+
+/// Section V-C: the PCA accumulates the full 176×256 ones without
+/// saturating, and its ADC's MAPE calibrates to ≈1.3 %.
+#[test]
+fn anchor_pca() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let circuit = PcaCircuit::default();
+    assert!(circuit.is_linear_at(176 * 256));
+    let adc = AdcModel::sconna_default();
+    let mape = adc.measured_mape(4506, 45056, 20000, &mut StdRng::seed_from_u64(1));
+    assert!((mape - 1.3).abs() < 0.3, "ADC MAPE {mape}");
+}
+
+/// Table III: the link budget at the published parameters leaves
+/// N = 176 feasible and N = 177 infeasible.
+#[test]
+fn anchor_link_budget_edge() {
+    let params = LinkParameters::default();
+    let pd = Photodetector::default();
+    let sens = pd.sensitivity_dbm(1.0, sconna_effective_dr_hz(30e9, 8));
+    assert!(received_power_dbm(&params, 176, 176) >= sens);
+    assert!(received_power_dbm(&params, 177, 177) < sens);
+    // Laser: 10 dBm optical at 10 % wall-plug efficiency.
+    assert!((dbm_to_watts(params.laser_power_dbm) - 10e-3).abs() < 1e-9);
+    assert!((params.wall_plug_efficiency - 0.1).abs() < 1e-12);
+}
+
+/// Section VI-C headline: gmean FPS speedups within 2× of the paper's
+/// 66.5× (vs MAM) and 146.4× (vs AMM).
+#[test]
+fn anchor_fig9_speedups() {
+    use sconna::accel::perf::simulate_inference;
+    use sconna::sim::stats::gmean;
+    let models = [googlenet(), resnet50(), mobilenet_v2(), shufflenet_v2()];
+    let fps = |cfg: &AcceleratorConfig| -> Vec<f64> {
+        models
+            .iter()
+            .map(|m| simulate_inference(cfg, m).fps)
+            .collect()
+    };
+    let s = fps(&AcceleratorConfig::sconna());
+    let m = fps(&AcceleratorConfig::mam());
+    let a = fps(&AcceleratorConfig::amm());
+    let over_mam = gmean(
+        &s.iter().zip(&m).map(|(x, y)| x / y).collect::<Vec<_>>(),
+    );
+    let over_amm = gmean(
+        &s.iter().zip(&a).map(|(x, y)| x / y).collect::<Vec<_>>(),
+    );
+    assert!(
+        over_mam > 33.0 && over_mam < 133.0,
+        "SCONNA/MAM {over_mam} vs paper 66.5"
+    );
+    assert!(
+        over_amm > 73.0 && over_amm < 293.0,
+        "SCONNA/AMM {over_amm} vs paper 146.4"
+    );
+}
