@@ -288,6 +288,7 @@ mod capacity_tests {
     use super::*;
 
     #[test]
+    #[ignore = "trains 6 small CNNs (~minutes in debug); run with: cargo test -p sconna-accel --release -- --ignored"]
     fn residual_model_is_not_categorically_worse() {
         // The Table V trend: the deeper residual model should hold up at
         // least comparably under SCONNA's error injection. Averaged over

@@ -172,7 +172,8 @@ mod tests {
         let mam = AcceleratorConfig::mam();
         let m = map_layer(&mam, &workload(22, 100, 10));
         let tasks: usize = m.queues.iter().map(Vec::len).sum();
-        assert_eq!(tasks, 100 * 1 * 2);
+        // 100 kernels × 1 chunk × 2 bit-slices.
+        assert_eq!(tasks, 100 * 2);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Offline stand-in for `crossbeam 0.8` — see `crates/compat/README.md`.
+//!
+//! Only the surface the workspace uses: `queue::SegQueue`. The stand-in is
+//! a mutex-guarded `VecDeque` rather than a lock-free segmented queue —
+//! same API and semantics (unbounded MPMC, `&self` methods), adequate for
+//! the coarse-grained work items the simulator pushes through it.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes `value` onto the back of the queue.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Pops from the front of the queue, or `None` if empty.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Returns the number of queued items.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Returns `true` if the queue holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // A panic while holding the lock poisons it; the queue itself
+            // is still consistent, so keep serving.
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SegQueue;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            q.push(3);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn shared_across_threads() {
+            let q = SegQueue::new();
+            for i in 0..1000 {
+                q.push(i);
+            }
+            let total: i64 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut sum = 0i64;
+                            while let Some(v) = q.pop() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, (0..1000).sum::<i64>());
+        }
+    }
+}

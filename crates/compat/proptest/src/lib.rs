@@ -1,0 +1,214 @@
+//! Offline stand-in for `proptest 1` — see `crates/compat/README.md`.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro over `arg in strategy` bindings, range and
+//! tuple strategies, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` macros. Each generated test runs a fixed number of
+//! cases (256) from a generator seeded deterministically from the test's
+//! name, so failures reproduce exactly. There is no shrinking and no
+//! persistence of failing seeds — on failure the panic message carries
+//! the case number.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngCore as __RngCore;
+
+/// Number of random cases each property test runs.
+pub const CASES: u32 = 256;
+
+/// A source of random values for one property-test run.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded deterministically from `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Draws one value from `strategy`.
+    pub fn draw<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.sample(&mut self.rng)
+    }
+}
+
+/// Generates values of `Self::Value` (sample-only stand-in: no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: rand::distributions::uniform::SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: rand::distributions::uniform::SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy over `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec strategy: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Asserts a condition inside a property test (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Declares property tests: each `arg in strategy` binding is drawn
+/// [`CASES`] times from a name-seeded deterministic generator.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::TestRunner::deterministic(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let ($($arg,)+) = ($(__runner.draw(&($strategy)),)+);
+                    let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{}",
+                            stringify!($name), __case, $crate::CASES,
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0u32..=256, (b, c) in (0u32..10, -5i32..=5)) {
+            prop_assert!(a <= 256);
+            prop_assert!(b < 10);
+            prop_assert!((-5..=5).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy(pairs in crate::collection::vec((0u32..=256, -255i32..=255), 1..64)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 64);
+            for &(i, w) in &pairs {
+                prop_assert!(i <= 256);
+                prop_assert!((-255..=255).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRunner::deterministic("x");
+        let mut b = crate::TestRunner::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(a.draw(&(0u64..1 << 60)), b.draw(&(0u64..1 << 60)));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `rand 0.8` — see `crates/compat/README.md`.
+//!
+//! Implements the subset of the `rand` API this workspace uses:
+//! [`RngCore`], [`Rng::gen_range`] over integer and float ranges,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64: a small,
+//! well-studied generator with 256 bits of state. It does **not** emit the
+//! same stream as upstream's ChaCha12-based `StdRng`; in-repo consumers
+//! rely only on seeded determinism and statistical quality, both of which
+//! hold.
+
+/// Core random-number generation: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`, integer or float).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (byte array for `StdRng`).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (upstream's scheme).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Maps a `u64` to a double in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps a `u64` to a float in `[0, 1)` with 24 bits of precision.
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: xoshiro256++.
+    ///
+    /// Not stream-compatible with upstream `StdRng`; see the crate docs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state is the one fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Range-sampling machinery backing [`Rng::gen_range`](crate::Rng::gen_range).
+
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range argument accepted by `gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Types uniformly sampleable over half-open and inclusive ranges.
+        pub trait SampleUniform: Sized {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                T::sample_inclusive(lo, hi, rng)
+            }
+        }
+
+        /// Unbiased draw from `[0, span]` (widening-multiply + rejection).
+        #[inline]
+        fn draw_u64<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+            if span == u64::MAX {
+                return rng.next_u64();
+            }
+            let bound = span + 1;
+            // Lemire's method: multiply-shift with a rejection zone.
+            let zone = bound.wrapping_neg() % bound;
+            loop {
+                let wide = (rng.next_u64() as u128) * (bound as u128);
+                if (wide as u64) >= zone {
+                    return (wide >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        // span fits the unsigned counterpart because lo < hi.
+                        let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64 - 1;
+                        lo.wrapping_add(draw_u64(span, rng) as $ty)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                        lo.wrapping_add(draw_u64(span, rng) as $ty)
+                    }
+                }
+            )*};
+        }
+
+        impl_uniform_int!(
+            u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+            i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+        );
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let sample = lo + (hi - lo) * crate::unit_f64(rng.next_u64());
+                // Guard the open upper bound against rounding.
+                if sample < hi {
+                    sample
+                } else {
+                    lo.max(hi.next_down())
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                lo + (hi - lo) * crate::unit_f64(rng.next_u64())
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let sample = lo + (hi - lo) * crate::unit_f32(rng.next_u64());
+                if sample < hi {
+                    sample
+                } else {
+                    lo.max(hi.next_down())
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                lo + (hi - lo) * crate::unit_f32(rng.next_u64())
+            }
+        }
+
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.gen_range(0..=u64::MAX - 1)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.gen_range(0..=u64::MAX - 1)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u32> = (0..16).map(|_| a.gen_range(0..u32::MAX)).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.gen_range(0..u32::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: i32 = rng.gen_range(-127..=127);
+            assert!((-127..=127).contains(&x));
+            let y: u32 = rng.gen_range(0..=255);
+            assert!(y <= 255);
+            let z: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+            let y: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn negative_float_ranges_stay_in_bounds() {
+        // The open-bound guard must step toward -inf for non-positive
+        // `hi` too (next_down handles the sign; bits-1 would not).
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.0..-1.0);
+            assert!((-2.0..-1.0).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..0.0);
+            assert!((-1.0..0.0).contains(&y));
+            let z: f32 = rng.gen_range(-0.5f32..0.0);
+            assert!((-0.5..0.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn open_bound_guard_stays_inside_range() {
+        // Force the guard path directly: a rounded-to-hi sample must be
+        // replaced by a value still inside [lo, hi).
+        struct MaxRng;
+        impl crate::RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        use crate::distributions::uniform::SampleUniform;
+        let x = f64::sample_half_open(-2.0, -1.0, &mut MaxRng);
+        assert!((-2.0..-1.0).contains(&x), "guarded sample {x}");
+        let y = f32::sample_half_open(-1.0f32, 0.0, &mut MaxRng);
+        assert!((-1.0..0.0).contains(&y), "guarded sample {y}");
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow ±5%.
+            assert!((9_500..=10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn float_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 = (0..100_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn trait_object_usage_compiles() {
+        // The repo passes `&mut R where R: Rng + ?Sized`.
+        fn takes_dyn<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+            rng.gen_range(0..=255)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = takes_dyn(&mut rng);
+    }
+}

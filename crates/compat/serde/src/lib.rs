@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde 1` — see `crates/compat/README.md`.
+//!
+//! Provides the `Serialize`/`Deserialize` marker traits and the derive
+//! macros. The derives accept the annotated type but emit no impls:
+//! nothing in this workspace consumes serialized bytes yet, so the only
+//! contract is that `#[derive(Serialize, Deserialize)]` compiles. Swap in
+//! the registry crates when real serialization lands.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de> {}

@@ -122,4 +122,45 @@ mod tests {
         let out = parallel_map_with(vec![1, 2], 64, |i| i);
         assert_eq!(out, vec![1, 2]);
     }
+
+    #[test]
+    fn panic_in_f_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with((0..64).collect::<Vec<_>>(), 4, |i| {
+                if i == 33 {
+                    panic!("worker died on {i}");
+                }
+                i
+            })
+        });
+        let panic = result.expect_err("worker panic must reach the caller");
+        // std::thread::scope observes the worker's panic on join and
+        // re-panics in the caller; its payload is scope's own message
+        // ("a scoped thread panicked"), not the worker's.
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("scoped thread panicked") || msg.contains("worker died on 33"),
+            "payload: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn order_preserved_under_adversarial_timing() {
+        // Items take wildly different times, so workers finish out of
+        // input order and the index queue interleaves heavily; the output
+        // must still come back in input order.
+        let out = parallel_map_with((0..200u64).collect::<Vec<_>>(), 8, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            } else if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
 }

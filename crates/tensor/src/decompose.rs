@@ -104,6 +104,7 @@ pub fn kernel_vector(weights: &Tensor<i32>, k: usize) -> Vec<i32> {
 
 /// Computes one convolution output via the explicit DIV/DKV path: gather
 /// → decompose both vectors → one engine pass per chunk pair → sum.
+#[allow(clippy::too_many_arguments)]
 pub fn conv_output_via_decomposition(
     input: &Tensor<u32>,
     weights: &Tensor<i32>,
@@ -171,7 +172,7 @@ mod tests {
         // Zero padding contributes nothing, so chunked dot products sum
         // to the whole-vector dot product.
         let iv: Vec<u32> = (0..400).map(|k| (k * 7) % 256).collect();
-        let kv: Vec<i32> = (0..400).map(|k| (k as i32 * 11) % 255 - 127).collect();
+        let kv: Vec<i32> = (0..400).map(|k| (k * 11) % 255 - 127).collect();
         let whole = ExactEngine.vdp(&iv, &kv);
         let chunked: f64 = decompose(&iv, 176)
             .iter()

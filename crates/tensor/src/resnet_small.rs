@@ -80,7 +80,10 @@ impl SmallResNet {
     /// # Panics
     /// Panics if the input size is not divisible by 4.
     pub fn new(cfg: SmallResNetConfig, seed: u64) -> Self {
-        assert!(cfg.input_size % 4 == 0, "input size must be divisible by 4");
+        assert!(
+            cfg.input_size.is_multiple_of(4),
+            "input size must be divisible by 4"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let init = |dims: &[usize], fan_in: usize, rng: &mut StdRng| {
             let s = (2.0 / fan_in as f32).sqrt();

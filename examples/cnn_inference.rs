@@ -24,7 +24,13 @@ fn main() {
         test.len()
     );
 
-    let mut net = SmallCnn::new(SmallCnnConfig::default(), 7);
+    let mut net = SmallCnn::new(
+        SmallCnnConfig {
+            classes,
+            ..SmallCnnConfig::default()
+        },
+        7,
+    );
     println!("training (20 epochs of SGD)...");
     for epoch in [5usize, 10, 15, 20] {
         net.train(&train, 5, 0.05);
