@@ -23,7 +23,9 @@ pub mod organization;
 pub mod perf;
 pub mod peripherals;
 pub mod report;
+pub mod serve;
 
 pub use engine::SconnaEngine;
 pub use organization::{AcceleratorConfig, AcceleratorKind};
 pub use perf::{simulate_inference, InferencePerf};
+pub use serve::{simulate_serving, ArrivalProcess, ServingConfig, ServingReport};

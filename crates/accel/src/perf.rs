@@ -18,7 +18,7 @@ use sconna_tensor::models::{CnnModel, VdpWorkload};
 use serde::{Deserialize, Serialize};
 
 /// Per-layer performance breakdown.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerPerf {
     /// Layer name.
     pub layer: String,
@@ -162,25 +162,12 @@ fn pipeline_fill(cfg: &AcceleratorConfig, chunks: u64) -> SimTime {
     }
 }
 
-/// Builds the energy ledger for an accelerator and records the dynamic
-/// operations of an inference.
-fn build_ledger(
-    cfg: &AcceleratorConfig,
-    layers: &[LayerPerf],
-    model: &CnnModel,
-    batch: usize,
-) -> EnergyLedger {
-    let mut ledger = EnergyLedger::new();
+/// Registers every component class of one accelerator instance on a
+/// ledger (static power, area, per-op energy specs) without recording any
+/// work. Call once per physical instance — instances accumulate, so a
+/// fleet of R accelerators registers R times onto one ledger.
+pub fn register_components(ledger: &mut EnergyLedger, cfg: &AcceleratorConfig) {
     let n = cfg.vdpe_size_n as u64;
-    let total_passes: u64 = layers.iter().map(|l| l.passes).sum();
-    let total_psum_adds: u64 = layers.iter().map(|l| l.psum_adds).sum();
-    let total_reprograms: u64 = layers.iter().map(|l| l.reprogram_events).sum();
-    let total_outputs: u64 = model
-        .workloads
-        .iter()
-        .map(|w| (w.kernels * w.ops_per_kernel) as u64)
-        .sum::<u64>()
-        * batch as u64;
 
     // Lasers: always-on optical supply.
     ledger.register(
@@ -216,19 +203,16 @@ fn build_ledger(
         dynamic_spec(p::ACTIVATION_UNIT.power_w, p::ACTIVATION_UNIT.latency),
         tile,
     );
-    ledger.record_ops("activation", total_outputs);
     ledger.register(
         "pooling",
         dynamic_spec(p::POOLING_UNIT.power_w, p::POOLING_UNIT.latency),
         tile,
     );
-    ledger.record_ops("pooling", total_outputs / 4);
     ledger.register(
         "reduction",
         dynamic_spec(p::REDUCTION_NETWORK.power_w, p::REDUCTION_NETWORK.latency),
         cfg.tiles() as u64,
     );
-    ledger.record_ops("reduction", total_psum_adds);
 
     match cfg.kind {
         AcceleratorKind::Sconna => {
@@ -243,27 +227,67 @@ fn build_ledger(
                 latency: p::SERIALIZER.latency,
             };
             ledger.register("serializer", ser, (cfg.total_vdpes as u64) * n);
-            ledger.record_ops("serializer", total_passes * n);
-
             ledger.register(
                 "osm-lut",
                 dynamic_spec(p::OSM_LUT.power_w, p::OSM_LUT.latency),
                 (cfg.total_vdpes as u64) * n,
             );
-            ledger.record_ops("osm-lut", total_passes * n);
-
             ledger.register(
                 "pca-adc",
                 dynamic_spec(p::SCONNA_ADC.power_w, p::SCONNA_ADC.latency),
                 cfg.total_vdpes as u64,
             );
-            ledger.record_ops("pca-adc", total_passes);
-
             ledger.register(
                 "pca",
                 ComponentSpec::static_only(p::PCA.power_w, p::PCA.area_mm2),
                 2 * cfg.total_vdpes as u64,
             );
+        }
+        AcceleratorKind::Mam | AcceleratorKind::Amm => {
+            ledger.register(
+                "dac",
+                dynamic_spec(p::ANALOG_DAC.power_w, p::ANALOG_DAC.latency),
+                (cfg.total_vdpes as u64) * n,
+            );
+            ledger.register(
+                "adc",
+                dynamic_spec(p::ANALOG_ADC.power_w, p::ANALOG_ADC.latency),
+                cfg.total_vdpes as u64,
+            );
+        }
+    }
+}
+
+/// Records the dynamic operations of one batched inference (analyzed as
+/// `layers`) on a ledger whose components were registered with
+/// [`register_components`] for the same accelerator kind.
+pub fn record_inference_ops(
+    ledger: &mut EnergyLedger,
+    cfg: &AcceleratorConfig,
+    layers: &[LayerPerf],
+    model: &CnnModel,
+    batch: usize,
+) {
+    let n = cfg.vdpe_size_n as u64;
+    let total_passes: u64 = layers.iter().map(|l| l.passes).sum();
+    let total_psum_adds: u64 = layers.iter().map(|l| l.psum_adds).sum();
+    let total_reprograms: u64 = layers.iter().map(|l| l.reprogram_events).sum();
+    let total_outputs: u64 = model
+        .workloads
+        .iter()
+        .map(|w| (w.kernels * w.ops_per_kernel) as u64)
+        .sum::<u64>()
+        * batch as u64;
+
+    ledger.record_ops("activation", total_outputs);
+    ledger.record_ops("pooling", total_outputs / 4);
+    ledger.record_ops("reduction", total_psum_adds);
+
+    match cfg.kind {
+        AcceleratorKind::Sconna => {
+            ledger.record_ops("serializer", total_passes * n);
+            ledger.record_ops("osm-lut", total_passes * n);
+            ledger.record_ops("pca-adc", total_passes);
         }
         AcceleratorKind::Mam | AcceleratorKind::Amm => {
             // DIV DACs: MAM shares one DIV block per VDPC; AMM drives one
@@ -273,21 +297,23 @@ fn build_ledger(
             } else {
                 total_passes * n
             };
-            ledger.register(
-                "dac",
-                dynamic_spec(p::ANALOG_DAC.power_w, p::ANALOG_DAC.latency),
-                (cfg.total_vdpes as u64) * n,
-            );
             ledger.record_ops("dac", div_dac_ops + total_reprograms * n);
-
-            ledger.register(
-                "adc",
-                dynamic_spec(p::ANALOG_ADC.power_w, p::ANALOG_ADC.latency),
-                cfg.total_vdpes as u64,
-            );
             ledger.record_ops("adc", total_passes);
         }
     }
+}
+
+/// Builds the energy ledger for an accelerator and records the dynamic
+/// operations of an inference.
+fn build_ledger(
+    cfg: &AcceleratorConfig,
+    layers: &[LayerPerf],
+    model: &CnnModel,
+    batch: usize,
+) -> EnergyLedger {
+    let mut ledger = EnergyLedger::new();
+    register_components(&mut ledger, cfg);
+    record_inference_ops(&mut ledger, cfg, layers, model, batch);
     ledger
 }
 
@@ -547,5 +573,65 @@ mod batch_tests {
         let b = simulate_inference_batched(&cfg, &model, 1);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+
+    #[test]
+    fn batched_analysis_equals_batched_workload_helper() {
+        // `analyze_layer_batched(cfg, w, b)` and the tensor-side helper
+        // `analyze_layer(cfg, &w.batched(b))` describe the same
+        // weight-stationary mapping, so every derived quantity must agree
+        // exactly — the serving scheduler relies on this equivalence.
+        let w = VdpWorkload {
+            layer: "t".into(),
+            vector_len: 4608,
+            kernels: 512,
+            ops_per_kernel: 49,
+        };
+        for cfg in AcceleratorConfig::all() {
+            for batch in [1usize, 2, 7, 16, 64] {
+                assert_eq!(
+                    analyze_layer_batched(&cfg, &w, batch),
+                    analyze_layer(&cfg, &w.batched(batch)),
+                    "{} batch {batch}",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_registration_accumulates_instances() {
+        use sconna_sim::energy::EnergyLedger;
+        let cfg = AcceleratorConfig::sconna();
+        let mut one = EnergyLedger::new();
+        register_components(&mut one, &cfg);
+        let mut four = EnergyLedger::new();
+        for _ in 0..4 {
+            register_components(&mut four, &cfg);
+        }
+        assert!((four.static_power_w() - 4.0 * one.static_power_w()).abs() < 1e-9);
+        assert!((four.total_area_mm2() - 4.0 * one.total_area_mm2()).abs() < 1e-9);
+        // No dynamic work recorded yet.
+        assert_eq!(four.dynamic_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn repeated_recording_scales_dynamic_energy() {
+        // Recording the same inference twice on one ledger doubles its
+        // dynamic energy — the serving path records once per dispatched
+        // batch.
+        let cfg = AcceleratorConfig::sconna();
+        let model = googlenet();
+        let layers: Vec<LayerPerf> = model
+            .workloads
+            .iter()
+            .map(|w| analyze_layer_batched(&cfg, w, 4))
+            .collect();
+        let mut ledger = sconna_sim::energy::EnergyLedger::new();
+        register_components(&mut ledger, &cfg);
+        record_inference_ops(&mut ledger, &cfg, &layers, &model, 4);
+        let once = ledger.dynamic_energy_j();
+        record_inference_ops(&mut ledger, &cfg, &layers, &model, 4);
+        assert!((ledger.dynamic_energy_j() - 2.0 * once).abs() < 1e-12 * once.abs().max(1.0));
     }
 }

@@ -1,8 +1,9 @@
 //! Report formatting for the benchmark harness: the Fig. 9 comparison
-//! table and gmean speedup summaries.
+//! table, gmean speedup summaries, and the serving-sweep table.
 
 use crate::organization::AcceleratorConfig;
 use crate::perf::{simulate_inference, InferencePerf};
+use crate::serve::ServingReport;
 use sconna_sim::stats::gmean;
 use sconna_tensor::models::CnnModel;
 use std::fmt::Write as _;
@@ -103,6 +104,38 @@ impl Fig9Results {
     }
 }
 
+/// Formats a serving sweep as a table: one row per report, columns for
+/// fleet shape, throughput, latency percentiles, utilization and energy.
+pub fn format_serving_sweep(reports: &[ServingReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6}{:>7}{:>12}{:>12}{:>12}{:>12}{:>8}{:>8}{:>14}",
+        "inst", "batch", "FPS", "p50", "p95", "p99", "fill", "util", "J/inference"
+    );
+    for r in reports {
+        let mean_util: f64 = if r.utilization.is_empty() {
+            0.0
+        } else {
+            r.utilization.iter().sum::<f64>() / r.utilization.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<6}{:>7}{:>12.1}{:>12}{:>12}{:>12}{:>8.2}{:>8.2}{:>14.3e}",
+            r.instances,
+            r.max_batch,
+            r.fps,
+            r.latency.p50.to_string(),
+            r.latency.p95.to_string(),
+            r.latency.p99.to_string(),
+            r.mean_batch_fill,
+            mean_util,
+            r.energy_per_inference_j,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +161,25 @@ mod tests {
         assert!(table.contains("gmean"));
         let speedups = grid.format_speedups();
         assert!(speedups.contains("FPS/W/mm2"));
+    }
+
+    #[test]
+    fn serving_table_has_one_row_per_report() {
+        use crate::serve::{simulate_serving, ServingConfig};
+        let model = shufflenet_v2();
+        let reports: Vec<ServingReport> = [1usize, 2]
+            .into_iter()
+            .map(|i| {
+                simulate_serving(
+                    &ServingConfig::saturation(AcceleratorConfig::sconna(), i, 2, 8),
+                    &model,
+                )
+            })
+            .collect();
+        let table = format_serving_sweep(&reports);
+        assert_eq!(table.lines().count(), 3, "header + 2 rows");
+        assert!(table.contains("J/inference"));
+        assert!(table.contains("p99"));
     }
 
     #[test]

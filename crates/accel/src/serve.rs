@@ -1,0 +1,572 @@
+//! Multi-instance serving simulation: the traffic dimension the paper's
+//! headline throughput claim implies but never models.
+//!
+//! A *fleet* of R identical accelerator instances serves a stream of
+//! inference requests. Requests arrive either by an open-loop Poisson
+//! process (independent users at a target rate) or a closed loop (a fixed
+//! population of clients, each firing its next request the moment the
+//! previous one completes). A batching scheduler packs pending requests
+//! into batches of up to `max_batch`, dispatching a full batch as soon as
+//! an instance is idle and flushing partial batches once the oldest
+//! pending request has waited `batch_window` — the standard
+//! dynamic-batching policy of production inference servers.
+//!
+//! Each dispatched batch occupies one instance for the weight-stationary
+//! batched makespan from [`crate::perf`], so the per-batch service time
+//! and per-batch dynamic energy are exactly the single-accelerator
+//! model's; what this module adds is queueing, packing and fleet-level
+//! accounting: throughput, latency percentiles, per-instance utilization
+//! and energy per inference.
+//!
+//! Everything runs on one deterministic [`EventQueue`] per simulation, so
+//! a [`ServingReport`] is a pure function of its [`ServingConfig`] —
+//! bit-identical across runs and across sweep worker-thread counts.
+
+use crate::organization::AcceleratorConfig;
+use crate::perf::{analyze_layer_batched, record_inference_ops, register_components, LayerPerf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sconna_sim::energy::EnergyLedger;
+use sconna_sim::event::EventQueue;
+use sconna_sim::parallel::parallel_map_with;
+use sconna_sim::stats::{LatencySamples, LatencySummary, Utilization};
+use sconna_sim::time::SimTime;
+use sconna_tensor::models::CnnModel;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How requests enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open loop: exponential inter-arrival times at `rate_fps`
+    /// requests per second, independent of service progress.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_fps: f64,
+    },
+    /// Closed loop: `clients` concurrent users; each fires its next
+    /// request the instant its previous one completes (zero think time).
+    /// This is the saturation workload that measures peak throughput.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+}
+
+/// One serving experiment: a fleet, a scheduler policy, a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Accelerator configuration every instance runs.
+    pub accelerator: AcceleratorConfig,
+    /// Number of accelerator instances in the fleet.
+    pub instances: usize,
+    /// Largest batch the scheduler packs onto one instance.
+    pub max_batch: usize,
+    /// How long the oldest pending request may wait before a partial
+    /// batch is flushed to an idle instance.
+    pub batch_window: SimTime,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Total requests to serve; the simulation ends when all complete.
+    pub requests: usize,
+    /// Seed for the arrival process (unused by `ClosedLoop`).
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// A closed-loop saturation test: enough clients to keep every
+    /// instance's batch slots full, serving `requests` requests.
+    pub fn saturation(
+        accelerator: AcceleratorConfig,
+        instances: usize,
+        max_batch: usize,
+        requests: usize,
+    ) -> Self {
+        Self {
+            accelerator,
+            instances,
+            max_batch,
+            batch_window: SimTime::from_ns(100_000), // 100 µs
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 2 * instances * max_batch,
+            },
+            requests,
+            seed: 0,
+        }
+    }
+}
+
+/// Fleet-level result of one serving simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Accelerator display name.
+    pub accelerator: &'static str,
+    /// Model name.
+    pub model: String,
+    /// Fleet size.
+    pub instances: usize,
+    /// Scheduler batch limit.
+    pub max_batch: usize,
+    /// Requests completed.
+    pub completed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch (batch-slot fill).
+    pub mean_batch_fill: f64,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Served throughput: completed / makespan.
+    pub fps: f64,
+    /// End-to-end request latency distribution (queueing + service).
+    pub latency: LatencySummary,
+    /// Per-instance utilization over the makespan, instance order.
+    pub utilization: Vec<f64>,
+    /// Total fleet energy over the makespan, joules.
+    pub energy_j: f64,
+    /// Energy per completed inference, joules.
+    pub energy_per_inference_j: f64,
+    /// Average fleet power, watts.
+    pub avg_power_w: f64,
+}
+
+/// Scheduler events.
+enum Ev {
+    /// A request enters the queue.
+    Arrive,
+    /// The batching window of epoch `.0` expired.
+    Flush(u64),
+    /// Instance `.0` finished a batch of requests that arrived at `.1`.
+    BatchDone(usize, Vec<SimTime>),
+}
+
+/// Per-batch-size analysis cache: the batched layer walk is identical for
+/// every batch of the same size, so it is computed once per size.
+struct BatchProfiles<'a> {
+    cfg: &'a AcceleratorConfig,
+    model: &'a CnnModel,
+    by_size: Vec<Option<(SimTime, Vec<LayerPerf>)>>,
+}
+
+impl<'a> BatchProfiles<'a> {
+    fn new(cfg: &'a AcceleratorConfig, model: &'a CnnModel, max_batch: usize) -> Self {
+        Self {
+            cfg,
+            model,
+            by_size: vec![None; max_batch + 1],
+        }
+    }
+
+    fn get(&mut self, batch: usize) -> &(SimTime, Vec<LayerPerf>) {
+        let slot = &mut self.by_size[batch];
+        if slot.is_none() {
+            let layers: Vec<LayerPerf> = self
+                .model
+                .workloads
+                .iter()
+                .map(|w| analyze_layer_batched(self.cfg, w, batch))
+                .collect();
+            let makespan = layers
+                .iter()
+                .fold(SimTime::ZERO, |acc, l| acc + l.total);
+            *slot = Some((makespan, layers));
+        }
+        slot.as_ref().expect("just filled")
+    }
+}
+
+/// Mutable scheduler state threaded through the event handlers.
+struct Scheduler<'a> {
+    cfg: ServingConfig,
+    model: &'a CnnModel,
+    profiles: BatchProfiles<'a>,
+    ledger: EnergyLedger,
+    /// Arrival timestamps of requests waiting to be batched.
+    pending: VecDeque<SimTime>,
+    busy: Vec<bool>,
+    util: Vec<Utilization>,
+    latency: LatencySamples,
+    issued: usize,
+    completed: u64,
+    batches: u64,
+    batched_requests: u64,
+    last_completion: SimTime,
+    /// Monotonic epoch invalidating stale flush timers.
+    flush_epoch: u64,
+    /// A flush timer for the current epoch is in flight.
+    flush_armed: bool,
+    /// The window expired with requests still queued: dispatch partial
+    /// batches at the next opportunity.
+    force_flush: bool,
+    rng: StdRng,
+}
+
+impl Scheduler<'_> {
+    /// Lowest-numbered idle instance, if any.
+    fn idle_instance(&self) -> Option<usize> {
+        self.busy.iter().position(|&b| !b)
+    }
+
+    fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if self.issued >= self.cfg.requests {
+            return;
+        }
+        let ArrivalProcess::Poisson { rate_fps } = self.cfg.arrivals else {
+            return;
+        };
+        assert!(rate_fps > 0.0, "Poisson rate must be positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let dt = -u.ln() / rate_fps;
+        self.issued += 1;
+        q.schedule_in(SimTime::from_secs_f64(dt), Ev::Arrive);
+    }
+
+    /// Dispatches as many batches as idle instances and pending requests
+    /// allow. Full batches always go; partial batches only when
+    /// `force_flush` is set (the window expired).
+    fn try_dispatch(&mut self, q: &mut EventQueue<Ev>) {
+        while !self.pending.is_empty() {
+            let take = if self.pending.len() >= self.cfg.max_batch {
+                self.cfg.max_batch
+            } else if self.force_flush {
+                self.pending.len()
+            } else {
+                break;
+            };
+            let Some(inst) = self.idle_instance() else {
+                break;
+            };
+            let arrivals: Vec<SimTime> = self.pending.drain(..take).collect();
+            let (makespan, layers) = self.profiles.get(take);
+            let makespan = *makespan;
+            record_inference_ops(
+                &mut self.ledger,
+                &self.cfg.accelerator,
+                layers,
+                self.model,
+                take,
+            );
+            self.busy[inst] = true;
+            self.util[inst].add_busy(makespan);
+            self.batches += 1;
+            self.batched_requests += take as u64;
+            q.schedule_in(makespan, Ev::BatchDone(inst, arrivals));
+        }
+        if self.pending.is_empty() {
+            // Window satisfied; stale timers are invalidated by the epoch.
+            self.force_flush = false;
+            self.flush_armed = false;
+            self.flush_epoch += 1;
+        } else if !self.flush_armed && !self.force_flush {
+            self.flush_armed = true;
+            q.schedule_in(self.cfg.batch_window, Ev::Flush(self.flush_epoch));
+        }
+    }
+
+    fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive => {
+                self.pending.push_back(now);
+                self.schedule_poisson_arrival(q);
+                self.try_dispatch(q);
+            }
+            Ev::Flush(epoch) => {
+                if epoch != self.flush_epoch {
+                    return; // stale timer from an already-drained queue
+                }
+                self.flush_armed = false;
+                self.force_flush = true;
+                self.try_dispatch(q);
+            }
+            Ev::BatchDone(inst, arrivals) => {
+                self.busy[inst] = false;
+                self.last_completion = now;
+                let n_done = arrivals.len();
+                for arrival in arrivals {
+                    self.latency.record(now - arrival);
+                    self.completed += 1;
+                }
+                if let ArrivalProcess::ClosedLoop { .. } = self.cfg.arrivals {
+                    // Each completed client immediately re-requests.
+                    for _ in 0..n_done {
+                        if self.issued < self.cfg.requests {
+                            self.issued += 1;
+                            self.pending.push_back(now);
+                        }
+                    }
+                }
+                self.try_dispatch(q);
+            }
+        }
+    }
+}
+
+/// Runs one serving simulation to completion.
+///
+/// # Panics
+/// Panics on degenerate configurations: zero instances, zero batch limit,
+/// zero requests, or a non-positive Poisson rate.
+pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingReport {
+    assert!(config.instances > 0, "need at least one instance");
+    assert!(config.max_batch > 0, "max_batch must be positive");
+    assert!(config.requests > 0, "need at least one request");
+
+    let mut ledger = EnergyLedger::new();
+    for _ in 0..config.instances {
+        register_components(&mut ledger, &config.accelerator);
+    }
+
+    let mut sched = Scheduler {
+        model,
+        profiles: BatchProfiles::new(&config.accelerator, model, config.max_batch),
+        ledger,
+        pending: VecDeque::new(),
+        busy: vec![false; config.instances],
+        util: vec![Utilization::new(); config.instances],
+        latency: LatencySamples::new(),
+        issued: 0,
+        completed: 0,
+        batches: 0,
+        batched_requests: 0,
+        last_completion: SimTime::ZERO,
+        flush_epoch: 0,
+        flush_armed: false,
+        force_flush: false,
+        rng: StdRng::seed_from_u64(config.seed),
+        cfg: config.clone(),
+    };
+
+    let mut q = EventQueue::new();
+    match config.arrivals {
+        ArrivalProcess::Poisson { .. } => {
+            // Seed the first arrival; each arrival schedules the next.
+            sched.schedule_poisson_arrival(&mut q);
+        }
+        ArrivalProcess::ClosedLoop { clients } => {
+            assert!(clients > 0, "closed loop needs at least one client");
+            let initial = clients.min(config.requests);
+            for _ in 0..initial {
+                sched.issued += 1;
+                q.schedule_at(SimTime::ZERO, Ev::Arrive);
+            }
+        }
+    }
+
+    q.run(|q, now, ev| sched.handle(q, now, ev));
+
+    assert_eq!(
+        sched.completed as usize, config.requests,
+        "scheduler must drain every request"
+    );
+    // Stale flush timers may fire after the last completion, so the
+    // serving makespan is the last completion time, not the queue's final
+    // clock.
+    let makespan = sched.last_completion;
+    let energy_j = sched.ledger.total_energy_j(makespan);
+    ServingReport {
+        accelerator: config.accelerator.name,
+        model: model.name.clone(),
+        instances: config.instances,
+        max_batch: config.max_batch,
+        completed: sched.completed,
+        batches: sched.batches,
+        mean_batch_fill: sched.batched_requests as f64 / sched.batches as f64,
+        makespan,
+        fps: sched.completed as f64 / makespan.as_secs_f64(),
+        latency: sched.latency.summary(),
+        utilization: sched.util.iter().map(|u| u.ratio(makespan)).collect(),
+        energy_j,
+        energy_per_inference_j: energy_j / sched.completed as f64,
+        avg_power_w: sched.ledger.average_power_w(makespan),
+    }
+}
+
+/// Runs a sweep of serving configurations in parallel on `workers`
+/// threads. Each sweep point is an independent simulation with its own
+/// event queue and seed, so the result vector is bit-identical for every
+/// worker count (property-tested in `tests/determinism.rs`).
+pub fn sweep(configs: Vec<ServingConfig>, model: &CnnModel, workers: usize) -> Vec<ServingReport> {
+    parallel_map_with(configs, workers, |c| simulate_serving(&c, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sconna_tensor::models::{googlenet, shufflenet_v2};
+
+    fn small_closed(instances: usize, max_batch: usize, requests: usize) -> ServingConfig {
+        ServingConfig::saturation(
+            AcceleratorConfig::sconna(),
+            instances,
+            max_batch,
+            requests,
+        )
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let model = shufflenet_v2();
+        let r = simulate_serving(&small_closed(2, 4, 37), &model);
+        assert_eq!(r.completed, 37);
+        assert_eq!(r.latency.count, 37);
+        assert!(r.batches >= 37u64.div_ceil(4));
+        assert!(r.mean_batch_fill >= 1.0 && r.mean_batch_fill <= 4.0);
+    }
+
+    #[test]
+    fn fps_scales_with_instance_count() {
+        // The acceptance bar: ≥ 1.8× served FPS from 1 → 2 instances on
+        // GoogleNet under saturation.
+        let model = googlenet();
+        let one = simulate_serving(&small_closed(1, 8, 64), &model);
+        let two = simulate_serving(&small_closed(2, 8, 64), &model);
+        let scaling = two.fps / one.fps;
+        assert!(
+            scaling >= 1.8,
+            "1→2 instance scaling {scaling} (fps {} → {})",
+            one.fps,
+            two.fps
+        );
+    }
+
+    #[test]
+    fn batching_lowers_energy_per_inference() {
+        // Pipeline fill and weight traffic amortize across a batch while
+        // static power integrates over a shorter makespan. 64 requests
+        // pack both sweeps tail-free (64 = 2·32·1 = 2·2·16), so the
+        // comparison isolates amortization from batch-quantization idle.
+        let model = googlenet();
+        let b1 = simulate_serving(&small_closed(2, 1, 64), &model);
+        let b16 = simulate_serving(&small_closed(2, 16, 64), &model);
+        assert!(
+            b16.energy_per_inference_j < b1.energy_per_inference_j,
+            "batch-16 {} J vs batch-1 {} J",
+            b16.energy_per_inference_j,
+            b1.energy_per_inference_j
+        );
+        assert!(b16.fps >= b1.fps, "batching must not lose throughput");
+    }
+
+    #[test]
+    fn saturated_fleet_is_highly_utilized() {
+        let model = shufflenet_v2();
+        let r = simulate_serving(&small_closed(2, 4, 64), &model);
+        assert_eq!(r.utilization.len(), 2);
+        for (i, u) in r.utilization.iter().enumerate() {
+            assert!(*u > 0.8, "instance {i} utilization {u}");
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_cover_service_time() {
+        let model = shufflenet_v2();
+        let cfg = small_closed(2, 4, 64);
+        let r = simulate_serving(&cfg, &model);
+        assert!(r.latency.p50 <= r.latency.p95);
+        assert!(r.latency.p95 <= r.latency.p99);
+        assert!(r.latency.p99 <= r.latency.max);
+        // Every request at least pays one batch service time.
+        let service = model
+            .workloads
+            .iter()
+            .fold(SimTime::ZERO, |acc, w| {
+                acc + analyze_layer_batched(&cfg.accelerator, w, 1).total
+            });
+        assert!(r.latency.p50 >= service);
+    }
+
+    #[test]
+    fn poisson_below_capacity_keeps_queue_short() {
+        let model = shufflenet_v2();
+        // Closed-loop saturation first, to find capacity.
+        let sat = simulate_serving(&small_closed(1, 4, 48), &model);
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: sat.fps * 0.3,
+            },
+            seed: 7,
+            ..small_closed(1, 4, 48)
+        };
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.completed, 48);
+        // At 30 % load the p50 wait is bounded by the batch window plus
+        // a couple of service times.
+        let bound = cfg.batch_window
+            + SimTime::from_ps(3 * sat.latency.p50.as_ps());
+        assert!(
+            r.latency.p50 <= bound,
+            "p50 {} vs bound {}",
+            r.latency.p50,
+            bound
+        );
+        // Mean utilization is moderate.
+        let mean_util: f64 = r.utilization.iter().sum::<f64>() / r.utilization.len() as f64;
+        assert!(mean_util < 0.9, "utilization {mean_util} at 30% load");
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_seed_sensitive() {
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::Poisson { rate_fps: 500.0 },
+            seed: 11,
+            ..small_closed(1, 4, 32)
+        };
+        let a = simulate_serving(&cfg, &model);
+        let b = simulate_serving(&cfg, &model);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = simulate_serving(&ServingConfig { seed: 12, ..cfg.clone() }, &model);
+        assert_ne!(
+            a.makespan, c.makespan,
+            "different seeds must shift the arrival process"
+        );
+    }
+
+    #[test]
+    fn partial_batches_flush_after_window() {
+        // 3 requests, max_batch 8: the only way they complete is a
+        // window flush; fill must reflect the partial batch.
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::ClosedLoop { clients: 3 },
+            ..small_closed(1, 8, 3)
+        };
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.batches, 1);
+        assert!((r.mean_batch_fill - 3.0).abs() < 1e-12);
+        // Latency includes the flush wait.
+        assert!(r.latency.p50 >= cfg.batch_window);
+    }
+
+    #[test]
+    fn single_request_single_instance() {
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::ClosedLoop { clients: 1 },
+            ..small_closed(1, 1, 1)
+        };
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.batches, 1);
+        // A lone request with max_batch 1 dispatches immediately: its
+        // latency is exactly the batch-1 service time, which equals the
+        // single-inference makespan.
+        let single = crate::perf::simulate_inference(&cfg.accelerator, &model);
+        assert_eq!(r.latency.max, single.makespan);
+    }
+
+    #[test]
+    fn sweep_covers_every_config_in_order() {
+        let model = shufflenet_v2();
+        let configs: Vec<ServingConfig> = [1usize, 2, 3]
+            .into_iter()
+            .map(|i| small_closed(i, 2, 12))
+            .collect();
+        let reports = sweep(configs, &model, 2);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.instances, i + 1);
+            assert_eq!(r.completed, 12);
+        }
+    }
+}

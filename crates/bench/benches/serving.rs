@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks over the serving simulator: scheduler
+//! throughput (events per wall-second) under closed-loop saturation and
+//! Poisson arrivals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sconna_accel::organization::AcceleratorConfig;
+use sconna_accel::serve::{simulate_serving, ArrivalProcess, ServingConfig};
+use sconna_tensor::models::shufflenet_v2;
+
+fn bench_serving(c: &mut Criterion) {
+    let model = shufflenet_v2();
+    let mut g = c.benchmark_group("serving");
+    for &requests in &[64usize, 512] {
+        g.throughput(Throughput::Elements(requests as u64));
+        g.bench_function(format!("closed_loop_{requests}"), |b| {
+            let cfg =
+                ServingConfig::saturation(AcceleratorConfig::sconna(), 4, 8, requests);
+            b.iter(|| black_box(simulate_serving(&cfg, &model)))
+        });
+    }
+    g.bench_function("poisson_256", |b| {
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::Poisson { rate_fps: 5_000.0 },
+            seed: 3,
+            ..ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, 256)
+        };
+        b.iter(|| black_box(simulate_serving(&cfg, &model)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Serving-simulation sweep: batch size × instance count on a saturated
+//! fleet, the traffic-serving dimension behind the paper's FPS headline.
+//!
+//! Run with: `cargo run --release -p sconna-bench --bin serving`
+//! (`--smoke` runs a tiny configuration for CI).
+
+use sconna_accel::organization::AcceleratorConfig;
+use sconna_accel::report::format_serving_sweep;
+use sconna_accel::serve::{sweep, ServingConfig};
+use sconna_bench::banner;
+use sconna_sim::parallel::default_workers;
+use sconna_tensor::models::{googlenet, shufflenet_v2};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    print!(
+        "{}",
+        banner(
+            "Serving sweep — batched multi-instance SCONNA fleet",
+            "fleet-level throughput/latency behind the Fig. 9 FPS claim"
+        )
+    );
+
+    let (model, instances, batches, requests): (_, &[usize], &[usize], usize) = if smoke {
+        (shufflenet_v2(), &[1, 2], &[1, 4], 16)
+    } else {
+        (googlenet(), &[1, 2, 4, 8], &[1, 4, 16, 32], 256)
+    };
+    println!(
+        "model: {} | closed-loop saturation | {requests} requests per point\n",
+        model.name
+    );
+
+    let configs: Vec<ServingConfig> = instances
+        .iter()
+        .flat_map(|&i| {
+            batches.iter().map(move |&b| {
+                ServingConfig::saturation(AcceleratorConfig::sconna(), i, b, requests)
+            })
+        })
+        .collect();
+    let reports = sweep(configs, &model, default_workers());
+    print!("{}", format_serving_sweep(&reports));
+
+    // Headline: scaling from the smallest to the largest fleet at the
+    // largest batch.
+    let per_point = batches.len();
+    let base = &reports[per_point - 1];
+    let top = &reports[reports.len() - 1];
+    println!(
+        "\n{} -> {} instances at batch {}: {:.2}x served FPS",
+        base.instances,
+        top.instances,
+        top.max_batch,
+        top.fps / base.fps
+    );
+}

@@ -130,7 +130,32 @@ pub fn exact_vdp_scaled(inputs: &[u32], weights: &[i32], precision: Precision) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multiply::{osm_product_stream, osm_product_stream_floor};
     use proptest::prelude::*;
+
+    /// Bitstream-level reference VDP: materializes every OSM product
+    /// stream (alternating the ceil/floor LUT pairings exactly as
+    /// [`stochastic_vdp`] does), counts ones on the photodetector, and
+    /// routes counts by weight sign. The closed-form path must match this
+    /// bit for bit.
+    fn bitstream_vdp_reference(inputs: &[u32], weights: &[i32], precision: Precision) -> i64 {
+        assert_eq!(inputs.len(), weights.len());
+        let mut acc = SignedAccumulator::new();
+        for (k, (&i, &w)) in inputs.iter().zip(weights).enumerate() {
+            let mag = w.unsigned_abs();
+            let stream = if k % 2 == 0 {
+                osm_product_stream(i, mag, precision)
+            } else {
+                osm_product_stream_floor(i, mag, precision)
+            };
+            if w < 0 {
+                acc.negative.accumulate(&stream);
+            } else {
+                acc.positive.accumulate(&stream);
+            }
+        }
+        acc.signed_total()
+    }
 
     #[test]
     fn counter_accumulates_streams() {
@@ -205,6 +230,34 @@ mod tests {
             let exact = exact_vdp_scaled(&inputs, &weights, p);
             let bound = pairs.len() as f64 * (p.bits() as f64);
             prop_assert!((sc - exact).abs() <= bound);
+        }
+
+        #[test]
+        fn prop_vdp_matches_bitstream_reference(
+            pairs in proptest::collection::vec((0u32..=256, -256i32..=256), 1..48)
+        ) {
+            // Exact equality, not an error bound: the closed-form VDP is
+            // the same computation as the optical datapath.
+            let p = Precision::B8;
+            let inputs: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
+            let weights: Vec<i32> = pairs.iter().map(|&(_, w)| w).collect();
+            prop_assert_eq!(
+                stochastic_vdp(&inputs, &weights, p),
+                bitstream_vdp_reference(&inputs, &weights, p)
+            );
+        }
+
+        #[test]
+        fn prop_vdp_matches_bitstream_reference_b4(
+            pairs in proptest::collection::vec((0u32..=16, -16i32..=16), 1..32)
+        ) {
+            let p = Precision::B4;
+            let inputs: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
+            let weights: Vec<i32> = pairs.iter().map(|&(_, w)| w).collect();
+            prop_assert_eq!(
+                stochastic_vdp(&inputs, &weights, p),
+                bitstream_vdp_reference(&inputs, &weights, p)
+            );
         }
 
         #[test]

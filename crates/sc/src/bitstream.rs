@@ -236,6 +236,88 @@ impl fmt::Debug for PackedBitstream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Asserts the storage invariant: exactly `ceil(len/64)` words, and
+    /// every bit at position ≥ `len` in the final word is zero.
+    fn assert_tail_clear(s: &PackedBitstream) {
+        assert_eq!(
+            s.words().len(),
+            s.len().div_ceil(WORD_BITS),
+            "word count for len {}",
+            s.len()
+        );
+        let rem = s.len() % WORD_BITS;
+        if rem != 0 {
+            let last = *s.words().last().unwrap();
+            assert_eq!(
+                last & !((1u64 << rem) - 1),
+                0,
+                "bits leak past len {} (last word {last:#018x})",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn tail_invariant_holds_at_every_boundary_length() {
+        // Fuzzed lengths 0..=256 cover the 63/64/65 and 127/128/129 word
+        // boundaries the packing arithmetic pivots on.
+        for len in 0..=256usize {
+            let ones = PackedBitstream::ones(len);
+            assert_eq!(ones.count_ones(), len, "ones({len})");
+            assert_tail_clear(&ones);
+
+            let from = PackedBitstream::from_bits((0..len).map(|_| true));
+            assert_eq!(from.count_ones(), len, "from_bits all-true len {len}");
+            assert_tail_clear(&from);
+            assert_eq!(from, ones, "from_bits(true;{len}) == ones({len})");
+
+            let complement = PackedBitstream::zeros(len).not();
+            assert_eq!(complement.count_ones(), len, "not(zeros({len}))");
+            assert_tail_clear(&complement);
+
+            let xnor = PackedBitstream::zeros(len).xnor(&PackedBitstream::zeros(len));
+            assert_eq!(xnor.count_ones(), len, "xnor tail at len {len}");
+            assert_tail_clear(&xnor);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tail_never_leaks(len in 0usize..=256, seed in 0u64..=(u64::MAX - 1)) {
+            // A cheap deterministic bit pattern from the seed.
+            let mut state = seed | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 1 == 1
+            };
+            let bits: Vec<bool> = (0..len).map(|_| next()).collect();
+            let s = PackedBitstream::from_bits(bits.iter().copied());
+            let expected = bits.iter().filter(|&&b| b).count();
+            prop_assert_eq!(s.len(), len);
+            prop_assert_eq!(s.count_ones(), expected);
+            assert_tail_clear(&s);
+
+            // Every operator preserves the invariant and the complement
+            // identity count(s) + count(!s) == len.
+            let n = s.not();
+            assert_tail_clear(&n);
+            prop_assert_eq!(s.count_ones() + n.count_ones(), len);
+            assert_tail_clear(&s.and(&n));
+            prop_assert_eq!(s.and(&n).count_ones(), 0);
+            assert_tail_clear(&s.or(&n));
+            prop_assert_eq!(s.or(&n).count_ones(), len);
+            assert_tail_clear(&s.xor(&n));
+            assert_tail_clear(&s.xnor(&s));
+            prop_assert_eq!(s.xnor(&s).count_ones(), len);
+            let r = s.rotate_left(seed as usize % (len + 1));
+            assert_tail_clear(&r);
+            prop_assert_eq!(r.count_ones(), expected);
+        }
+    }
 
     #[test]
     fn zeros_and_ones_counts() {

@@ -331,5 +331,70 @@ mod tests {
             let b = ThermometerSng.generate(w, p);
             prop_assert_eq!(multiply_streams(&a, &b), multiply_streams(&b, &a));
         }
+
+        #[test]
+        fn prop_lds_matches_stream_all_precisions(
+            bits in 1u8..=16,
+            iraw in 0u32..=(1 << 16),
+            wraw in 0u32..=(1 << 16),
+        ) {
+            // The closed form must equal the materialized
+            // stream-AND-popcount path at *every* precision the substrate
+            // admits, not just the paper's B8 operating point.
+            let p = Precision::new(bits);
+            let l = p.stream_len() as u32;
+            let i = iraw % (l + 1);
+            let w = wraw % (l + 1);
+            let stream = osm_product_stream(i, w, p);
+            prop_assert_eq!(
+                stream.count_ones() as u32,
+                lds_product(i, w, p),
+                "ceil pairing B={} i={} w={}", bits, i, w
+            );
+            let floor = osm_product_stream_floor(i, w, p);
+            prop_assert_eq!(
+                floor.count_ones() as u32,
+                lds_product_floor(i, w, p),
+                "floor pairing B={} i={} w={}", bits, i, w
+            );
+        }
+
+        #[test]
+        fn prop_lds_matches_reference_all_precisions(
+            bits in 1u8..=16,
+            iraw in 0u32..=(1 << 16),
+            wraw in 0u32..=(1 << 16),
+        ) {
+            let p = Precision::new(bits);
+            let l = p.stream_len() as u32;
+            let i = iraw % (l + 1);
+            let w = wraw % (l + 1);
+            prop_assert_eq!(
+                lds_product(i, w, p),
+                lds_product_reference(i, w, p),
+                "B={} i={} w={}", bits, i, w
+            );
+        }
+    }
+
+    #[test]
+    fn lds_full_scale_and_zero_edges_every_precision() {
+        // Deterministic sweep of the corner operands (0, 1, L−1, L) where
+        // the dyadic-interval bookkeeping is most fragile, at every
+        // admissible precision.
+        for bits in 1..=16u8 {
+            let p = Precision::new(bits);
+            let l = p.stream_len() as u32;
+            for v in [0, 1, l - 1, l] {
+                assert_eq!(lds_product(v, l, p), v, "B={bits} v={v}·L");
+                assert_eq!(lds_product(l, v, p), v, "B={bits} L·v={v}");
+                assert_eq!(lds_product(v, 0, p), 0, "B={bits}");
+                assert_eq!(
+                    lds_product(v, l - 1, p),
+                    osm_product_stream(v, l - 1, p).count_ones() as u32,
+                    "B={bits} v={v}·(L-1)"
+                );
+            }
+        }
     }
 }

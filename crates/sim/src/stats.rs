@@ -79,6 +79,115 @@ impl Utilization {
     }
 }
 
+/// Collected latency samples with deterministic percentile extraction
+/// (nearest-rank on the sorted samples), for serving-simulation reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySamples {
+    samples: Vec<SimTime>,
+}
+
+/// Fixed summary of a latency distribution: the percentiles a serving
+/// report quotes plus mean and max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median latency.
+    pub p50: SimTime,
+    /// 95th-percentile latency.
+    pub p95: SimTime,
+    /// 99th-percentile latency.
+    pub p99: SimTime,
+    /// Mean latency (rounded to the nearest picosecond).
+    pub mean: SimTime,
+    /// Worst-case latency.
+    pub max: SimTime,
+}
+
+impl LatencySamples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile: the smallest sample such that at least
+    /// `p` percent of samples are at or below it. Integer arithmetic on
+    /// picoseconds, so bit-identical across platforms and thread counts.
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded or `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        assert!(!self.samples.is_empty(), "percentile of empty sample set");
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        nearest_rank(&sorted, p)
+    }
+
+    /// Mean latency, rounded to the nearest picosecond.
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded.
+    pub fn mean(&self) -> SimTime {
+        assert!(!self.samples.is_empty(), "mean of empty sample set");
+        rounded_mean(&self.samples)
+    }
+
+    /// Worst-case latency.
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded.
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().expect("max of empty sample set")
+    }
+
+    /// The full report summary (one sort for all percentiles).
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded.
+    pub fn summary(&self) -> LatencySummary {
+        assert!(!self.samples.is_empty(), "summary of empty sample set");
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        LatencySummary {
+            count: sorted.len(),
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
+            mean: rounded_mean(&sorted),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Nearest-rank lookup on an already-sorted, non-empty sample slice.
+fn nearest_rank(sorted: &[SimTime], p: f64) -> SimTime {
+    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Mean of a non-empty sample slice, rounded to the nearest picosecond.
+fn rounded_mean(samples: &[SimTime]) -> SimTime {
+    let total: u128 = samples.iter().map(|s| s.as_ps() as u128).sum();
+    let n = samples.len() as u128;
+    SimTime::from_ps(((total + n / 2) / n) as u64)
+}
+
 /// Geometric mean of a slice of positive values — the aggregation the
 /// paper uses across CNNs ("on gmean across the CNNs").
 ///
@@ -141,6 +250,70 @@ mod tests {
         // Overlapping (pipelined) busy time caps at 1.
         u.add_busy(SimTime::from_ns(100));
         assert_eq!(u.ratio(SimTime::from_ns(100)), 1.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut l = LatencySamples::new();
+        for ps in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            l.record(SimTime::from_ps(ps));
+        }
+        assert_eq!(l.percentile(50.0), SimTime::from_ps(50));
+        assert_eq!(l.percentile(95.0), SimTime::from_ps(100));
+        assert_eq!(l.percentile(99.0), SimTime::from_ps(100));
+        assert_eq!(l.percentile(10.0), SimTime::from_ps(10));
+        assert_eq!(l.percentile(100.0), SimTime::from_ps(100));
+        assert_eq!(l.mean(), SimTime::from_ps(55));
+        assert_eq!(l.max(), SimTime::from_ps(100));
+    }
+
+    #[test]
+    fn percentile_is_insertion_order_invariant() {
+        let a: Vec<u64> = (1..=97).collect();
+        let mut fwd = LatencySamples::new();
+        let mut rev = LatencySamples::new();
+        for &ps in &a {
+            fwd.record(SimTime::from_ps(ps));
+        }
+        for &ps in a.iter().rev() {
+            rev.record(SimTime::from_ps(ps));
+        }
+        for p in [1.0, 33.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(fwd.percentile(p), rev.percentile(p), "p{p}");
+        }
+        assert_eq!(fwd.summary(), rev.summary());
+    }
+
+    #[test]
+    fn summary_matches_individual_queries() {
+        let mut l = LatencySamples::new();
+        for k in 0..1000u64 {
+            l.record(SimTime::from_ps((k * 7919) % 100_000));
+        }
+        let s = l.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, l.percentile(50.0));
+        assert_eq!(s.p95, l.percentile(95.0));
+        assert_eq!(s.p99, l.percentile(99.0));
+        assert_eq!(s.mean, l.mean());
+        assert_eq!(s.max, l.max());
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut l = LatencySamples::new();
+        l.record(SimTime::from_ns(3));
+        let s = l.summary();
+        assert_eq!(s.p50, SimTime::from_ns(3));
+        assert_eq!(s.p99, SimTime::from_ns(3));
+        assert_eq!(s.mean, SimTime::from_ns(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_of_empty_panics() {
+        let _ = LatencySamples::new().percentile(50.0);
     }
 
     #[test]

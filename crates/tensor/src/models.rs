@@ -35,6 +35,23 @@ impl VdpWorkload {
     pub fn macs(&self) -> usize {
         self.vdp_ops() * self.vector_len
     }
+
+    /// The workload of `batch` images of this layer processed
+    /// back-to-back under a weight-stationary mapping: the kernel set and
+    /// vector geometry are unchanged, each kernel just slides over `batch`
+    /// feature maps instead of one.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn batched(&self, batch: usize) -> VdpWorkload {
+        assert!(batch > 0, "batch must be positive");
+        VdpWorkload {
+            layer: self.layer.clone(),
+            vector_len: self.vector_len,
+            kernels: self.kernels,
+            ops_per_kernel: self.ops_per_kernel * batch,
+        }
+    }
 }
 
 /// A CNN as the accelerators see it.
@@ -75,6 +92,19 @@ impl CnnModel {
             }
         }
         (small, large)
+    }
+
+    /// The whole model at batch size `batch`: every layer's VDP count
+    /// scales with the batch while weights stay stationary
+    /// (see [`VdpWorkload::batched`]).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn with_batch(&self, batch: usize) -> CnnModel {
+        CnnModel {
+            name: self.name.clone(),
+            workloads: self.workloads.iter().map(|w| w.batched(batch)).collect(),
+        }
     }
 
     /// Census over convolution kernels only (the paper's Table II counts
@@ -605,5 +635,47 @@ mod tests {
         };
         assert_eq!(w.vdp_ops(), 100);
         assert_eq!(w.macs(), 1000);
+    }
+
+    #[test]
+    fn batched_workload_scales_ops_not_weights() {
+        let w = VdpWorkload {
+            layer: "t".into(),
+            vector_len: 10,
+            kernels: 4,
+            ops_per_kernel: 25,
+        };
+        let b = w.batched(8);
+        assert_eq!(b.vector_len, 10);
+        assert_eq!(b.kernels, 4);
+        assert_eq!(b.ops_per_kernel, 200);
+        assert_eq!(b.vdp_ops(), 8 * w.vdp_ops());
+        assert_eq!(b.macs(), 8 * w.macs());
+        assert_eq!(w.batched(1).ops_per_kernel, w.ops_per_kernel);
+    }
+
+    #[test]
+    fn with_batch_scales_every_layer_linearly() {
+        let m = shufflenet_v2();
+        let b = m.with_batch(16);
+        assert_eq!(b.name, m.name);
+        assert_eq!(b.workloads.len(), m.workloads.len());
+        assert_eq!(b.total_vdp_ops(), 16 * m.total_vdp_ops());
+        assert_eq!(b.total_macs(), 16 * m.total_macs());
+        // Kernel census (weight tensors) is batch-invariant.
+        assert_eq!(b.kernel_census(44), m.kernel_census(44));
+        assert_eq!(b.max_vector_len(), m.max_vector_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn batched_zero_panics() {
+        let w = VdpWorkload {
+            layer: "t".into(),
+            vector_len: 1,
+            kernels: 1,
+            ops_per_kernel: 1,
+        };
+        let _ = w.batched(0);
     }
 }

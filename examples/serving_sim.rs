@@ -1,0 +1,81 @@
+//! Serving a stream of GoogleNet inference requests from a SCONNA fleet.
+//!
+//! Demonstrates the three fleet-level behaviors the serving simulator
+//! models on top of the single-accelerator reproduction:
+//!
+//! 1. served FPS scales with instance count (≥ 1.8× from 1 → 2),
+//! 2. batching lowers energy per inference vs batch-1 dispatch,
+//! 3. reports are seed-deterministic regardless of sweep thread count.
+//!
+//! Run with: `cargo run --release --example serving_sim`
+
+use sconna::accel::report::format_serving_sweep;
+use sconna::accel::serve::{sweep, ServingConfig};
+use sconna::accel::AcceleratorConfig;
+use sconna::sim::parallel::default_workers;
+use sconna::tensor::models::googlenet;
+
+fn main() {
+    let model = googlenet();
+    let requests = 128;
+    println!("serving {requests} GoogleNet requests, closed-loop saturation\n");
+
+    // Sweep instance count × batch size.
+    let configs: Vec<ServingConfig> = [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|i| {
+            [1usize, 8, 16].into_iter().map(move |b| {
+                ServingConfig::saturation(AcceleratorConfig::sconna(), i, b, requests)
+            })
+        })
+        .collect();
+    let reports = sweep(configs.clone(), &model, default_workers());
+    print!("{}", format_serving_sweep(&reports));
+
+    // 1. Instance scaling at batch 16 (rows 2 and 5 of the sweep).
+    let one = &reports[2];
+    let two = &reports[5];
+    let scaling = two.fps / one.fps;
+    println!(
+        "\n1 -> 2 instances at batch {}: {:.2}x served FPS  ({:.0} -> {:.0})",
+        one.max_batch, scaling, one.fps, two.fps
+    );
+    assert!(scaling >= 1.8, "instance scaling {scaling} below 1.8x");
+
+    // 2. Batching vs batch-1 energy at 2 instances (rows 3 and 5).
+    let b1 = &reports[3];
+    let b16 = &reports[5];
+    println!(
+        "batch 1 -> {} at {} instances: {:.3e} -> {:.3e} J/inference ({:.1}% lower)",
+        b16.max_batch,
+        b16.instances,
+        b1.energy_per_inference_j,
+        b16.energy_per_inference_j,
+        100.0 * (1.0 - b16.energy_per_inference_j / b1.energy_per_inference_j)
+    );
+    assert!(
+        b16.energy_per_inference_j < b1.energy_per_inference_j,
+        "batching must lower energy per inference"
+    );
+
+    // 3. Latency percentiles of the largest fleet.
+    let top = reports.last().unwrap();
+    println!(
+        "largest fleet latency: p50 {}  p95 {}  p99 {}  max {}",
+        top.latency.p50, top.latency.p95, top.latency.p99, top.latency.max
+    );
+
+    // 4. Thread-count invariance: `reports` was computed on all cores;
+    //    a single-worker rerun must be bit-identical.
+    let serial = sweep(configs, &model, 1);
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{reports:?}"),
+        "sweep reports must not depend on worker count"
+    );
+    println!(
+        "determinism: {} reports bit-identical across 1 and {} sweep workers",
+        serial.len(),
+        default_workers()
+    );
+}
