@@ -65,6 +65,10 @@ pub struct AccuracyExperiment {
     pub k: usize,
     /// Seed for data/model/engine.
     pub seed: u64,
+    /// Worker threads for the test-set evaluation. Evaluation is
+    /// worker-count invariant (per-image noise keys), so this only
+    /// changes wall time, never the result.
+    pub workers: usize,
 }
 
 impl Default for AccuracyExperiment {
@@ -78,12 +82,15 @@ impl Default for AccuracyExperiment {
             epochs: 20,
             k: 5,
             seed: 7,
+            workers: sconna_sim::parallel::default_workers(),
         }
     }
 }
 
 impl AccuracyExperiment {
     /// Runs the experiment: train → quantize → evaluate on both engines.
+    /// Evaluation parallelizes over test images (one forward pass per
+    /// sample yields both Top-1 and Top-k).
     pub fn run(&self) -> AccuracyResult {
         let data = SyntheticDataset::new(self.classes, self.image_size, self.noise, self.seed);
         let train = data.batch(self.train_per_class, self.seed.wrapping_add(1));
@@ -103,10 +110,8 @@ impl AccuracyExperiment {
         let exact = ExactEngine;
         let sconna = SconnaEngine::paper_default(self.seed);
 
-        let exact_top1 = qnet.accuracy(&test, &exact);
-        let exact_topk = qnet.top_k_accuracy(&test, self.k, &exact);
-        let sconna_top1 = qnet.accuracy(&test, &sconna);
-        let sconna_topk = qnet.top_k_accuracy(&test, self.k, &sconna);
+        let (exact_top1, exact_topk) = qnet.evaluate(&test, self.k, &exact, self.workers);
+        let (sconna_top1, sconna_topk) = qnet.evaluate(&test, self.k, &sconna, self.workers);
 
         AccuracyResult {
             fp_top1,
@@ -162,7 +167,9 @@ pub fn layer_error_experiment(
             let weights: Vec<i32> =
                 (0..w.vector_len).map(|_| rng.gen_range(-127..=127)).collect();
             reference.push(ExactEngine.vdp(&inputs, &weights));
-            measured.push(engine.vdp(&inputs, &weights));
+            // Distinct key per draw: each VDP sees an independent ADC
+            // noise realization, as the sequential shared-RNG stream did.
+            measured.push(engine.vdp_keyed(&inputs, &weights, measured.len() as u64));
         }
     }
 
@@ -199,6 +206,24 @@ mod tests {
             result.top1_drop_pct
         );
         assert!(result.sconna_topk >= result.sconna_top1);
+    }
+
+    #[test]
+    fn accuracy_experiment_is_worker_count_invariant() {
+        let base = AccuracyExperiment {
+            train_per_class: 8,
+            test_per_class: 6,
+            epochs: 4,
+            workers: 1,
+            ..Default::default()
+        };
+        let serial = base.run();
+        for workers in [2usize, 8] {
+            let parallel = AccuracyExperiment { workers, ..base }.run();
+            assert_eq!(serial.sconna_top1, parallel.sconna_top1, "{workers} workers");
+            assert_eq!(serial.sconna_topk, parallel.sconna_topk, "{workers} workers");
+            assert_eq!(serial.exact_top1, parallel.exact_top1, "{workers} workers");
+        }
     }
 
     #[test]

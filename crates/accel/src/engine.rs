@@ -2,15 +2,77 @@
 //! product exactly the way the hardware does — OSM stochastic multiplies,
 //! sign-steered PCA accumulation per DKV chunk, and ADC conversion with
 //! the calibrated 1.3 % MAPE error (Sections IV and V-C).
+//!
+//! The engine is **lock-free**: ADC noise is not drawn from a shared RNG
+//! (PR 2 guarded one behind a `Mutex`, serializing every rail conversion)
+//! but derived from a counter-keyed deterministic stream seeded by
+//! `(engine seed, caller key, chunk index, rail)`. Every conversion's
+//! noise is therefore a pure function of *what* is being converted and
+//! *where* it sits in the computation — bit-identical across call orders,
+//! thread counts and interleavings, with zero synchronization on the hot
+//! path. OSM products come from the precomputed [`OsmProductLut`] (the
+//! in-simulator mirror of the paper's offline DPU conversion LUT,
+//! Section II-B), so the inner loop is a table load plus a sign-steered
+//! add.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::RngCore;
 use sconna_photonics::pca::AdcModel;
-use sconna_sc::accumulate::SignedAccumulator;
+use sconna_sc::lut::OsmProductLut;
 use sconna_sc::multiply::osm_product_debiased;
 use sconna_sc::Precision;
-use sconna_tensor::engine::VdpEngine;
+use sconna_tensor::engine::{combine_keys, mix_key, VdpEngine};
+
+/// Counter-based deterministic noise stream (SplitMix64): constructed
+/// per rail conversion from the conversion's coordinates, never shared,
+/// never locked.
+struct KeyedAdcStream {
+    state: u64,
+}
+
+impl KeyedAdcStream {
+    /// Seeds the stream for one chunk's rail-pair conversion: `seed` is
+    /// the engine seed, `key` the caller's accumulator key, and `lane`
+    /// the chunk index within the vector. [`combine_keys`] keeps the
+    /// mixing non-commutative, so `(seed = A, key = B)` and
+    /// `(seed = B, key = A)` draw unrelated streams.
+    #[inline]
+    fn new(seed: u64, key: u64, lane: u64) -> Self {
+        Self {
+            state: combine_keys(combine_keys(seed, key), lane),
+        }
+    }
+}
+
+impl RngCore for KeyedAdcStream {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: increment by the golden-ratio constant, finalize.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix_key(self.state)
+    }
+}
+
+/// Sign-steered rail accumulation of one VDPE chunk: every element's
+/// debiased OSM product (from `product(i, |w|, osm_index)`) lands on the
+/// positive or negative rail by its weight's sign bit. Returns
+/// `(positive, negative)` ones counts.
+#[inline]
+fn accumulate_rails(
+    ichunk: &[u32],
+    wchunk: &[i32],
+    qmax: u32,
+    product: impl Fn(u32, u32, usize) -> u32,
+) -> (u64, u64) {
+    let (mut pos, mut neg) = (0u64, 0u64);
+    for (k, (&i, &w)) in ichunk.iter().zip(wchunk).enumerate() {
+        let p = product(i.min(qmax), w.unsigned_abs().min(qmax), k) as u64;
+        if w < 0 {
+            neg += p;
+        } else {
+            pos += p;
+        }
+    }
+    (pos, neg)
+}
 
 /// SCONNA stochastic VDP engine.
 pub struct SconnaEngine {
@@ -22,29 +84,22 @@ pub struct SconnaEngine {
     /// ADC model applied to each rail of each chunk; `None` isolates pure
     /// SC rounding error.
     pub adc: Option<AdcModel>,
-    rng: Mutex<StdRng>,
+    seed: u64,
+    /// Product tables; `None` above [`OsmProductLut::MAX_BITS`], where
+    /// the closed form takes over.
+    lut: Option<std::sync::Arc<OsmProductLut>>,
 }
 
 impl SconnaEngine {
     /// The paper's operating point: B = 8, N = 176, ADC with the 1.3 %
     /// MAPE calibration.
     pub fn paper_default(seed: u64) -> Self {
-        Self {
-            precision: Precision::B8,
-            vdpe_size: 176,
-            adc: Some(AdcModel::sconna_default()),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-        }
+        Self::new(Precision::B8, 176, Some(AdcModel::sconna_default()), seed)
     }
 
     /// ADC-noise-free variant (pure stochastic rounding error).
     pub fn noiseless() -> Self {
-        Self {
-            precision: Precision::B8,
-            vdpe_size: 176,
-            adc: None,
-            rng: Mutex::new(StdRng::seed_from_u64(0)),
-        }
+        Self::new(Precision::B8, 176, None, 0)
     }
 
     /// Custom configuration.
@@ -54,58 +109,88 @@ impl SconnaEngine {
             precision,
             vdpe_size,
             adc,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            seed,
+            lut: OsmProductLut::shared(precision),
         }
     }
 
-    /// Converts one rail's count through the ADC. The TIR's amplifier
+    /// The ADC range-matched to a chunk's occupancy. The TIR's amplifier
     /// gain (Section V-C: a configurable voltage amplifier) is assumed
     /// range-matched to the pass's occupancy: a chunk driving only
     /// `chunk_len` of the N wavelengths is amplified so the ADC's 8 bits
     /// span `chunk_len · 2^B` ones instead of the full `N · 2^B` — the
     /// standard programmable-gain idiom, without which short (e.g.
     /// depthwise, S = 9) vectors would be quantized into oblivion.
-    fn convert_rail(&self, ones: u64, chunk_len: usize) -> f64 {
-        match &self.adc {
-            Some(adc) => {
-                let ranged = AdcModel {
-                    full_scale_ones: (chunk_len * self.precision.stream_len()) as u64,
-                    ..*adc
-                };
-                let mut rng = self.rng.lock();
-                ranged.convert(ones as f64, &mut *rng)
-            }
-            None => ones as f64,
+    #[inline]
+    fn ranged_adc(&self, adc: &AdcModel, chunk_len: usize) -> AdcModel {
+        AdcModel {
+            full_scale_ones: (chunk_len * self.precision.stream_len()) as u64,
+            ..*adc
         }
     }
-}
 
-impl VdpEngine for SconnaEngine {
-    fn vdp(&self, inputs: &[u32], weights: &[i32]) -> f64 {
-        assert_eq!(inputs.len(), weights.len(), "vector length mismatch");
+    /// Converts one chunk's rail pair through a range-matched ADC, noise
+    /// keyed by `(engine seed, accumulator key, chunk)`. The rails share
+    /// one Box-Muller draw ([`AdcModel::convert_pair`]) but receive its
+    /// two independent Gaussian projections.
+    #[inline]
+    fn convert_rails(&self, ranged: &AdcModel, pos: u64, neg: u64, key: u64, chunk: usize) -> (f64, f64) {
+        let mut stream = KeyedAdcStream::new(self.seed, key, chunk as u64);
+        ranged.convert_pair(pos as f64, neg as f64, &mut stream)
+    }
+
+    /// One accumulator: chunked OSM products, sign-steered rail counts,
+    /// keyed ADC conversion. Shared verbatim by the single-vector and
+    /// batched paths, which is what makes them bit-identical.
+    #[inline]
+    fn vdp_core(&self, inputs: &[u32], weights: &[i32], key: u64) -> f64 {
         let scale = self.precision.stream_len() as f64;
         let qmax = self.precision.max_value();
         let mut total = 0.0f64;
-        for (ichunk, wchunk) in inputs
+        for (chunk, (ichunk, wchunk)) in inputs
             .chunks(self.vdpe_size)
             .zip(weights.chunks(self.vdpe_size))
+            .enumerate()
         {
             // One VDPE pass: OSM multiplies (alternating LUT pairings to
-            // cancel encoding bias) + sign-steered accumulation.
-            let mut acc = SignedAccumulator::new();
-            for (k, (&i, &w)) in ichunk.iter().zip(wchunk).enumerate() {
-                let i = i.min(qmax);
-                let mag = w.unsigned_abs().min(qmax);
-                acc.accumulate(osm_product_debiased(i, mag, self.precision, k), w < 0);
-            }
-            // Each rail's PCA digitizes independently.
-            let pos = self.convert_rail(acc.positive.total(), ichunk.len());
-            let neg = self.convert_rail(acc.negative.total(), ichunk.len());
+            // cancel encoding bias) + sign-steered accumulation. One
+            // accumulation loop, two monomorphized product sources — the
+            // clamping and rail steering can never diverge between the
+            // LUT and closed-form precisions.
+            let (pos, neg) = match &self.lut {
+                Some(lut) => accumulate_rails(ichunk, wchunk, qmax, |i, mag, k| {
+                    lut.product(i, mag, k)
+                }),
+                None => accumulate_rails(ichunk, wchunk, qmax, |i, mag, k| {
+                    osm_product_debiased(i, mag, self.precision, k)
+                }),
+            };
+            // Each rail's PCA digitizes independently (independent noise
+            // projections of one keyed draw).
+            let (pos, neg) = match &self.adc {
+                Some(adc) => {
+                    let ranged = self.ranged_adc(adc, ichunk.len());
+                    self.convert_rails(&ranged, pos, neg, key, chunk)
+                }
+                None => (pos as f64, neg as f64),
+            };
             // Counts are Σ i·w / 2^B; rescale to integer-product units.
             total += (pos - neg) * scale;
         }
         total
     }
+}
+
+impl VdpEngine for SconnaEngine {
+    fn vdp_keyed(&self, inputs: &[u32], weights: &[i32], key: u64) -> f64 {
+        assert_eq!(inputs.len(), weights.len(), "vector length mismatch");
+        self.vdp_core(inputs, weights, key)
+    }
+
+    // vdp_batch: the trait default already runs the whole patch × kernel
+    // tile through `vdp_keyed` with position-derived keys; since this
+    // engine's per-pair work is the lock-free `vdp_core` either way, an
+    // override would duplicate the default verbatim.
 
     fn name(&self) -> &'static str {
         "sconna-stochastic"
@@ -115,7 +200,7 @@ impl VdpEngine for SconnaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sconna_tensor::engine::ExactEngine;
+    use sconna_tensor::engine::{combine_keys, ExactEngine, PatchMatrix, WeightMatrix};
 
     fn test_vectors(len: usize) -> (Vec<u32>, Vec<i32>) {
         let inputs: Vec<u32> = (0..len).map(|k| ((k * 37) % 256) as u32).collect();
@@ -173,6 +258,42 @@ mod tests {
     }
 
     #[test]
+    fn distinct_keys_decorrelate_noise() {
+        // The keyed scheme must give different noise draws for different
+        // accumulator keys somewhere across a batch of vectors (a single
+        // pair can collapse onto the same coarse ADC code).
+        let e = SconnaEngine::paper_default(7);
+        let diverged = (0..20).any(|k| {
+            let (i, w) = test_vectors(150 + 11 * k);
+            e.vdp_keyed(&i, &w, 1) != e.vdp_keyed(&i, &w, 2)
+        });
+        assert!(diverged, "keys 1 and 2 never diverged");
+        // And the same key is always bit-identical.
+        let (i, w) = test_vectors(352);
+        assert_eq!(e.vdp_keyed(&i, &w, 99), e.vdp_keyed(&i, &w, 99));
+    }
+
+    #[test]
+    fn lut_path_matches_closed_form_path() {
+        // B12 exceeds the LUT bound, so the engine runs the closed form;
+        // B8 runs the tables. On common ground (operands ≤ B8 max, same
+        // chunking, no ADC) the noiseless results must agree exactly.
+        let (inputs, weights) = test_vectors(400);
+        let b8 = SconnaEngine::new(Precision::B8, 176, None, 0);
+        assert!(b8.lut.is_some(), "B8 must use the product LUT");
+        let closed = {
+            let mut e = SconnaEngine::new(Precision::B8, 176, None, 0);
+            e.lut = None;
+            e
+        };
+        assert_eq!(
+            b8.vdp(&inputs, &weights),
+            closed.vdp(&inputs, &weights),
+            "LUT and closed form diverged"
+        );
+    }
+
+    #[test]
     fn adc_noise_increases_error_over_noiseless() {
         let (inputs, weights) = test_vectors(352);
         let exact = ExactEngine.vdp(&inputs, &weights);
@@ -196,5 +317,33 @@ mod tests {
         let neg: Vec<i32> = weights.iter().map(|w| -w).collect();
         let e = SconnaEngine::noiseless();
         assert_eq!(e.vdp(&inputs, &weights), -e.vdp(&inputs, &neg));
+    }
+
+    #[test]
+    fn batch_tile_matches_per_vector_calls() {
+        // The tile path must honor the vdp_batch contract bit for bit,
+        // including ADC noise keying and ragged tail chunks (vector
+        // length 180 = one full 176-chunk + a 4-wide tail).
+        let cols = 180;
+        let patches = PatchMatrix::from_vec(
+            3,
+            cols,
+            (0..3 * cols).map(|i| ((i * 31) % 256) as u32).collect(),
+        );
+        let wdata: Vec<i32> = (0..5 * cols).map(|i| ((i * 41) % 255) as i32 - 127).collect();
+        let wm = WeightMatrix::new(&wdata, 5, cols);
+        let keys = [3u64, 99, 12345];
+        let e = SconnaEngine::paper_default(11);
+        let got = e.vdp_batch(&patches, &wm, &keys);
+        for p in 0..3 {
+            for k in 0..5u64 {
+                assert_eq!(
+                    got[p * 5 + k as usize].to_bits(),
+                    e.vdp_keyed(patches.row(p), wm.row(k as usize), combine_keys(keys[p], k))
+                        .to_bits(),
+                    "p={p} k={k}"
+                );
+            }
+        }
     }
 }

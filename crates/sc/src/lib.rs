@@ -39,4 +39,4 @@ pub mod sng;
 
 pub use bitstream::PackedBitstream;
 pub use format::{Precision, SignMagnitude, Unipolar};
-pub use lut::PairLut;
+pub use lut::{OsmProductLut, PairLut};

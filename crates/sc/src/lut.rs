@@ -16,7 +16,7 @@
 
 use crate::bitstream::PackedBitstream;
 use crate::format::Precision;
-use crate::multiply::multiply_streams;
+use crate::multiply::{lds_product, lds_product_floor, multiply_streams};
 use crate::sng::{LdsSng, StochasticNumberGenerator, ThermometerSng};
 
 /// Offline-generated LUT of uncorrelated stream pairs: entry `k` stores
@@ -114,6 +114,114 @@ impl XorHashedLut {
     }
 }
 
+/// Precomputed table of the **debiased OSM product** for every operand
+/// pair — the in-simulator mirror of the paper's offline DPU conversion
+/// LUT (Section II-B): just as the hardware converts binary operands to
+/// streams offline so the online datapath is a fetch + AND, the simulator
+/// converts the `O(B)` closed form into a table offline so the inference
+/// inner loop is a table load plus a sign-steered add.
+///
+/// Both pairings of
+/// [`osm_product_debiased`](crate::multiply::osm_product_debiased) are
+/// stored interleaved — entry `2·((i << B) | w)` holds the ceil (LDS ×
+/// thermometer) product, entry `2·((i << B) | w) + 1` the floor
+/// (complement) product — so the lookup is a shift-or index plus the OSM
+/// parity bit, with no table-select branch. At the paper's B = 8
+/// operating point this is the `256 × 256 × 2` u16 table (256 KiB),
+/// small enough to live in L2 next to the weights. The domain is the
+/// representable magnitudes `[0, 2^B)`; the engines clamp operands
+/// before the lookup, exactly as the hardware's `B`-bit registers do.
+#[derive(Debug, Clone)]
+pub struct OsmProductLut {
+    precision: Precision,
+    bits: u32,
+    table: Vec<u16>,
+}
+
+impl OsmProductLut {
+    /// Largest precision the table form supports: above B = 10 the
+    /// `(2^B)^2 × 2` u16 grid outgrows any cache level that would make
+    /// it faster than the closed form.
+    pub const MAX_BITS: u8 = 10;
+
+    /// Generates the interleaved product table for `precision`, or
+    /// `None` when the precision exceeds [`Self::MAX_BITS`] (callers
+    /// fall back to the closed form).
+    pub fn try_generate(precision: Precision) -> Option<Self> {
+        if precision.bits() > Self::MAX_BITS {
+            return None;
+        }
+        let l = precision.stream_len() as u32;
+        let mut table = Vec::with_capacity((l as usize) * (l as usize) * 2);
+        for i in 0..l {
+            for w in 0..l {
+                table.push(lds_product(i, w, precision) as u16);
+                table.push(lds_product_floor(i, w, precision) as u16);
+            }
+        }
+        Some(Self {
+            precision,
+            bits: precision.bits() as u32,
+            table,
+        })
+    }
+
+    /// Generates the tables.
+    ///
+    /// # Panics
+    /// Panics if `precision` exceeds [`Self::MAX_BITS`].
+    pub fn generate(precision: Precision) -> Self {
+        Self::try_generate(precision)
+            .unwrap_or_else(|| panic!("OsmProductLut supports at most B{}", Self::MAX_BITS))
+    }
+
+    /// Process-wide shared tables for `precision` (generated once,
+    /// then handed out as `Arc` clones): engines are constructed per
+    /// serving instance and per experiment, and the tables are immutable,
+    /// so there is no reason to regenerate them. The lock guards
+    /// construction only — the hot path holds a plain `Arc`.
+    pub fn shared(precision: Precision) -> Option<std::sync::Arc<Self>> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<u8, Arc<OsmProductLut>>>> = OnceLock::new();
+        if precision.bits() > Self::MAX_BITS {
+            return None;
+        }
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("LUT cache poisoned");
+        Some(
+            map.entry(precision.bits())
+                .or_insert_with(|| Arc::new(Self::generate(precision)))
+                .clone(),
+        )
+    }
+
+    /// Precision the tables were generated for.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Debiased OSM product by table load — equals
+    /// [`osm_product_debiased`](crate::multiply::osm_product_debiased)
+    /// for every operand pair in `[0, 2^B)` (property-tested). Callers
+    /// clamp operands to the representable range first (the engines'
+    /// existing discipline); out-of-range operands are a debug-assert.
+    #[inline]
+    pub fn product(&self, i: u32, w: u32, osm_index: usize) -> u32 {
+        debug_assert!(
+            i < (1 << self.bits) && w < (1 << self.bits),
+            "operands out of table domain"
+        );
+        let idx = ((((i as usize) << self.bits) | w as usize) << 1) | (osm_index & 1);
+        self.table[idx] as u32
+    }
+
+    /// Host-memory footprint of the interleaved table in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u16>()
+    }
+}
+
 /// A serializer models the LUT-to-OAG path: it drains a fetched bit-vector
 /// one bit per `1/bitrate` interval (Section IV-B drives the OAG PN
 /// junctions at up to 40 Gb/s). The iterator yields `(time_ps, bit)` pairs.
@@ -156,7 +264,7 @@ impl Serializer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multiply::{ideal_product, lds_product};
+    use crate::multiply::{ideal_product, lds_product, osm_product_debiased};
 
     #[test]
     fn pair_lut_matches_closed_form_b4() {
@@ -230,5 +338,48 @@ mod tests {
     #[should_panic(expected = "bitrate must be positive")]
     fn serializer_rejects_zero_bitrate() {
         let _ = Serializer::new(0.0);
+    }
+
+    #[test]
+    fn product_lut_matches_closed_form_exhaustive_b4() {
+        let p = Precision::B4;
+        let lut = OsmProductLut::generate(p);
+        for i in 0..16u32 {
+            for w in 0..16u32 {
+                for osm in 0..4 {
+                    assert_eq!(
+                        lut.product(i, w, osm),
+                        osm_product_debiased(i, w, p, osm),
+                        "i={i} w={w} osm={osm}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_lut_matches_closed_form_sampled_b8() {
+        let p = Precision::B8;
+        let lut = OsmProductLut::generate(p);
+        for i in (0..256u32).step_by(7) {
+            for w in (0..256u32).step_by(5) {
+                assert_eq!(lut.product(i, w, 0), osm_product_debiased(i, w, p, 0));
+                assert_eq!(lut.product(i, w, 1), osm_product_debiased(i, w, p, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn product_lut_b8_sizing() {
+        let lut = OsmProductLut::generate(Precision::B8);
+        // The paper-shaped 256 × 256 × 2 table at 2 bytes per entry.
+        assert_eq!(lut.storage_bytes(), 256 * 256 * 2 * 2);
+        assert_eq!(lut.precision(), Precision::B8);
+    }
+
+    #[test]
+    fn product_lut_refuses_oversized_precision() {
+        assert!(OsmProductLut::try_generate(Precision::new(10)).is_some());
+        assert!(OsmProductLut::try_generate(Precision::new(11)).is_none());
     }
 }

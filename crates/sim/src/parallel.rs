@@ -33,6 +33,12 @@ where
     if n == 0 {
         return Vec::new();
     }
+    if workers == 1 || n == 1 {
+        // Inline fast path: no thread spawn, no queue. Matters on the
+        // inference hot path, where conv layers call in with one worker
+        // per image while an outer sweep owns the parallelism.
+        return items.into_iter().map(f).collect();
+    }
     // Index queue: workers steal the next unprocessed index.
     let queue = SegQueue::new();
     for i in 0..n {
@@ -62,6 +68,21 @@ where
     results
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("worker completed"))
+        .collect()
+}
+
+/// Partitions `0..n` into contiguous ranges of at most `block` items —
+/// the fixed (worker-count-independent) work decomposition parallel
+/// loops hand to [`parallel_map_with`]. A partition that does not depend
+/// on the worker count is what keeps block-parallel results bit-identical
+/// for any number of workers.
+///
+/// # Panics
+/// Panics if `block` is zero.
+pub fn block_ranges(n: usize, block: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(block > 0, "block size must be positive");
+    (0..n.div_ceil(block))
+        .map(|b| b * block..((b + 1) * block).min(n))
         .collect()
 }
 
@@ -146,6 +167,29 @@ mod tests {
             msg.contains("scoped thread panicked") || msg.contains("worker died on 33"),
             "payload: {msg:?}"
         );
+    }
+
+    #[test]
+    fn block_ranges_cover_exactly_once() {
+        for (n, block) in [(0usize, 3usize), (1, 1), (7, 3), (9, 3), (10, 4), (5, 100)] {
+            let ranges = block_ranges(n, block);
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} block={block}");
+            assert!(ranges.iter().all(|r| r.len() <= block));
+        }
+    }
+
+    #[test]
+    fn single_worker_fast_path_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with(vec![1, 2, 3], 1, |i| {
+                if i == 2 {
+                    panic!("inline worker died");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

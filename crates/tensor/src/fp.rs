@@ -4,8 +4,59 @@
 //! calibration / parity tests, and backward passes for training the small
 //! CNN. Stride-1 convolution only — the small CNN downsamples with
 //! pooling, and the big models run through the quantized path.
+//!
+//! Convolution (forward and backward) runs through **im2col + GEMM**: the
+//! padded patch matrix is gathered once, and all three convolution
+//! contractions — output, weight gradient, input gradient — become dense
+//! matrix products over contiguous slices. This replaces per-element
+//! indexed accesses (each carrying a bounds assert) with vectorizable
+//! inner loops, which is what makes small-CNN training fast enough to
+//! test routinely.
 
 use crate::tensor::Tensor;
+
+/// Gathers the stride-1 zero-padded im2col patch matrix: one row of
+/// length `C·K·K` (in `(c, ky, kx)` order) per output position, rows in
+/// `(oy, ox)` row-major order. Returns `(col, h_out, w_out)`.
+fn im2col(
+    input: &Tensor<f32>,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+) -> (Vec<f32>, usize, usize) {
+    let [c_in, h, w] = *input.dims() else {
+        panic!("conv input must be rank 3, got {:?}", input.dims());
+    };
+    let h_out = h + 2 * pad - kh + 1;
+    let w_out = w + 2 * pad - kw + 1;
+    let s = c_in * kh * kw;
+    let x = input.as_slice();
+    let mut col = vec![0.0f32; h_out * w_out * s];
+    for oy in 0..h_out {
+        for ox in 0..w_out {
+            let row = &mut col[(oy * w_out + ox) * s..(oy * w_out + ox + 1) * s];
+            let mut idx = 0;
+            for c in 0..c_in {
+                for ky in 0..kh {
+                    let iy = oy + ky;
+                    if iy < pad || iy - pad >= h {
+                        idx += kw;
+                        continue;
+                    }
+                    let src = (c * h + (iy - pad)) * w;
+                    for kx in 0..kw {
+                        let ix = ox + kx;
+                        if ix >= pad && ix - pad < w {
+                            row[idx] = x[src + ix - pad];
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    (col, h_out, w_out)
+}
 
 /// Stride-1 zero-padded convolution forward: input `[C, H, W]`, weights
 /// `[L, C, K, K]`, bias `[L]` → output `[L, H', W']`.
@@ -18,7 +69,7 @@ pub fn conv_forward(
     bias: &[f32],
     pad: usize,
 ) -> Tensor<f32> {
-    let [c_in, h, w] = *input.dims() else {
+    let [c_in, _, _] = *input.dims() else {
         panic!("conv input must be rank 3, got {:?}", input.dims());
     };
     let [l, c_w, kh, kw] = *weights.dims() else {
@@ -26,30 +77,21 @@ pub fn conv_forward(
     };
     assert_eq!(c_in, c_w, "channel mismatch");
     assert_eq!(bias.len(), l, "bias length mismatch");
-    let h_out = h + 2 * pad - kh + 1;
-    let w_out = w + 2 * pad - kw + 1;
+    let (col, h_out, w_out) = im2col(input, kh, kw, pad);
+    let s = c_in * kh * kw;
+    let p_total = h_out * w_out;
+    let wd = weights.as_slice();
     let mut out = Tensor::<f32>::zeros(&[l, h_out, w_out]);
-    for k in 0..l {
-        for oy in 0..h_out {
-            for ox in 0..w_out {
-                let mut acc = bias[k];
-                for c in 0..c_in {
-                    for ky in 0..kh {
-                        let iy = oy + ky;
-                        if iy < pad || iy - pad >= h {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = ox + kx;
-                            if ix < pad || ix - pad >= w {
-                                continue;
-                            }
-                            acc += input.at3(c, iy - pad, ix - pad) * weights.at4(k, c, ky, kx);
-                        }
-                    }
-                }
-                out.set3(k, oy, ox, acc);
+    let od = out.as_mut_slice();
+    for pix in 0..p_total {
+        let crow = &col[pix * s..(pix + 1) * s];
+        for k in 0..l {
+            let wrow = &wd[k * s..(k + 1) * s];
+            let mut acc = bias[k];
+            for (cv, wv) in crow.iter().zip(wrow) {
+                acc += cv * wv;
             }
+            od[k * p_total + pix] = acc;
         }
     }
     out
@@ -67,35 +109,61 @@ pub fn conv_backward(
     let [lo, h_out, w_out] = *grad_out.dims() else { panic!("rank") };
     assert_eq!(l, lo, "kernel count mismatch");
 
-    let mut grad_in = Tensor::<f32>::zeros(&[c_in, h, w]);
+    let (col, ch_out, cw_out) = im2col(input, kh, kw, pad);
+    assert_eq!((ch_out, cw_out), (h_out, w_out), "grad_out shape mismatch");
+    let s = c_in * kh * kw;
+    let p_total = h_out * w_out;
+    let go = grad_out.as_slice();
+    let wd = weights.as_slice();
+
     let mut grad_w = Tensor::<f32>::zeros(weights.dims());
     let mut grad_b = vec![0.0f32; l];
+    // gcol[pix][s] = Σ_k g[k][pix] · w[k][s] — the input gradient in
+    // im2col coordinates, scattered back by col2im below.
+    let mut gcol = vec![0.0f32; p_total * s];
 
     for k in 0..l {
-        for oy in 0..h_out {
-            for ox in 0..w_out {
-                let g = grad_out.at3(k, oy, ox);
-                if g == 0.0 {
-                    continue;
-                }
-                grad_b[k] += g;
-                for c in 0..c_in {
-                    for ky in 0..kh {
-                        let iy = oy + ky;
-                        if iy < pad || iy - pad >= h {
-                            continue;
+        let go_row = &go[k * p_total..(k + 1) * p_total];
+        let wrow = &wd[k * s..(k + 1) * s];
+        let gw_row = &mut grad_w.as_mut_slice()[k * s..(k + 1) * s];
+        for (pix, &g) in go_row.iter().enumerate() {
+            // ReLU upstream makes grad_out sparse; skipping zeros keeps
+            // the old fast path for dead units.
+            if g == 0.0 {
+                continue;
+            }
+            grad_b[k] += g;
+            let crow = &col[pix * s..(pix + 1) * s];
+            let grow = &mut gcol[pix * s..(pix + 1) * s];
+            for idx in 0..s {
+                gw_row[idx] += g * crow[idx];
+                grow[idx] += g * wrow[idx];
+            }
+        }
+    }
+
+    // col2im: scatter-add the patch-coordinate gradients back to input
+    // coordinates.
+    let mut grad_in = Tensor::<f32>::zeros(&[c_in, h, w]);
+    let gi = grad_in.as_mut_slice();
+    for oy in 0..h_out {
+        for ox in 0..w_out {
+            let grow = &gcol[(oy * w_out + ox) * s..(oy * w_out + ox + 1) * s];
+            let mut idx = 0;
+            for c in 0..c_in {
+                for ky in 0..kh {
+                    let iy = oy + ky;
+                    if iy < pad || iy - pad >= h {
+                        idx += kw;
+                        continue;
+                    }
+                    let dst = (c * h + (iy - pad)) * w;
+                    for kx in 0..kw {
+                        let ix = ox + kx;
+                        if ix >= pad && ix - pad < w {
+                            gi[dst + ix - pad] += grow[idx];
                         }
-                        for kx in 0..kw {
-                            let ix = ox + kx;
-                            if ix < pad || ix - pad >= w {
-                                continue;
-                            }
-                            let (y, x) = (iy - pad, ix - pad);
-                            let gw = grad_w.at4(k, c, ky, kx) + g * input.at3(c, y, x);
-                            grad_w.set4(k, c, ky, kx, gw);
-                            let gi = grad_in.at3(c, y, x) + g * weights.at4(k, c, ky, kx);
-                            grad_in.set3(c, y, x, gi);
-                        }
+                        idx += 1;
                     }
                 }
             }

@@ -6,10 +6,40 @@
 //! SCONNA stochastic pipeline (engine from `sconna-accel`). Pooling and
 //! ReLU act directly on activation codes (ReLU is folded into
 //! requantization's clamp at zero).
+//!
+//! Convolution runs through an **im2col + batched-VDP** hot path: output
+//! rows are cut into fixed blocks, each block's patches are gathered into
+//! a [`PatchMatrix`] once per group, and the whole patch × kernel tile
+//! goes to [`VdpEngine::vdp_batch`] in one call. Blocks are independent,
+//! so they evaluate in parallel (`sconna_sim::parallel`) and — because
+//! every accumulator's noise key is derived from its (layer, group,
+//! output position, kernel) coordinates, never from execution order —
+//! the result is bit-identical for any worker count. The pre-batching
+//! per-pixel path survives as [`QConv2d::forward_reference`], the parity
+//! oracle and benchmark baseline.
 
-use crate::engine::VdpEngine;
+use crate::engine::{combine_keys, mix_key, PatchMatrix, VdpEngine, WeightMatrix};
 use crate::quant::Requant;
 use crate::tensor::Tensor;
+use sconna_sim::parallel::{block_ranges, parallel_map_with};
+
+/// Target patch count per im2col block: large enough that the GEMM tile
+/// amortizes gather, dispatch and buffer setup, small enough that
+/// row-parallel layers still expose work to every worker. The row count
+/// per block derives from this and the output width alone — never from
+/// the worker count — so the block decomposition (and with it every
+/// noise key) is identical for any parallelism.
+const CONV_BLOCK_PATCHES: usize = 128;
+
+/// FNV-1a hash of a layer name — the stable per-layer component of every
+/// accumulator's noise key.
+fn name_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix_key(h)
+}
 
 /// Quantized 2-D convolution.
 #[derive(Debug, Clone)]
@@ -48,6 +78,11 @@ impl QConv2d {
         d * k * k
     }
 
+    /// Stable per-layer noise-key component (FNV-1a of the layer name).
+    pub fn layer_key(&self) -> u64 {
+        name_key(&self.name)
+    }
+
     /// Runs the convolution on activation codes (ReLU folded into the
     /// requantizer's clamp at zero).
     ///
@@ -55,38 +90,79 @@ impl QConv2d {
     /// Panics if the input channel count does not match the weights and
     /// groups, or the kernel does not fit the padded input.
     pub fn forward(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<u32> {
-        let mut out = Tensor::<u32>::zeros(&self.out_dims(input));
-        self.for_each_accumulator(input, engine, |k, oy, ox, acc, requant| {
-            out.set3(k, oy, ox, requant.apply(acc));
-        });
-        out
+        self.forward_keyed(input, engine, self.layer_key(), 1)
+    }
+
+    /// [`QConv2d::forward`] with an explicit noise base key and worker
+    /// count. The base key lets callers decorrelate noise across images
+    /// (the network forward mixes an image key in); the block-parallel
+    /// result is bit-identical for every `workers` value.
+    pub fn forward_keyed(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        base_key: u64,
+        workers: usize,
+    ) -> Tensor<u32> {
+        self.forward_blocks(input, engine, base_key, workers, |acc, rq| rq.apply(acc))
     }
 
     /// Runs the convolution but keeps **signed pre-activation codes**
     /// (same scale as [`QConv2d::forward`], no ReLU clamp) — what a
     /// residual branch produces before the skip addition.
     pub fn forward_preactivation(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<i32> {
-        let mut out = Tensor::<i32>::zeros(&self.out_dims(input));
-        self.for_each_accumulator(input, engine, |k, oy, ox, acc, requant| {
-            out.set3(k, oy, ox, requant.apply_signed(acc));
-        });
-        out
+        self.forward_preactivation_keyed(input, engine, self.layer_key(), 1)
     }
 
-    fn out_dims(&self, input: &Tensor<u32>) -> [usize; 3] {
-        let [_, h, w] = *input.dims() else {
-            panic!("conv input must be rank 3, got {:?}", input.dims());
-        };
-        let (h_out, w_out) = self.output_hw(h, w);
-        [self.weights.dims()[0], h_out, w_out]
-    }
-
-    fn for_each_accumulator(
+    /// [`QConv2d::forward_preactivation`] with an explicit noise base key
+    /// and worker count.
+    pub fn forward_preactivation_keyed(
         &self,
         input: &Tensor<u32>,
         engine: &dyn VdpEngine,
-        mut emit: impl FnMut(usize, usize, usize, f64, &Requant),
-    ) {
+        base_key: u64,
+        workers: usize,
+    ) -> Tensor<i32> {
+        self.forward_blocks(input, engine, base_key, workers, |acc, rq| {
+            rq.apply_signed(acc)
+        })
+    }
+
+    /// Pre-batching reference path: per-pixel patch gather and one
+    /// single-vector engine call per (pixel, kernel), with the **same
+    /// noise keys** as the batched path — the parity oracle for the
+    /// im2col/`vdp_batch` rebuild and the baseline the inference bench
+    /// measures speedup against.
+    pub fn forward_reference(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<u32> {
+        let geo = self.validate(input);
+        let base_key = self.layer_key();
+        let mut out = Tensor::<u32>::zeros(&[geo.l, geo.h_out, geo.w_out]);
+        let mut patch: Vec<u32> = vec![0; geo.patch_len];
+        for oy in 0..geo.h_out {
+            for ox in 0..geo.w_out {
+                for g in 0..self.groups {
+                    self.gather_patch(input, &geo, g, oy, ox, &mut patch);
+                    let pkey = combine_keys(
+                        base_key,
+                        ((g * geo.h_out + oy) * geo.w_out + ox) as u64,
+                    );
+                    for kg in 0..geo.kernels_per_group {
+                        let k = g * geo.kernels_per_group + kg;
+                        let wrow =
+                            &self.weights.as_slice()[k * geo.patch_len..(k + 1) * geo.patch_len];
+                        let acc =
+                            engine.vdp_keyed(&patch, wrow, combine_keys(pkey, kg as u64))
+                                + self.bias[k];
+                        out.set3(k, oy, ox, self.requant.apply(acc));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates shapes and returns the derived geometry.
+    fn validate(&self, input: &Tensor<u32>) -> ConvGeometry {
         let [l, d_g, kh, kw] = *self.weights.dims() else {
             panic!("conv weights must be rank 4, got {:?}", self.weights.dims());
         };
@@ -109,41 +185,195 @@ impl QConv2d {
             self.name,
             self.padding
         );
-
         let (h_out, w_out) = self.output_hw(h, w);
-        let patch_len = self.vector_len();
-        let kernels_per_group = l / self.groups;
-        let mut patch: Vec<u32> = vec![0; patch_len];
+        ConvGeometry {
+            l,
+            d_g,
+            k: kh,
+            h,
+            w,
+            h_out,
+            w_out,
+            patch_len: self.vector_len(),
+            kernels_per_group: l / self.groups,
+        }
+    }
 
-        for oy in 0..h_out {
-            for ox in 0..w_out {
-                for g in 0..self.groups {
-                    // Gather the (c, y, x)-ordered patch for this group —
-                    // the DIV of Section II-B.
-                    let mut idx = 0;
-                    for c in 0..d_g {
-                        let ic = g * d_g + c;
-                        for ky in 0..kh {
-                            let iy = oy * self.stride + ky;
-                            for kx in 0..kw {
-                                let ix = ox * self.stride + kx;
-                                patch[idx] = in_bounds(iy, ix, self.padding, h, w)
-                                    .map(|(y, x)| input.at3(ic, y, x))
-                                    .unwrap_or(0);
-                                idx += 1;
-                            }
-                        }
-                    }
-                    for kg in 0..kernels_per_group {
-                        let k = g * kernels_per_group + kg;
-                        let wrow = &self.weights.as_slice()[k * patch_len..(k + 1) * patch_len];
-                        let acc = engine.vdp(&patch, wrow) + self.bias[k];
-                        emit(k, oy, ox, acc, &self.requant);
-                    }
+    /// Gathers the (c, y, x)-ordered patch of group `g` at output
+    /// position `(oy, ox)` — the DIV of Section II-B.
+    #[inline]
+    fn gather_patch(
+        &self,
+        input: &Tensor<u32>,
+        geo: &ConvGeometry,
+        g: usize,
+        oy: usize,
+        ox: usize,
+        patch: &mut [u32],
+    ) {
+        let mut idx = 0;
+        for c in 0..geo.d_g {
+            let ic = g * geo.d_g + c;
+            for ky in 0..geo.k {
+                let iy = oy * self.stride + ky;
+                for kx in 0..geo.k {
+                    let ix = ox * self.stride + kx;
+                    patch[idx] = in_bounds(iy, ix, self.padding, geo.h, geo.w)
+                        .map(|(y, x)| input.at3(ic, y, x))
+                        .unwrap_or(0);
+                    idx += 1;
                 }
             }
         }
     }
+
+    /// [`QConv2d::gather_patch`] without per-tap indexing: each kernel
+    /// row of the patch is one bulk copy of the contiguous input span
+    /// (`kx` consecutive ⇒ source x consecutive, any stride), with
+    /// padding pre-zeroed. Produces exactly the same patch — the parity
+    /// proptests run the per-tap reference against this path.
+    #[inline]
+    fn gather_patch_fast(
+        &self,
+        x: &[u32],
+        geo: &ConvGeometry,
+        g: usize,
+        oy: usize,
+        ox: usize,
+        patch: &mut [u32],
+    ) {
+        let ix0 = ox * self.stride;
+        let pad = self.padding;
+        let mut idx = 0;
+        for c in 0..geo.d_g {
+            let base_c = (g * geo.d_g + c) * geo.h * geo.w;
+            for ky in 0..geo.k {
+                let row = &mut patch[idx..idx + geo.k];
+                idx += geo.k;
+                let iy = oy * self.stride + ky;
+                let y = match iy.checked_sub(pad) {
+                    Some(y) if y < geo.h => y,
+                    _ => {
+                        row.fill(0);
+                        continue;
+                    }
+                };
+                // kx consecutive ⇒ source x consecutive: one branchy
+                // pass over the row (interior rows predict perfectly;
+                // a memcpy call would cost more than these few taps).
+                let src = &x[base_c + y * geo.w..base_c + (y + 1) * geo.w];
+                for (kx, slot) in row.iter_mut().enumerate() {
+                    let ix = ix0 + kx;
+                    *slot = if ix >= pad && ix - pad < geo.w {
+                        src[ix - pad]
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+    }
+
+    /// The batched hot path: row blocks → im2col gather → `vdp_batch`
+    /// tile per group → requantize, blocks evaluated in parallel.
+    fn forward_blocks<T>(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        base_key: u64,
+        workers: usize,
+        convert: impl Fn(f64, &Requant) -> T + Sync,
+    ) -> Tensor<T>
+    where
+        T: Copy + Default + Send,
+    {
+        let geo = self.validate(input);
+        let rows_per_block = (CONV_BLOCK_PATCHES / geo.w_out.max(1)).clamp(1, 16);
+        let blocks = block_ranges(geo.h_out, rows_per_block);
+        let slabs: Vec<Vec<T>> = parallel_map_with(blocks.clone(), workers, |rows| {
+            self.eval_rows(input, engine, &geo, base_key, rows, &convert)
+        });
+
+        // Assemble the row slabs (laid out [k][block row][x]) into the
+        // output tensor.
+        let mut out = Tensor::<T>::zeros(&[geo.l, geo.h_out, geo.w_out]);
+        let od = out.as_mut_slice();
+        for (rows, slab) in blocks.into_iter().zip(slabs) {
+            let bh = rows.len();
+            for k in 0..geo.l {
+                for (by, oy) in rows.clone().enumerate() {
+                    let src = (k * bh + by) * geo.w_out;
+                    let dst = (k * geo.h_out + oy) * geo.w_out;
+                    od[dst..dst + geo.w_out].copy_from_slice(&slab[src..src + geo.w_out]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates output rows `rows` of every kernel: one im2col gather +
+    /// one `vdp_batch` tile per group.
+    fn eval_rows<T>(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        geo: &ConvGeometry,
+        base_key: u64,
+        rows: std::ops::Range<usize>,
+        convert: &(impl Fn(f64, &Requant) -> T + Sync),
+    ) -> Vec<T>
+    where
+        T: Copy + Default,
+    {
+        let bh = rows.len();
+        let n_patches = bh * geo.w_out;
+        let mut slab = vec![T::default(); geo.l * n_patches];
+        let mut patches = PatchMatrix::zeros(n_patches, geo.patch_len);
+        let mut keys = vec![0u64; n_patches];
+        let kpg = geo.kernels_per_group;
+
+        for g in 0..self.groups {
+            for (by, oy) in rows.clone().enumerate() {
+                for ox in 0..geo.w_out {
+                    let pi = by * geo.w_out + ox;
+                    self.gather_patch_fast(input.as_slice(), geo, g, oy, ox, patches.row_mut(pi));
+                    // Key layout mirrors forward_reference exactly: the
+                    // key of an accumulator depends only on its (layer,
+                    // group, output position) coordinates, never on the
+                    // block decomposition.
+                    keys[pi] = combine_keys(
+                        base_key,
+                        ((g * geo.h_out + oy) * geo.w_out + ox) as u64,
+                    );
+                }
+            }
+            let wslice =
+                &self.weights.as_slice()[g * kpg * geo.patch_len..(g + 1) * kpg * geo.patch_len];
+            let wm = WeightMatrix::new(wslice, kpg, geo.patch_len);
+            let accs = engine.vdp_batch(&patches, &wm, &keys);
+            for pi in 0..n_patches {
+                for kg in 0..kpg {
+                    let k = g * kpg + kg;
+                    let acc = accs[pi * kpg + kg] + self.bias[k];
+                    slab[k * n_patches + pi] = convert(acc, &self.requant);
+                }
+            }
+        }
+        slab
+    }
+}
+
+/// Shape data derived once per conv forward.
+struct ConvGeometry {
+    l: usize,
+    d_g: usize,
+    k: usize,
+    h: usize,
+    w: usize,
+    h_out: usize,
+    w_out: usize,
+    patch_len: usize,
+    kernels_per_group: usize,
 }
 
 /// Residual merge on codes: signed pre-activation branch + unsigned skip
@@ -256,22 +486,38 @@ pub struct QFc {
 }
 
 impl QFc {
+    /// Stable per-layer noise-key component (FNV-1a of the layer name).
+    pub fn layer_key(&self) -> u64 {
+        name_key(&self.name)
+    }
+
     /// Computes real-valued logits.
     ///
     /// # Panics
     /// Panics if the input length does not match the weight matrix.
     pub fn forward_logits(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Vec<f32> {
+        self.forward_logits_keyed(input, engine, self.layer_key())
+    }
+
+    /// [`QFc::forward_logits`] with an explicit noise base key: the whole
+    /// classifier is one 1 × `out_features` `vdp_batch` tile.
+    pub fn forward_logits_keyed(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        base_key: u64,
+    ) -> Vec<f32> {
         let [out_f, in_f] = *self.weights.dims() else {
             panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
         };
         assert_eq!(input.len(), in_f, "{}: input length mismatch", self.name);
         assert_eq!(self.bias.len(), out_f, "{}: bias length mismatch", self.name);
-        (0..out_f)
-            .map(|o| {
-                let wrow = &self.weights.as_slice()[o * in_f..(o + 1) * in_f];
-                let acc = engine.vdp(input.as_slice(), wrow);
-                acc as f32 * self.dequant + self.bias[o]
-            })
+        let patches = PatchMatrix::from_vec(1, in_f, input.as_slice().to_vec());
+        let wm = WeightMatrix::new(self.weights.as_slice(), out_f, in_f);
+        let accs = engine.vdp_batch(&patches, &wm, &[base_key]);
+        accs.iter()
+            .zip(&self.bias)
+            .map(|(&acc, &b)| acc as f32 * self.dequant + b)
             .collect()
     }
 }
@@ -482,6 +728,61 @@ mod tests {
     fn top_k_ordering() {
         let logits = [0.1f32, 5.0, -2.0, 3.0];
         assert_eq!(top_k(&logits, 3), vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn batched_forward_matches_reference_path() {
+        // Strided, padded, grouped: the im2col path must agree with the
+        // per-pixel reference everywhere.
+        let conv = QConv2d {
+            name: "parity".into(),
+            weights: Tensor::from_fn(&[4, 2, 3, 3], |i| (i % 17) as i32 - 8),
+            bias: vec![1.0, -2.0, 0.5, 3.0],
+            stride: 2,
+            padding: 1,
+            groups: 2,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_fn(&[4, 7, 7], |i| (i % 256) as u32);
+        let batched = conv.forward(&input, &ExactEngine);
+        let reference = conv.forward_reference(&input, &ExactEngine);
+        assert_eq!(batched.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn forward_is_worker_count_invariant() {
+        let conv = QConv2d {
+            name: "workers".into(),
+            weights: Tensor::from_fn(&[3, 2, 3, 3], |i| (i % 13) as i32 - 6),
+            bias: vec![0.0; 3],
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_fn(&[2, 11, 9], |i| (i % 200) as u32);
+        let key = conv.layer_key();
+        let baseline = conv.forward_keyed(&input, &ExactEngine, key, 1);
+        for workers in [2usize, 3, 8] {
+            let run = conv.forward_keyed(&input, &ExactEngine, key, workers);
+            assert_eq!(baseline.as_slice(), run.as_slice(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn preactivation_matches_relu_free_requant() {
+        let conv = QConv2d {
+            name: "pre".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![-1]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_vec(&[1, 1, 2], vec![5, 3]);
+        let pre = conv.forward_preactivation(&input, &ExactEngine);
+        assert_eq!(pre.as_slice(), &[-5, -3]);
     }
 
     #[test]

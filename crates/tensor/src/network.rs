@@ -1,10 +1,11 @@
 //! Quantized network container: an ordered stack of quantized layers that
 //! runs end-to-end on any [`VdpEngine`].
 
-use crate::engine::VdpEngine;
+use crate::engine::{combine_keys, VdpEngine};
 use crate::layers::{GlobalAvgPool, MaxPool2d, QConv2d, QFc};
 use crate::quant::ActivationQuant;
 use crate::tensor::Tensor;
+use sconna_sim::parallel::parallel_map_with;
 
 /// One layer of a quantized network.
 #[derive(Debug, Clone)]
@@ -36,16 +37,42 @@ impl QuantizedNetwork {
     /// Panics if the network does not end in an FC layer or an FC layer
     /// appears before the end.
     pub fn forward(&self, image: &Tensor<f32>, engine: &dyn VdpEngine) -> Vec<f32> {
+        self.forward_keyed(image, engine, 0)
+    }
+
+    /// [`QuantizedNetwork::forward`] with an **image key** mixed into
+    /// every layer's noise key: distinct keys give stochastic engines
+    /// statistically independent noise per image, while the result stays
+    /// a pure function of `(image, key)` — the property that lets
+    /// accuracy evaluation parallelize over images without losing
+    /// reproducibility.
+    pub fn forward_keyed(
+        &self,
+        image: &Tensor<f32>,
+        engine: &dyn VdpEngine,
+        image_key: u64,
+    ) -> Vec<f32> {
         let mut act: Tensor<u32> = self.input_quant.quantize_tensor(image);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             match layer {
-                QLayer::Conv(conv) => act = conv.forward(&act, engine),
+                QLayer::Conv(conv) => {
+                    act = conv.forward_keyed(
+                        &act,
+                        engine,
+                        combine_keys(image_key, conv.layer_key()),
+                        1,
+                    )
+                }
                 QLayer::MaxPool(pool) => act = pool.forward(&act),
                 QLayer::GlobalAvgPool => act = GlobalAvgPool.forward(&act),
                 QLayer::Fc(fc) => {
                     assert_eq!(i, last, "FC must be the final layer");
-                    return fc.forward_logits(&act, engine);
+                    return fc.forward_logits_keyed(
+                        &act,
+                        engine,
+                        combine_keys(image_key, fc.layer_key()),
+                    );
                 }
             }
         }
@@ -57,20 +84,39 @@ impl QuantizedNetwork {
         crate::layers::argmax(&self.forward(image, engine))
     }
 
+    /// Top-1 and Top-k accuracy in one forward pass per sample,
+    /// parallelized over images. Sample `i` runs under image key `i`, so
+    /// the result is worker-count invariant and reproducible.
+    pub fn evaluate(
+        &self,
+        samples: &[crate::dataset::Sample],
+        k: usize,
+        engine: &dyn VdpEngine,
+        workers: usize,
+    ) -> (f64, f64) {
+        if samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let hits = parallel_map_with((0..samples.len()).collect(), workers, |i: usize| {
+            let s = &samples[i];
+            let logits = self.forward_keyed(&s.image, engine, i as u64);
+            let top1 = crate::layers::argmax(&logits) == s.label;
+            let topk = crate::layers::top_k(&logits, k).contains(&s.label);
+            (top1, topk)
+        });
+        let n = samples.len() as f64;
+        let top1 = hits.iter().filter(|h| h.0).count() as f64 / n;
+        let topk = hits.iter().filter(|h| h.1).count() as f64 / n;
+        (top1, topk)
+    }
+
     /// Top-1 accuracy over a labelled set.
     pub fn accuracy(
         &self,
         samples: &[crate::dataset::Sample],
         engine: &dyn VdpEngine,
     ) -> f64 {
-        if samples.is_empty() {
-            return 0.0;
-        }
-        let correct = samples
-            .iter()
-            .filter(|s| self.predict(&s.image, engine) == s.label)
-            .count();
-        correct as f64 / samples.len() as f64
+        self.evaluate(samples, 1, engine, 1).0
     }
 
     /// Top-k accuracy over a labelled set.
@@ -80,16 +126,7 @@ impl QuantizedNetwork {
         k: usize,
         engine: &dyn VdpEngine,
     ) -> f64 {
-        if samples.is_empty() {
-            return 0.0;
-        }
-        let correct = samples
-            .iter()
-            .filter(|s| {
-                crate::layers::top_k(&self.forward(&s.image, engine), k).contains(&s.label)
-            })
-            .count();
-        correct as f64 / samples.len() as f64
+        self.evaluate(samples, k, engine, 1).1
     }
 }
 
@@ -156,5 +193,22 @@ mod tests {
     fn empty_sample_set_is_zero_accuracy() {
         let net = tiny_network();
         assert_eq!(net.accuracy(&[], &ExactEngine), 0.0);
+        assert_eq!(net.evaluate(&[], 2, &ExactEngine, 4), (0.0, 0.0));
+    }
+
+    #[test]
+    fn evaluate_is_worker_count_invariant() {
+        use crate::dataset::Sample;
+        let net = tiny_network();
+        let samples: Vec<Sample> = (0..7)
+            .map(|i| Sample {
+                image: Tensor::from_fn(&[1, 4, 4], |j| ((i * 5 + j) % 16) as f32 / 16.0),
+                label: i % 2,
+            })
+            .collect();
+        let baseline = net.evaluate(&samples, 2, &ExactEngine, 1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(net.evaluate(&samples, 2, &ExactEngine, workers), baseline);
+        }
     }
 }

@@ -131,17 +131,13 @@ impl Requant {
     }
 
     /// Requantizes one accumulator value (f64 because SC engines return
-    /// estimates).
+    /// estimates). Branch-free — this runs once per conv output pixel on
+    /// the inference hot path (a NaN accumulator saturates to 0, as the
+    /// float→int cast did before).
     pub fn apply(&self, acc: f64) -> u32 {
         let qmax = (1u32 << self.bits) - 1;
         let v = (acc * self.multiplier as f64).round();
-        if v <= 0.0 {
-            0
-        } else if v >= qmax as f64 {
-            qmax
-        } else {
-            v as u32
-        }
+        v.clamp(0.0, qmax as f64) as u32
     }
 
     /// Requantizes keeping the sign (no ReLU clamp): the pre-activation

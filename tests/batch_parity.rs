@@ -1,0 +1,123 @@
+//! Parity guarantees of the batched inference path: `vdp_batch` tiles,
+//! the im2col patch gather, and block-parallel conv forward must all be
+//! bit-identical to their single-vector / per-pixel references — for the
+//! exact engine, the noiseless stochastic engine, and the noisy engine
+//! with keyed ADC error.
+
+use proptest::prelude::*;
+use sconna::accel::SconnaEngine;
+use sconna::photonics::pca::AdcModel;
+use sconna::sc::Precision;
+use sconna::tensor::engine::{combine_keys, ExactEngine, PatchMatrix, VdpEngine, WeightMatrix};
+use sconna::tensor::layers::QConv2d;
+use sconna::tensor::quant::{ActivationQuant, Requant, WeightQuant};
+use sconna::tensor::Tensor;
+
+fn unit_requant() -> Requant {
+    Requant::new(
+        ActivationQuant { scale: 1.0, bits: 8 },
+        WeightQuant { scale: 1.0, bits: 8 },
+        ActivationQuant { scale: 1.0, bits: 8 },
+    )
+}
+
+/// Asserts the `vdp_batch` contract on one engine: entry `(p, k)` equals
+/// the single-vector call under the combined key, bit for bit.
+fn assert_batch_parity(engine: &dyn VdpEngine, patches: &PatchMatrix, wm: &WeightMatrix<'_>, keys: &[u64]) {
+    let got = engine.vdp_batch(patches, wm, keys);
+    assert_eq!(got.len(), patches.rows() * wm.rows());
+    for p in 0..patches.rows() {
+        for k in 0..wm.rows() {
+            let want = engine.vdp_keyed(patches.row(p), wm.row(k), combine_keys(keys[p], k as u64));
+            assert_eq!(
+                got[p * wm.rows() + k].to_bits(),
+                want.to_bits(),
+                "{}: tile entry ({p}, {k}) diverged from per-vector path",
+                engine.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Tile ≡ per-vector for both engines across precisions, VDPE sizes
+    /// (ragged tail chunks included) and ADC on/off.
+    #[test]
+    fn prop_vdp_batch_matches_per_vector(
+        bits in 2u8..=9,
+        vdpe in 3usize..=40,
+        cols in 0usize..=90,
+        rows in 1usize..=4,
+        kernels in 1usize..=6,
+        seed in 0u64..=1000,
+        noisy in 0u8..=1,
+    ) {
+        let noisy = noisy == 1;
+        let precision = Precision::new(bits);
+        let qmax = precision.max_value();
+        let patches = PatchMatrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (i as u32 * 37 + seed as u32) % (qmax + 1)).collect(),
+        );
+        let wdata: Vec<i32> = (0..kernels * cols)
+            .map(|i| ((i as i64 * 53 + seed as i64) % (2 * qmax as i64 + 1)) as i32 - qmax as i32)
+            .collect();
+        let wm = WeightMatrix::new(&wdata, kernels, cols);
+        let keys: Vec<u64> = (0..rows as u64).map(|p| p.wrapping_mul(seed | 1)).collect();
+
+        let adc = noisy.then(AdcModel::sconna_default);
+        let sconna = SconnaEngine::new(precision, vdpe, adc, seed);
+        assert_batch_parity(&sconna, &patches, &wm, &keys);
+        assert_batch_parity(&ExactEngine, &patches, &wm, &keys);
+    }
+
+    /// im2col + batched tiles ≡ per-pixel gather + single-vector calls on
+    /// random conv geometries (stride / padding / groups / kernel size),
+    /// and the block-parallel forward is worker-count invariant — all
+    /// checked on the *noisy* engine, where any key or gather mismatch
+    /// shows up as a bit difference.
+    #[test]
+    fn prop_conv_forward_matches_reference_gather(
+        d_g in 1usize..=3,
+        groups in 1usize..=3,
+        kpg in 1usize..=3,
+        k in 1usize..=2,
+        stride in 1usize..=2,
+        padding in 0usize..=1,
+        extra_h in 0usize..=5,
+        extra_w in 0usize..=5,
+        seed in 0u64..=500,
+        noisy in 0u8..=1,
+    ) {
+        let noisy = noisy == 1;
+        let k = 2 * k - 1; // kernel side 1 or 3
+        let d_in = d_g * groups;
+        let l = kpg * groups;
+        let (h, w) = (k + extra_h, k + extra_w);
+        let conv = QConv2d {
+            name: format!("prop-{seed}"),
+            weights: Tensor::from_fn(&[l, d_g, k, k], |i| ((i as i64 + seed as i64) % 255) as i32 - 127),
+            bias: (0..l).map(|b| b as f64 - 1.0).collect(),
+            stride,
+            padding,
+            groups,
+            requant: unit_requant(),
+        };
+        let input = Tensor::<u32>::from_fn(&[d_in, h, w], |i| ((i as u64 * 31 + seed) % 256) as u32);
+
+        let engine: Box<dyn VdpEngine> = if noisy {
+            Box::new(SconnaEngine::paper_default(seed))
+        } else {
+            Box::new(ExactEngine)
+        };
+        let reference = conv.forward_reference(&input, engine.as_ref());
+        let batched = conv.forward(&input, engine.as_ref());
+        prop_assert_eq!(reference.as_slice(), batched.as_slice());
+
+        for workers in [2usize, 8] {
+            let parallel = conv.forward_keyed(&input, engine.as_ref(), conv.layer_key(), workers);
+            prop_assert_eq!(batched.as_slice(), parallel.as_slice(), "workers {}", workers);
+        }
+    }
+}

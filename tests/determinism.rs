@@ -133,49 +133,82 @@ fn concurrent_vdp_on_shared_noiseless_engine_matches_serial() {
     });
 }
 
+/// The noisy-call workload shared by the keyed order-independence tests:
+/// distinct vector data and a distinct noise key per call.
+fn keyed_calls(n: usize) -> Vec<(Vec<u32>, Vec<i32>, u64)> {
+    (0..n)
+        .map(|c| {
+            let len = 100 + 23 * c;
+            let inputs: Vec<u32> = (0..len).map(|k| ((k * 7 + c) % 256) as u32).collect();
+            let weights: Vec<i32> = (0..len).map(|k| ((k * 3 + c) % 255) as i32 - 127).collect();
+            (inputs, weights, (c as u64).wrapping_mul(0x9E37_79B9))
+        })
+        .collect()
+}
+
 #[test]
-fn shared_rng_stream_position_is_interleaving_invariant() {
-    // The `Mutex<StdRng>` ordering hazard, pinned down: concurrent noisy
-    // `vdp` calls consume the shared ADC RNG in a nondeterministic
-    // order, so *individual* in-flight results are not reproducible —
-    // but every rail conversion draws exactly two values under one lock
-    // acquisition, so the stream position after a burst of calls is
-    // path-independent. A probe VDP issued after the burst must therefore
-    // be bit-identical to its serial equivalent. (This boundary is why
-    // the serving scheduler gives each instance its own seed instead of
-    // sharing an engine across instances.)
-    let inputs: Vec<u32> = (0..352).map(|k| (k * 7) % 256).collect();
-    let weights: Vec<i32> = (0..352).map(|k| (k * 3) % 255 - 127).collect();
-    let probe_inputs: Vec<u32> = (0..176).map(|k| (k * 5) % 256).collect();
-    let probe_weights: Vec<i32> = (0..176).map(|k| (k * 9) % 255 - 127).collect();
-    const THREADS: usize = 4;
-    const CALLS: usize = 8;
+fn keyed_adc_noise_is_call_order_independent() {
+    // The PR 2 `Mutex<StdRng>` scheme made each noisy result depend on
+    // the global call history (only the post-burst stream *position* was
+    // invariant). The keyed scheme is strictly stronger: every call's
+    // result is a pure function of `(inputs, weights, key)`, so running
+    // the same calls in a shuffled order — or interleaved with arbitrary
+    // other calls — reproduces every individual result bit for bit.
+    let engine = SconnaEngine::paper_default(99);
+    let calls = keyed_calls(24);
 
-    let serial_probe = {
-        let engine = SconnaEngine::paper_default(99);
-        for _ in 0..THREADS * CALLS {
-            let _ = engine.vdp(&inputs, &weights);
-        }
-        engine.vdp(&probe_inputs, &probe_weights).to_bits()
-    };
+    let in_order: Vec<u64> = calls
+        .iter()
+        .map(|(i, w, key)| engine.vdp_keyed(i, w, *key).to_bits())
+        .collect();
 
-    let concurrent_probe = {
-        let engine = SconnaEngine::paper_default(99);
-        std::thread::scope(|scope| {
-            for _ in 0..THREADS {
-                scope.spawn(|| {
-                    for _ in 0..CALLS {
-                        let v = engine.vdp(&inputs, &weights);
-                        assert!(v.is_finite());
-                    }
-                });
-            }
-        });
-        engine.vdp(&probe_inputs, &probe_weights).to_bits()
-    };
+    // Deterministically shuffled order, with unrelated calls interleaved.
+    let mut order: Vec<usize> = (0..calls.len()).collect();
+    order.reverse();
+    order.rotate_left(7);
+    let mut shuffled = vec![0u64; calls.len()];
+    for &idx in &order {
+        let (i, w, key) = &calls[idx];
+        let _ = engine.vdp(i, w); // unrelated interleaved traffic
+        shuffled[idx] = engine.vdp_keyed(i, w, *key).to_bits();
+    }
 
     assert_eq!(
-        serial_probe, concurrent_probe,
-        "RNG stream position must not depend on interleaving"
+        in_order, shuffled,
+        "keyed results must not depend on call order or interleaved traffic"
     );
+}
+
+#[test]
+fn keyed_adc_noise_is_thread_interleaving_independent() {
+    // Concurrent noisy calls through a shared engine reproduce their
+    // serial results exactly — there is no shared mutable state left (the
+    // engine holds no RNG, no mutex), so every thread observes the same
+    // pure function.
+    let engine = SconnaEngine::paper_default(7);
+    let calls = keyed_calls(12);
+    let serial: Vec<u64> = calls
+        .iter()
+        .map(|(i, w, key)| engine.vdp_keyed(i, w, *key).to_bits())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let engine = &engine;
+            let calls = &calls;
+            let serial = &serial;
+            scope.spawn(move || {
+                // Each thread walks the calls from a different offset.
+                for c in 0..calls.len() {
+                    let idx = (c + t * 3) % calls.len();
+                    let (i, w, key) = &calls[idx];
+                    assert_eq!(
+                        engine.vdp_keyed(i, w, *key).to_bits(),
+                        serial[idx],
+                        "thread {t} diverged on call {idx}"
+                    );
+                }
+            });
+        }
+    });
 }
