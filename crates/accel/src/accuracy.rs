@@ -90,7 +90,10 @@ impl Default for AccuracyExperiment {
 impl AccuracyExperiment {
     /// Runs the experiment: train → quantize → evaluate on both engines.
     /// Evaluation parallelizes over test images (one forward pass per
-    /// sample yields both Top-1 and Top-k).
+    /// sample yields both Top-1 and Top-k). Each engine's model is
+    /// prepared once (weight-stationary — DKV/LUT stream conversion and
+    /// narrow GEMM forms at load, not per image), which by the
+    /// `vdp_batch_prepared` contract cannot change a single logit.
     pub fn run(&self) -> AccuracyResult {
         let data = SyntheticDataset::new(self.classes, self.image_size, self.noise, self.seed);
         let train = data.batch(self.train_per_class, self.seed.wrapping_add(1));
@@ -110,8 +113,8 @@ impl AccuracyExperiment {
         let exact = ExactEngine;
         let sconna = SconnaEngine::paper_default(self.seed);
 
-        let (exact_top1, exact_topk) = qnet.evaluate(&test, self.k, &exact, self.workers);
-        let (sconna_top1, sconna_topk) = qnet.evaluate(&test, self.k, &sconna, self.workers);
+        let (exact_top1, exact_topk) = qnet.prepare(&exact).evaluate(&test, self.k, self.workers);
+        let (sconna_top1, sconna_topk) = qnet.prepare(&sconna).evaluate(&test, self.k, self.workers);
 
         AccuracyResult {
             fp_top1,

@@ -20,7 +20,9 @@ use sconna_photonics::pca::AdcModel;
 use sconna_sc::lut::OsmProductLut;
 use sconna_sc::multiply::osm_product_debiased;
 use sconna_sc::Precision;
-use sconna_tensor::engine::{combine_keys, mix_key, VdpEngine};
+use sconna_tensor::engine::{
+    combine_keys, mix_key, PatchMatrix, PreparedWeights, VdpEngine, WeightMatrix,
+};
 
 /// Counter-based deterministic noise stream (SplitMix64): constructed
 /// per rail conversion from the conversion's coordinates, never shared,
@@ -72,6 +74,64 @@ fn accumulate_rails(
         }
     }
     (pos, neg)
+}
+
+/// Sign-steered rail accumulation against a **prepared** weight row:
+/// magnitudes are already clamped LUT addresses and signs are steering
+/// bits, so the inner loop touches no signed arithmetic at all. Must
+/// steer and clamp exactly like [`accumulate_rails`] — the prepared path
+/// is bit-equal to the raw path by construction.
+#[inline]
+fn accumulate_rails_prepared(
+    ichunk: &[u32],
+    mags: &[u16],
+    negs: &[bool],
+    qmax: u32,
+    product: impl Fn(u32, u32, usize) -> u32,
+) -> (u64, u64) {
+    let (mut pos, mut neg) = (0u64, 0u64);
+    for (k, ((&i, &mag), &steer_neg)) in ichunk.iter().zip(mags).zip(negs).enumerate() {
+        let p = product(i.min(qmax), mag as u32, k) as u64;
+        if steer_neg {
+            neg += p;
+        } else {
+            pos += p;
+        }
+    }
+    (pos, neg)
+}
+
+/// [`SconnaEngine`]'s prepared weight form — everything the stochastic
+/// pipeline derives from a weight matrix per call, hoisted to model-load
+/// time:
+///
+/// * the clamped weight magnitudes, i.e. the binary operands the offline
+///   DKV conversion turns into weight-stream LUT addresses (`Wb`,
+///   Section II-B);
+/// * the sign steering bits that route each OSM product onto the
+///   positive or negative PCA rail (the filter MRR's sign bit);
+/// * the range-matched per-chunk ADC models (the TIR amplifier gain is a
+///   function of chunk occupancy only, so it is a property of the layer
+///   geometry, not of any individual call).
+///
+/// The fingerprint fields pin the engine configuration the handle was
+/// derived for; an engine with a different precision, VDPE size or ADC
+/// ignores the payload and recomputes from the raw weights.
+#[derive(Debug)]
+struct SconnaPrepared {
+    /// Clamped magnitudes (LUT weight-stream addresses), row-major.
+    mags: Vec<u16>,
+    /// Sign steering bits, row-major; `true` lands on the negative rail.
+    negs: Vec<bool>,
+    /// Range-matched ADC per VDPE chunk of one kernel vector; empty when
+    /// the engine runs without an ADC model.
+    ranged: Vec<AdcModel>,
+    /// Precision fingerprint: largest representable magnitude.
+    qmax: u32,
+    /// VDPE-size fingerprint (chunk decomposition).
+    vdpe_size: usize,
+    /// ADC fingerprint: `(bits, relative noise sigma)`, if any.
+    adc: Option<(u8, f64)>,
 }
 
 /// SCONNA stochastic VDP engine.
@@ -179,6 +239,58 @@ impl SconnaEngine {
         }
         total
     }
+
+    /// [`SconnaEngine::vdp_core`] against one prepared weight row: the
+    /// clamp, sign steering and ADC range matching all come from the
+    /// handle. Chunking, product source, noise keying and rail
+    /// conversion are shared with the raw path, which is what keeps the
+    /// two bit-identical.
+    #[inline]
+    fn vdp_core_prepared(
+        &self,
+        inputs: &[u32],
+        mags: &[u16],
+        negs: &[bool],
+        ranged: &[AdcModel],
+        key: u64,
+    ) -> f64 {
+        let scale = self.precision.stream_len() as f64;
+        let qmax = self.precision.max_value();
+        let mut total = 0.0f64;
+        for (chunk, (ichunk, (mchunk, nchunk))) in inputs
+            .chunks(self.vdpe_size)
+            .zip(
+                mags.chunks(self.vdpe_size)
+                    .zip(negs.chunks(self.vdpe_size)),
+            )
+            .enumerate()
+        {
+            let (pos, neg) = match &self.lut {
+                Some(lut) => accumulate_rails_prepared(ichunk, mchunk, nchunk, qmax, |i, mag, k| {
+                    lut.product(i, mag, k)
+                }),
+                None => accumulate_rails_prepared(ichunk, mchunk, nchunk, qmax, |i, mag, k| {
+                    osm_product_debiased(i, mag, self.precision, k)
+                }),
+            };
+            let (pos, neg) = if self.adc.is_some() {
+                self.convert_rails(&ranged[chunk], pos, neg, key, chunk)
+            } else {
+                (pos as f64, neg as f64)
+            };
+            total += (pos - neg) * scale;
+        }
+        total
+    }
+
+    /// Whether a prepared payload was derived for this engine's exact
+    /// configuration (precision clamp, chunk decomposition, ADC).
+    fn accepts(&self, prep: &SconnaPrepared, cols: usize) -> bool {
+        prep.qmax == self.precision.max_value()
+            && prep.vdpe_size == self.vdpe_size
+            && prep.adc == self.adc.as_ref().map(|a| (a.bits, a.relative_noise_sigma))
+            && (self.adc.is_none() || prep.ranged.len() == cols.div_ceil(self.vdpe_size))
+    }
 }
 
 impl VdpEngine for SconnaEngine {
@@ -191,6 +303,77 @@ impl VdpEngine for SconnaEngine {
     // tile through `vdp_keyed` with position-derived keys; since this
     // engine's per-pair work is the lock-free `vdp_core` either way, an
     // override would duplicate the default verbatim.
+
+    /// Derives the weight-stationary form the hardware mapping assumes:
+    /// the offline DKV conversion of every weight to its clamped LUT
+    /// stream address, the per-element sign steering bit, and the
+    /// range-matched ADC of every VDPE chunk — computed once per layer
+    /// instead of on every tile call.
+    fn prepare_weights(&self, weights: &WeightMatrix<'_>) -> PreparedWeights {
+        let qmax = self.precision.max_value();
+        let mags = weights
+            .as_slice()
+            .iter()
+            .map(|w| w.unsigned_abs().min(qmax) as u16)
+            .collect();
+        let negs = weights.as_slice().iter().map(|&w| w < 0).collect();
+        let ranged = match &self.adc {
+            Some(adc) => (0..weights.cols())
+                .step_by(self.vdpe_size.max(1))
+                .map(|start| {
+                    self.ranged_adc(adc, self.vdpe_size.min(weights.cols() - start))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        PreparedWeights::with_payload(
+            self.name(),
+            weights,
+            SconnaPrepared {
+                mags,
+                negs,
+                ranged,
+                qmax,
+                vdpe_size: self.vdpe_size,
+                adc: self.adc.as_ref().map(|a| (a.bits, a.relative_noise_sigma)),
+            },
+        )
+    }
+
+    /// The weight-stationary tile: every `(patch, kernel)` pair runs the
+    /// prepared core under the same [`combine_keys`] derivation as the
+    /// raw paths — bit-identical to [`VdpEngine::vdp_batch`] on the same
+    /// weights (property-tested in `tests/batch_parity.rs`).
+    fn vdp_batch_prepared(
+        &self,
+        patches: &PatchMatrix,
+        weights: &PreparedWeights,
+        keys: &[u64],
+    ) -> Vec<f64> {
+        let cols = weights.cols();
+        let prep = match weights.payload::<SconnaPrepared>() {
+            // Foreign handle or one derived for a differently configured
+            // SCONNA engine: recompute from the raw weights.
+            Some(p) if self.accepts(p, cols) => p,
+            _ => return self.vdp_batch(patches, &weights.as_matrix(), keys),
+        };
+        assert_eq!(patches.cols(), cols, "patch/kernel vector length mismatch");
+        assert_eq!(keys.len(), patches.rows(), "one noise key per patch");
+        let mut out = Vec::with_capacity(patches.rows() * weights.rows());
+        for (p, &pkey) in keys.iter().enumerate() {
+            let prow = patches.row(p);
+            for k in 0..weights.rows() {
+                out.push(self.vdp_core_prepared(
+                    prow,
+                    &prep.mags[k * cols..(k + 1) * cols],
+                    &prep.negs[k * cols..(k + 1) * cols],
+                    &prep.ranged,
+                    combine_keys(pkey, k as u64),
+                ));
+            }
+        }
+        out
+    }
 
     fn name(&self) -> &'static str {
         "sconna-stochastic"
@@ -317,6 +500,59 @@ mod tests {
         let neg: Vec<i32> = weights.iter().map(|w| -w).collect();
         let e = SconnaEngine::noiseless();
         assert_eq!(e.vdp(&inputs, &weights), -e.vdp(&inputs, &neg));
+    }
+
+    #[test]
+    fn prepared_tile_is_bit_identical_to_raw_tile() {
+        // Prepared weights (clamped LUT addresses + signs + ranged ADC)
+        // must reproduce the raw batched path bit for bit, ragged tail
+        // chunk included (cols 180 = one full 176-chunk + a 4-wide tail).
+        let cols = 180;
+        let patches = PatchMatrix::from_vec(
+            3,
+            cols,
+            (0..3 * cols).map(|i| ((i * 29) % 256) as u32).collect(),
+        );
+        let wdata: Vec<i32> = (0..4 * cols).map(|i| ((i * 43) % 255) as i32 - 127).collect();
+        let wm = WeightMatrix::new(&wdata, 4, cols);
+        let keys = [5u64, 77, 4242];
+        for engine in [SconnaEngine::paper_default(11), SconnaEngine::noiseless()] {
+            let prepared = engine.prepare_weights(&wm);
+            let raw = engine.vdp_batch(&patches, &wm, &keys);
+            let fast = engine.vdp_batch_prepared(&patches, &prepared, &keys);
+            assert_eq!(
+                raw.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}", engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_handle_from_mismatched_config_falls_back() {
+        // A handle derived at B8 handed to a B6 engine must not poison
+        // the result: the B6 engine recomputes from the raw weights.
+        let cols = 24;
+        let patches = PatchMatrix::from_vec(
+            2,
+            cols,
+            (0..2 * cols).map(|i| ((i * 13) % 64) as u32).collect(),
+        );
+        let wdata: Vec<i32> = (0..2 * cols).map(|i| ((i * 7) % 127) as i32 - 63).collect();
+        let wm = WeightMatrix::new(&wdata, 2, cols);
+        let b8 = SconnaEngine::paper_default(3);
+        let b6 = SconnaEngine::new(Precision::new(6), 176, Some(AdcModel::sconna_default()), 3);
+        let foreign = b8.prepare_weights(&wm);
+        assert_eq!(
+            b6.vdp_batch_prepared(&patches, &foreign, &[1, 2]),
+            b6.vdp_batch(&patches, &wm, &[1, 2]),
+        );
+        // And an exact-engine handle handed to SCONNA also falls back.
+        let exact_handle = ExactEngine.prepare_weights(&wm);
+        assert_eq!(
+            b8.vdp_batch_prepared(&patches, &exact_handle, &[1, 2]),
+            b8.vdp_batch(&patches, &wm, &[1, 2]),
+        );
     }
 
     #[test]

@@ -28,4 +28,7 @@ pub mod serve;
 pub use engine::SconnaEngine;
 pub use organization::{AcceleratorConfig, AcceleratorKind};
 pub use perf::{simulate_inference, InferencePerf};
-pub use serve::{simulate_serving, ArrivalProcess, ServingConfig, ServingReport};
+pub use serve::{
+    simulate_serving, simulate_serving_functional, ArrivalProcess, FunctionalServingReport,
+    FunctionalWorkload, ServingConfig, ServingReport,
+};

@@ -18,6 +18,19 @@
 //! accounting: throughput, latency percentiles, per-instance utilization
 //! and energy per inference.
 //!
+//! **Functional serving** ([`simulate_serving_functional`]) goes one step
+//! further: besides *timing* each batch, every instance owns an
+//! engine-backed prepared model
+//! ([`sconna_tensor::network::PreparedNetwork`] — weights DKV/LUT
+//! converted once at fleet bring-up, the weight-stationary load the
+//! hardware mapping assumes) and **executes** each dequeued batch through
+//! real `vdp_batch` tiles, the im2col patches of the whole batch stacked
+//! per layer. The fleet then reports per-request predictions and top-1
+//! **accuracy-under-load** alongside FPS/latency/energy. Request `r`
+//! runs under noise key `r`, so its prediction is a pure function of
+//! `(model, engine, sample, r)` — independent of batch packing, instance
+//! assignment, arrival ordering and worker count.
+//!
 //! Everything runs on one deterministic [`EventQueue`] per simulation, so
 //! a [`ServingReport`] is a pure function of its [`ServingConfig`] —
 //! bit-identical across runs and across sweep worker-thread counts.
@@ -31,7 +44,11 @@ use sconna_sim::event::EventQueue;
 use sconna_sim::parallel::parallel_map_with;
 use sconna_sim::stats::{LatencySamples, LatencySummary, Utilization};
 use sconna_sim::time::SimTime;
+use sconna_tensor::dataset::Sample;
+use sconna_tensor::engine::VdpEngine;
 use sconna_tensor::models::CnnModel;
+use sconna_tensor::network::{PreparedNetwork, QuantizedNetwork};
+use sconna_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -96,6 +113,90 @@ impl ServingConfig {
     }
 }
 
+/// The functional side of a serving experiment: the quantized model the
+/// instances actually execute, the labelled request population, and the
+/// VDP engine backing every instance.
+///
+/// Request `r` is drawn round-robin from `samples`
+/// (`samples[r % samples.len()]`) and runs under image noise key `r`, so
+/// the prediction set is a pure function of this workload — independent
+/// of fleet size, batch packing, arrival process and `workers`.
+pub struct FunctionalWorkload<'a> {
+    /// The quantized network every instance loads.
+    pub net: &'a QuantizedNetwork,
+    /// Labelled request population (round-robin by request id).
+    pub samples: &'a [Sample],
+    /// Engine each instance's prepared model executes on.
+    pub engine: &'a dyn VdpEngine,
+    /// Worker threads for the row-block parallelism inside one instance's
+    /// batch execution. Results are worker-count invariant; this only
+    /// changes host wall time.
+    pub workers: usize,
+}
+
+/// [`ServingReport`] plus the functional outputs: what the fleet actually
+/// computed while the queueing model timed it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalServingReport {
+    /// The queueing/energy report (identical to the analytic-only
+    /// simulation of the same config).
+    pub serving: ServingReport,
+    /// Predicted class per request, indexed by request id.
+    pub predictions: Vec<usize>,
+    /// Requests whose prediction matched the sample label.
+    pub correct: u64,
+    /// Fleet-level top-1 accuracy-under-load: `correct / completed`.
+    pub accuracy_under_load: f64,
+}
+
+/// Per-instance functional execution state: each instance owns a
+/// prepared (weight-stationary) copy of the model, loaded once at fleet
+/// bring-up, plus the request-id-indexed prediction ledger.
+struct FunctionalExec<'a> {
+    workload: &'a FunctionalWorkload<'a>,
+    /// One engine-backed prepared model per instance.
+    instances: Vec<PreparedNetwork<'a>>,
+    /// Prediction per request id (`usize::MAX` = not yet served).
+    predictions: Vec<usize>,
+    correct: u64,
+}
+
+impl<'a> FunctionalExec<'a> {
+    fn new(workload: &'a FunctionalWorkload<'a>, instances: usize, requests: usize) -> Self {
+        assert!(!workload.samples.is_empty(), "functional serving needs samples");
+        assert!(workload.workers > 0, "need at least one worker");
+        Self {
+            workload,
+            // Model load: every instance prepares the weights once —
+            // per-layer DKV/LUT stream conversion, narrow GEMM forms —
+            // before the first request arrives.
+            instances: (0..instances)
+                .map(|_| PreparedNetwork::new(workload.net, workload.engine))
+                .collect(),
+            predictions: vec![usize::MAX; requests],
+            correct: 0,
+        }
+    }
+
+    /// Executes one dispatched batch on instance `inst`: the whole
+    /// batch's images run through stacked `vdp_batch` tiles, keyed per
+    /// request id.
+    fn execute_batch(&mut self, inst: usize, ids: &[u64]) {
+        let samples = self.workload.samples;
+        let images: Vec<&Tensor<f32>> = ids
+            .iter()
+            .map(|&id| &samples[id as usize % samples.len()].image)
+            .collect();
+        let preds = self.instances[inst].predict_batch(&images, ids, self.workload.workers);
+        for (&id, pred) in ids.iter().zip(preds) {
+            self.predictions[id as usize] = pred;
+            if pred == samples[id as usize % samples.len()].label {
+                self.correct += 1;
+            }
+        }
+    }
+}
+
 /// Fleet-level result of one serving simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -135,8 +236,9 @@ enum Ev {
     Arrive,
     /// The batching window of epoch `.0` expired.
     Flush(u64),
-    /// Instance `.0` finished a batch of requests that arrived at `.1`.
-    BatchDone(usize, Vec<SimTime>),
+    /// Instance `.0` finished a batch of `(request id, arrival time)`
+    /// requests.
+    BatchDone(usize, Vec<(u64, SimTime)>),
 }
 
 /// Per-batch-size analysis cache: the batched layer walk is identical for
@@ -179,9 +281,16 @@ struct Scheduler<'a> {
     cfg: ServingConfig,
     model: &'a CnnModel,
     profiles: BatchProfiles<'a>,
+    /// Functional execution state; `None` runs the analytic-only model.
+    functional: Option<FunctionalExec<'a>>,
     ledger: EnergyLedger,
-    /// Arrival timestamps of requests waiting to be batched.
-    pending: VecDeque<SimTime>,
+    /// `(request id, arrival time)` of requests waiting to be batched.
+    /// Ids are assigned in arrival order, so id `r` always denotes the
+    /// `r`-th request to enter the system regardless of the arrival
+    /// process.
+    pending: VecDeque<(u64, SimTime)>,
+    /// Next request id to assign.
+    next_id: u64,
     busy: Vec<bool>,
     util: Vec<Utilization>,
     latency: LatencySamples,
@@ -235,7 +344,7 @@ impl Scheduler<'_> {
             let Some(inst) = self.idle_instance() else {
                 break;
             };
-            let arrivals: Vec<SimTime> = self.pending.drain(..take).collect();
+            let reqs: Vec<(u64, SimTime)> = self.pending.drain(..take).collect();
             let (makespan, layers) = self.profiles.get(take);
             let makespan = *makespan;
             record_inference_ops(
@@ -245,11 +354,18 @@ impl Scheduler<'_> {
                 self.model,
                 take,
             );
+            if let Some(func) = &mut self.functional {
+                // Run the real inference the analytic model is timing:
+                // the whole batch through one stack of prepared tiles on
+                // this instance's model copy.
+                let ids: Vec<u64> = reqs.iter().map(|&(id, _)| id).collect();
+                func.execute_batch(inst, &ids);
+            }
             self.busy[inst] = true;
             self.util[inst].add_busy(makespan);
             self.batches += 1;
             self.batched_requests += take as u64;
-            q.schedule_in(makespan, Ev::BatchDone(inst, arrivals));
+            q.schedule_in(makespan, Ev::BatchDone(inst, reqs));
         }
         if self.pending.is_empty() {
             // Window satisfied; stale timers are invalidated by the epoch.
@@ -262,10 +378,17 @@ impl Scheduler<'_> {
         }
     }
 
+    /// Enqueues a request, assigning the next id in arrival order.
+    fn enqueue(&mut self, now: SimTime) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back((id, now));
+    }
+
     fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrive => {
-                self.pending.push_back(now);
+                self.enqueue(now);
                 self.schedule_poisson_arrival(q);
                 self.try_dispatch(q);
             }
@@ -277,11 +400,11 @@ impl Scheduler<'_> {
                 self.force_flush = true;
                 self.try_dispatch(q);
             }
-            Ev::BatchDone(inst, arrivals) => {
+            Ev::BatchDone(inst, reqs) => {
                 self.busy[inst] = false;
                 self.last_completion = now;
-                let n_done = arrivals.len();
-                for arrival in arrivals {
+                let n_done = reqs.len();
+                for (_, arrival) in reqs {
                     self.latency.record(now - arrival);
                     self.completed += 1;
                 }
@@ -290,7 +413,7 @@ impl Scheduler<'_> {
                     for _ in 0..n_done {
                         if self.issued < self.cfg.requests {
                             self.issued += 1;
-                            self.pending.push_back(now);
+                            self.enqueue(now);
                         }
                     }
                 }
@@ -300,12 +423,54 @@ impl Scheduler<'_> {
     }
 }
 
-/// Runs one serving simulation to completion.
+/// Runs one serving simulation to completion, analytic timing only.
 ///
 /// # Panics
 /// Panics on degenerate configurations: zero instances, zero batch limit,
 /// zero requests, or a non-positive Poisson rate.
 pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingReport {
+    run_serving(config, model, None).0
+}
+
+/// Runs one **functional** serving simulation: the same queueing, timing
+/// and energy model as [`simulate_serving`] (the `serving` field is
+/// bit-identical to the analytic-only run of the same config), with every
+/// instance additionally executing its dequeued batches through real
+/// stacked `vdp_batch` tiles on a prepared model copy.
+///
+/// Request `r` serves `workload.samples[r % samples.len()]` under noise
+/// key `r`, so `predictions` and `accuracy_under_load` are invariant
+/// under fleet size, batch packing, arrival ordering and `workers`
+/// (property-tested in `tests/functional_serving.rs`).
+///
+/// # Panics
+/// Panics on degenerate configurations or an empty sample set.
+pub fn simulate_serving_functional(
+    config: &ServingConfig,
+    model: &CnnModel,
+    workload: &FunctionalWorkload<'_>,
+) -> FunctionalServingReport {
+    let (serving, func) = run_serving(config, model, Some(workload));
+    let func = func.expect("functional state present");
+    debug_assert!(
+        func.predictions.iter().all(|&p| p != usize::MAX),
+        "every request must have been executed"
+    );
+    let correct = func.correct;
+    FunctionalServingReport {
+        accuracy_under_load: correct as f64 / serving.completed as f64,
+        predictions: func.predictions,
+        correct,
+        serving,
+    }
+}
+
+/// Shared core of the analytic and functional entry points.
+fn run_serving<'a>(
+    config: &'a ServingConfig,
+    model: &'a CnnModel,
+    workload: Option<&'a FunctionalWorkload<'a>>,
+) -> (ServingReport, Option<FunctionalExec<'a>>) {
     assert!(config.instances > 0, "need at least one instance");
     assert!(config.max_batch > 0, "max_batch must be positive");
     assert!(config.requests > 0, "need at least one request");
@@ -318,8 +483,10 @@ pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingRepo
     let mut sched = Scheduler {
         model,
         profiles: BatchProfiles::new(&config.accelerator, model, config.max_batch),
+        functional: workload.map(|w| FunctionalExec::new(w, config.instances, config.requests)),
         ledger,
         pending: VecDeque::new(),
+        next_id: 0,
         busy: vec![false; config.instances],
         util: vec![Utilization::new(); config.instances],
         latency: LatencySamples::new(),
@@ -362,7 +529,7 @@ pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingRepo
     // clock.
     let makespan = sched.last_completion;
     let energy_j = sched.ledger.total_energy_j(makespan);
-    ServingReport {
+    let report = ServingReport {
         accelerator: config.accelerator.name,
         model: model.name.clone(),
         instances: config.instances,
@@ -377,7 +544,8 @@ pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingRepo
         energy_j,
         energy_per_inference_j: energy_j / sched.completed as f64,
         avg_power_w: sched.ledger.average_power_w(makespan),
-    }
+    };
+    (report, sched.functional)
 }
 
 /// Runs a sweep of serving configurations in parallel on `workers`
@@ -391,7 +559,11 @@ pub fn sweep(configs: Vec<ServingConfig>, model: &CnnModel, workers: usize) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SconnaEngine;
+    use sconna_tensor::layers::{MaxPool2d, QConv2d, QFc};
     use sconna_tensor::models::{googlenet, shufflenet_v2};
+    use sconna_tensor::network::QLayer;
+    use sconna_tensor::quant::{ActivationQuant, Requant, WeightQuant};
 
     fn small_closed(instances: usize, max_batch: usize, requests: usize) -> ServingConfig {
         ServingConfig::saturation(
@@ -400,6 +572,121 @@ mod tests {
             max_batch,
             requests,
         )
+    }
+
+    /// A hand-built quantized CNN (no training) plus a labelled request
+    /// population for functional-serving tests.
+    fn tiny_workload() -> (QuantizedNetwork, Vec<Sample>) {
+        let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
+        let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+        let net = QuantizedNetwork {
+            input_quant: aq,
+            layers: vec![
+                QLayer::Conv(QConv2d {
+                    name: "c1".into(),
+                    weights: Tensor::from_fn(&[4, 1, 3, 3], |i| ((i * 29) % 255) as i32 - 127),
+                    bias: vec![0.0; 4],
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    requant: Requant::new(aq, wq, aq),
+                }),
+                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::GlobalAvgPool,
+                QLayer::Fc(QFc {
+                    name: "fc".into(),
+                    weights: Tensor::from_fn(&[3, 4], |i| ((i * 67) % 255) as i32 - 127),
+                    bias: vec![0.0; 3],
+                    dequant: aq.scale * wq.scale,
+                }),
+            ],
+        };
+        let samples: Vec<Sample> = (0..6)
+            .map(|s| Sample {
+                image: Tensor::from_fn(&[1, 8, 8], |i| ((s * 37 + i) % 256) as f32 / 255.0),
+                label: s % 3,
+            })
+            .collect();
+        (net, samples)
+    }
+
+    #[test]
+    fn functional_report_matches_offline_per_request_inference() {
+        // Every prediction must equal the offline forward of the same
+        // sample under the same request-id key — the fleet adds queueing,
+        // never computation.
+        let (net, samples) = tiny_workload();
+        let engine = SconnaEngine::paper_default(5);
+        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 1 };
+        let model = shufflenet_v2();
+        let cfg = small_closed(2, 4, 13);
+        let r = simulate_serving_functional(&cfg, &model, &workload);
+        assert_eq!(r.predictions.len(), 13);
+        for (id, &pred) in r.predictions.iter().enumerate() {
+            let s = &samples[id % samples.len()];
+            let offline = sconna_tensor::layers::argmax(&net.forward_keyed(&s.image, &engine, id as u64));
+            assert_eq!(pred, offline, "request {id}");
+        }
+        let correct = r
+            .predictions
+            .iter()
+            .enumerate()
+            .filter(|&(id, &p)| p == samples[id % samples.len()].label)
+            .count() as u64;
+        assert_eq!(r.correct, correct);
+        assert_eq!(r.accuracy_under_load, correct as f64 / 13.0);
+    }
+
+    #[test]
+    fn functional_timing_is_identical_to_analytic_run() {
+        // Executing real inference must not perturb the queueing model:
+        // the serving half of the functional report is bit-identical to
+        // the analytic-only simulation of the same config.
+        let (net, samples) = tiny_workload();
+        let engine = SconnaEngine::paper_default(5);
+        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 2 };
+        let model = shufflenet_v2();
+        let cfg = small_closed(2, 4, 16);
+        let functional = simulate_serving_functional(&cfg, &model, &workload);
+        let analytic = simulate_serving(&cfg, &model);
+        assert_eq!(format!("{:?}", functional.serving), format!("{analytic:?}"));
+    }
+
+    #[test]
+    fn accuracy_under_load_is_fleet_and_schedule_invariant() {
+        // Predictions are keyed per request id, so fleet size, batch
+        // limit, arrival process and instance workers must not move a
+        // single prediction bit.
+        let (net, samples) = tiny_workload();
+        let engine = SconnaEngine::paper_default(9);
+        let model = shufflenet_v2();
+        let requests = 17;
+        let baseline = {
+            let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 1 };
+            simulate_serving_functional(&small_closed(1, 1, requests), &model, &workload)
+        };
+        for (instances, max_batch, workers) in [(1usize, 4usize, 2usize), (2, 4, 1), (4, 2, 8)] {
+            let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers };
+            let r = simulate_serving_functional(
+                &small_closed(instances, max_batch, requests),
+                &model,
+                &workload,
+            );
+            assert_eq!(r.predictions, baseline.predictions, "{instances}x{max_batch} w{workers}");
+            assert_eq!(r.accuracy_under_load, baseline.accuracy_under_load);
+        }
+        // Open-loop arrivals reorder timing but not request identity.
+        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 2 };
+        let poisson = simulate_serving_functional(
+            &ServingConfig {
+                arrivals: ArrivalProcess::Poisson { rate_fps: 800.0 },
+                seed: 3,
+                ..small_closed(2, 4, requests)
+            },
+            &model,
+            &workload,
+        );
+        assert_eq!(poisson.predictions, baseline.predictions);
     }
 
     #[test]

@@ -25,7 +25,9 @@ use sconna_bench::banner;
 use sconna_photonics::pca::AdcModel;
 use sconna_sc::multiply::osm_product_debiased;
 use sconna_sc::Precision;
-use sconna_tensor::engine::{combine_keys, ExactEngine, PatchMatrix, VdpEngine, WeightMatrix};
+use sconna_tensor::engine::{
+    combine_keys, ExactEngine, PatchMatrix, PreparedWeights, VdpEngine, WeightMatrix,
+};
 use sconna_tensor::layers::{MaxPool2d, QConv2d, QFc};
 use sconna_tensor::models::{all_models, CnnModel};
 use sconna_tensor::quant::{ActivationQuant, Requant, WeightQuant};
@@ -222,6 +224,15 @@ fn e2e_net(input_size: usize) -> E2eNet {
     }
 }
 
+/// Per-layer prepared handles of the end-to-end net — built once per
+/// engine, outside the timed loop, as a serving instance would at model
+/// load.
+struct PreparedE2e {
+    conv1: Vec<PreparedWeights>,
+    conv2: Vec<PreparedWeights>,
+    fc: PreparedWeights,
+}
+
 impl E2eNet {
     fn image(&self, salt: usize) -> Tensor<u32> {
         Tensor::from_fn(&[1, self.input_size, self.input_size], |i| {
@@ -236,6 +247,37 @@ impl E2eNet {
         let a = self.conv2.forward(&a, engine);
         let a = self.pool.forward(&a);
         self.fc.forward_logits(&a, engine)
+    }
+
+    fn prepare(&self, engine: &dyn VdpEngine) -> PreparedE2e {
+        PreparedE2e {
+            conv1: self.conv1.prepare(engine),
+            conv2: self.conv2.prepare(engine),
+            fc: self.fc.prepare(engine),
+        }
+    }
+
+    /// Weight-stationary hot path: same tiles, weights prepared once —
+    /// the PR 4 shape (what `PreparedNetwork::forward_keyed` runs). Must
+    /// be bit-equal to [`E2eNet::forward_batched`].
+    fn forward_prepared(
+        &self,
+        image: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        prep: &PreparedE2e,
+    ) -> Vec<f32> {
+        let a = self
+            .conv1
+            .forward_prepared_keyed(image, engine, &prep.conv1, self.conv1.layer_key(), 1);
+        let a = self.pool.forward(&a);
+        let a = self
+            .conv2
+            .forward_prepared_keyed(&a, engine, &prep.conv2, self.conv2.layer_key(), 1);
+        let a = self.pool.forward(&a);
+        self.fc
+            .forward_logits_batch_keyed(&[&a], engine, Some(&prep.fc), &[self.fc.layer_key()])
+            .pop()
+            .expect("one logit row")
     }
 
     /// Pre-batching baseline: per-pixel patch gather, one single-vector
@@ -352,6 +394,34 @@ fn main() {
     let exact_speedup = exact_single / exact_batched.max(1e-12);
     let sconna_speedup = sconna_single / sconna_batched.max(1e-12);
 
+    // --- Prepared (weight-stationary) end-to-end paths ---
+    // The PR 4 bugfix target: the exact engine used to re-derive its
+    // narrow-GEMM i16 weight form every row-block call; PreparedWeights
+    // hoists it (and SCONNA's DKV/LUT stream conversion) to model load.
+    let exact_prep = net.prepare(&exact);
+    let sconna_prep = net.prepare(&sconna);
+    // Preparation must not move a single logit bit.
+    for img in &images {
+        assert_eq!(
+            net.forward_prepared(img, &exact, &exact_prep),
+            net.forward_batched(img, &exact),
+            "exact prepared e2e diverged"
+        );
+        assert_eq!(
+            net.forward_prepared(img, &sconna, &sconna_prep),
+            net.forward_batched(img, &sconna),
+            "sconna prepared e2e diverged"
+        );
+    }
+    let exact_prepared = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_prepared(img, &exact, &exact_prep))
+    });
+    let sconna_prepared = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_prepared(img, &sconna, &sconna_prep))
+    });
+    let exact_prepared_over_batched = exact_batched / exact_prepared.max(1e-12);
+    let sconna_prepared_over_batched = sconna_batched / sconna_prepared.max(1e-12);
+
     // Worker-count invariance of the parallel conv forward on the noisy
     // engine: 1 / 2 / 8 workers must agree bit for bit.
     let probe = net.pool.forward(&net.conv1.forward(&images[0], &sconna));
@@ -374,6 +444,10 @@ fn main() {
         "  sconna: legacy single {:.4}s  batched {:.4}s  -> {:.2}x",
         sconna_single, sconna_batched, sconna_speedup
     );
+    println!(
+        "  prepared weights: exact {:.4}s ({:.2}x vs batched)  sconna {:.4}s ({:.2}x vs batched)",
+        exact_prepared, exact_prepared_over_batched, sconna_prepared, sconna_prepared_over_batched
+    );
     println!("  conv worker invariance (1/2/8): {invariant}");
     println!(
         "  geo-mean tile speedup: exact {geo_mean_exact:.2}x  sconna {geo_mean_sconna:.2}x"
@@ -389,8 +463,10 @@ fn main() {
             "  \"geo_mean_tile_speedup_sconna\": {},\n",
             "  \"e2e_small_cnn\": {{\n",
             "    \"images\": {},\n",
-            "    \"exact\": {{\"single_s\": {}, \"batched_s\": {}, \"speedup\": {}}},\n",
-            "    \"sconna\": {{\"single_s\": {}, \"batched_s\": {}, \"speedup\": {}}},\n",
+            "    \"exact\": {{\"single_s\": {}, \"batched_s\": {}, \"speedup\": {},\n",
+            "              \"prepared_s\": {}, \"prepared_over_batched\": {}}},\n",
+            "    \"sconna\": {{\"single_s\": {}, \"batched_s\": {}, \"speedup\": {},\n",
+            "               \"prepared_s\": {}, \"prepared_over_batched\": {}}},\n",
             "    \"fps_exact_batched\": {},\n",
             "    \"worker_invariant_1_2_8\": {}\n",
             "  }}\n",
@@ -404,9 +480,13 @@ fn main() {
         json_num(exact_single),
         json_num(exact_batched),
         json_num(exact_speedup),
+        json_num(exact_prepared),
+        json_num(exact_prepared_over_batched),
         json_num(sconna_single),
         json_num(sconna_batched),
         json_num(sconna_speedup),
+        json_num(sconna_prepared),
+        json_num(sconna_prepared_over_batched),
         json_num(e2e_images as f64 / exact_batched),
         invariant,
     );
@@ -432,6 +512,14 @@ fn main() {
         assert!(
             sconna_speedup >= 2.0 && exact_speedup >= 1.2,
             "batched e2e path regressed: sconna {sconna_speedup:.2}x exact {exact_speedup:.2}x"
+        );
+        // The weight-stationary bugfix gate: hoisting the per-row-block
+        // weight derivation must not regress the exact-engine end-to-end
+        // path (0.9 floor absorbs single-core run-to-run variance; the
+        // recorded delta is the trajectory).
+        assert!(
+            exact_prepared_over_batched >= 0.9,
+            "prepared exact e2e regressed: {exact_prepared_over_batched:.2}x vs batched"
         );
     }
 }

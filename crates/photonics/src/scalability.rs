@@ -8,7 +8,7 @@
 //! 2. **Analog VDPCs (AMM / MAM baselines):** how large can `N` be when
 //!    the summation element (SE) must resolve `N · 2^B` distinct analog
 //!    power levels? (Table I, reproduced from Sri & Thakkar, TCAD 2022
-//!    [21].)
+//!    \[21\].)
 //!
 //! ## Analog model
 //!

@@ -7,7 +7,7 @@
 //! pipeline with its rounding and ADC error (implemented in
 //! `sconna-accel`, which layers the photonics models on top).
 //!
-//! Two API levels exist:
+//! Three API levels exist:
 //!
 //! * [`VdpEngine::vdp_keyed`] — one vector pair, plus a caller-supplied
 //!   **noise key**. Engines with stochastic error (the ADC model) derive
@@ -20,9 +20,31 @@
 //!   GEMM (exact) or amortize per-call setup over the tile (SCONNA).
 //!   The contract is bit-exact equivalence with per-pair `vdp_keyed`
 //!   under [`combine_keys`], property-tested in `tests/`.
+//! * [`VdpEngine::vdp_batch_prepared`] — the same tile against a
+//!   [`PreparedWeights`] handle built once by
+//!   [`VdpEngine::prepare_weights`] at model load. This is the
+//!   **weight-stationary** API the hardware mapping assumes: whatever
+//!   per-call derivation an engine performs on the weight matrix (the
+//!   exact engine's narrow-GEMM i16 form and overflow bound, the SCONNA
+//!   engine's clamped LUT stream addresses, sign steering bits and
+//!   range-matched ADC parameters) is hoisted into the handle, so a
+//!   layer's weights are transformed once and then hit by every row
+//!   block of every request. The contract is bit-exact equivalence with
+//!   [`VdpEngine::vdp_batch`] on the same raw weights.
 //!
 //! Engines return `f64` because hardware engines produce estimates; the
 //! exact engine's result is integral by construction.
+//!
+//! ```
+//! use sconna_tensor::engine::{ExactEngine, PatchMatrix, PreparedWeights, VdpEngine, WeightMatrix};
+//!
+//! let weights = vec![1i32, -2, 3, 4, 5, -6];
+//! let wm = WeightMatrix::new(&weights, 2, 3);
+//! let prepared: PreparedWeights = ExactEngine.prepare_weights(&wm);   // once, at model load
+//! let patches = PatchMatrix::from_vec(1, 3, vec![7, 8, 9]);
+//! let fast = ExactEngine.vdp_batch_prepared(&patches, &prepared, &[0]); // per row block
+//! assert_eq!(fast, ExactEngine.vdp_batch(&patches, &wm, &[0]));
+//! ```
 
 /// Dense row-major matrix of unsigned operand vectors — the product of an
 /// im2col gather: row `p` is the flattened input patch of one output
@@ -126,6 +148,96 @@ impl<'a> WeightMatrix<'a> {
     }
 }
 
+/// A per-layer weight matrix transformed once into an engine's preferred
+/// execution form — the weight-stationary handle of the batched API.
+///
+/// The handle always owns the raw signed weight matrix (so any engine can
+/// fall back to the generic path), plus an opaque engine-specific payload
+/// stamped with the preparing engine's [`VdpEngine::name`]:
+///
+/// * [`ExactEngine`] stores the narrowed `i16` weight form and the
+///   worst-case weight magnitude of its overflow guard, so the blocked
+///   GEMM never re-derives them per row-block call.
+/// * The SCONNA engine (in `sconna-accel`) stores the clamped LUT
+///   stream addresses (the DKV-converted `Wb` operands), the sign
+///   steering bits, and the range-matched per-chunk ADC models.
+///
+/// Handles are built by [`VdpEngine::prepare_weights`] and consumed by
+/// [`VdpEngine::vdp_batch_prepared`]; an engine handed a foreign handle
+/// (different `engine_name`) must ignore the payload and compute from the
+/// raw weights, so results never depend on which engine prepared the
+/// handle.
+pub struct PreparedWeights {
+    rows: usize,
+    cols: usize,
+    weights: Vec<i32>,
+    engine_name: &'static str,
+    payload: Option<Box<dyn std::any::Any + Send + Sync>>,
+}
+
+impl std::fmt::Debug for PreparedWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedWeights")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("engine_name", &self.engine_name)
+            .field("has_payload", &self.payload.is_some())
+            .finish()
+    }
+}
+
+impl PreparedWeights {
+    /// Wraps a weight matrix with no engine-specific payload — what the
+    /// default [`VdpEngine::prepare_weights`] produces.
+    pub fn raw(engine_name: &'static str, weights: &WeightMatrix<'_>) -> Self {
+        Self {
+            rows: weights.rows(),
+            cols: weights.cols(),
+            weights: weights.as_slice().to_vec(),
+            engine_name,
+            payload: None,
+        }
+    }
+
+    /// Wraps a weight matrix together with an engine-specific payload.
+    pub fn with_payload(
+        engine_name: &'static str,
+        weights: &WeightMatrix<'_>,
+        payload: impl std::any::Any + Send + Sync,
+    ) -> Self {
+        Self {
+            payload: Some(Box::new(payload)),
+            ..Self::raw(engine_name, weights)
+        }
+    }
+
+    /// Number of kernel vectors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Kernel (vector) length.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Name of the engine that built the handle.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine_name
+    }
+
+    /// Borrowed view of the raw weight matrix — the generic fallback any
+    /// engine can execute.
+    pub fn as_matrix(&self) -> WeightMatrix<'_> {
+        WeightMatrix::new(&self.weights, self.rows, self.cols)
+    }
+
+    /// Downcasts the engine payload, if one of type `T` is present.
+    pub fn payload<T: std::any::Any>(&self) -> Option<&T> {
+        self.payload.as_ref()?.downcast_ref::<T>()
+    }
+}
+
 /// SplitMix64 finalizer: the bijective avalanche mix used everywhere a
 /// structured index (layer, pixel, kernel, chunk) must become a
 /// decorrelated noise-stream key.
@@ -194,6 +306,33 @@ pub trait VdpEngine: Sync {
         out
     }
 
+    /// Transforms a weight matrix into this engine's execution form
+    /// **once**, at model load. The default keeps only the raw weights;
+    /// engines override it to hoist whatever per-call weight derivation
+    /// their [`VdpEngine::vdp_batch`] performs.
+    fn prepare_weights(&self, weights: &WeightMatrix<'_>) -> PreparedWeights {
+        PreparedWeights::raw(self.name(), weights)
+    }
+
+    /// [`VdpEngine::vdp_batch`] against a prepared handle: entry `(p, k)`
+    /// **must** equal `vdp_batch(patches, &weights.as_matrix(), keys)`
+    /// bit for bit — preparation exists to move work, never to change
+    /// results. Engines handed a handle they did not prepare (foreign
+    /// [`PreparedWeights::engine_name`]) must fall back to the raw
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions differ or `keys` is not one key per
+    /// patch.
+    fn vdp_batch_prepared(
+        &self,
+        patches: &PatchMatrix,
+        weights: &PreparedWeights,
+        keys: &[u64],
+    ) -> Vec<f64> {
+        self.vdp_batch(patches, &weights.as_matrix(), keys)
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }
@@ -201,6 +340,62 @@ pub trait VdpEngine: Sync {
 /// Bit-exact binary reference engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactEngine;
+
+/// [`ExactEngine`]'s prepared weight form: the narrowed i16 copy and the
+/// worst-case weight magnitude of the overflow guard, derived once per
+/// layer instead of per row-block call.
+#[derive(Debug)]
+struct ExactPrepared {
+    /// i16 weight copy; present iff every weight fits i16.
+    w16: Option<Vec<i16>>,
+    /// Largest |w| — the weight side of the i32-accumulator guard.
+    max_w: i64,
+}
+
+impl ExactPrepared {
+    fn derive(weights: &WeightMatrix<'_>) -> Self {
+        let max_w = weights
+            .as_slice()
+            .iter()
+            .map(|w| w.unsigned_abs() as i64)
+            .max()
+            .unwrap_or(0);
+        let w16 = (max_w <= i16::MAX as i64)
+            .then(|| weights.as_slice().iter().map(|&x| x as i16).collect());
+        Self { w16, max_w }
+    }
+}
+
+impl ExactEngine {
+    /// Dispatches one tile to the narrow or wide micro-kernel. The narrow
+    /// path runs iff every operand fits i16 **and** the worst-case
+    /// accumulator `max_i · max_w · s` fits i32; both paths produce the
+    /// same exact integers, so the choice can never change a result.
+    fn gemm_tile(
+        patches: &PatchMatrix,
+        weights: &WeightMatrix<'_>,
+        prep: &ExactPrepared,
+        out: &mut [f64],
+    ) {
+        let (pr, kr, s) = (patches.rows(), weights.rows(), patches.cols());
+        if pr == 0 || kr == 0 {
+            return;
+        }
+        let max_i = patches.as_slice().iter().copied().max().unwrap_or(0) as i64;
+        let narrow = max_i <= i16::MAX as i64
+            && prep.w16.is_some()
+            && (max_i * prep.max_w)
+                .checked_mul(s as i64)
+                .is_some_and(|v| v <= i32::MAX as i64);
+        match (&prep.w16, narrow) {
+            (Some(w16), true) => {
+                let p16: Vec<i16> = patches.as_slice().iter().map(|&x| x as i16).collect();
+                gemm_narrow(&p16, w16, pr, kr, s, out);
+            }
+            _ => gemm_wide(patches, weights, out),
+        }
+    }
+}
 
 impl VdpEngine for ExactEngine {
     fn vdp_keyed(&self, inputs: &[u32], weights: &[i32], _key: u64) -> f64 {
@@ -222,6 +417,10 @@ impl VdpEngine for ExactEngine {
     /// i64. Both are exactly equal to the per-vector path — integer
     /// addition is associative and no product or sum can overflow its
     /// accumulator under the guard.
+    ///
+    /// This unprepared entry point re-derives the i16 weight form per
+    /// call; [`VdpEngine::vdp_batch_prepared`] hoists that into a
+    /// once-per-layer [`PreparedWeights`] handle.
     fn vdp_batch(&self, patches: &PatchMatrix, weights: &WeightMatrix<'_>, keys: &[u64]) -> Vec<f64> {
         assert_eq!(
             patches.cols(),
@@ -229,28 +428,37 @@ impl VdpEngine for ExactEngine {
             "patch/kernel vector length mismatch"
         );
         assert_eq!(keys.len(), patches.rows(), "one noise key per patch");
-        let (pr, kr, s) = (patches.rows(), weights.rows(), patches.cols());
-        let mut out = vec![0.0f64; pr * kr];
-        if pr == 0 || kr == 0 {
-            return out;
-        }
-        let max_i = patches.as_slice().iter().copied().max().unwrap_or(0) as i64;
-        let max_w = weights
-            .as_slice()
-            .iter()
-            .map(|w| w.unsigned_abs() as i64)
-            .max()
-            .unwrap_or(0);
-        let narrow = max_i <= i16::MAX as i64
-            && max_w <= i16::MAX as i64
-            && (max_i * max_w).checked_mul(s as i64).is_some_and(|v| v <= i32::MAX as i64);
-        if narrow {
-            let p16: Vec<i16> = patches.as_slice().iter().map(|&x| x as i16).collect();
-            let w16: Vec<i16> = weights.as_slice().iter().map(|&x| x as i16).collect();
-            gemm_narrow(&p16, &w16, pr, kr, s, &mut out);
-        } else {
-            gemm_wide(patches, weights, &mut out);
-        }
+        let mut out = vec![0.0f64; patches.rows() * weights.rows()];
+        Self::gemm_tile(patches, weights, &ExactPrepared::derive(weights), &mut out);
+        out
+    }
+
+    fn prepare_weights(&self, weights: &WeightMatrix<'_>) -> PreparedWeights {
+        PreparedWeights::with_payload(self.name(), weights, ExactPrepared::derive(weights))
+    }
+
+    /// The weight-stationary GEMM: the i16 weight form and guard bound
+    /// come from the handle; only the (per-call) patch side is inspected
+    /// and narrowed here.
+    fn vdp_batch_prepared(
+        &self,
+        patches: &PatchMatrix,
+        weights: &PreparedWeights,
+        keys: &[u64],
+    ) -> Vec<f64> {
+        let wm = weights.as_matrix();
+        let Some(prep) = weights.payload::<ExactPrepared>() else {
+            // Foreign or payload-free handle: generic path on raw weights.
+            return self.vdp_batch(patches, &wm, keys);
+        };
+        assert_eq!(
+            patches.cols(),
+            wm.cols(),
+            "patch/kernel vector length mismatch"
+        );
+        assert_eq!(keys.len(), patches.rows(), "one noise key per patch");
+        let mut out = vec![0.0f64; patches.rows() * wm.rows()];
+        Self::gemm_tile(patches, &wm, prep, &mut out);
         out
     }
 
@@ -456,6 +664,67 @@ mod tests {
         let wm = WeightMatrix::new(&weights, 1, s);
         let got = ExactEngine.vdp_batch(&patches, &wm, &[0]);
         assert_eq!(got[0], s as f64 * 32_767.0 * 32_767.0);
+    }
+
+    #[test]
+    fn prepared_batch_matches_unprepared_batch() {
+        for (rows, kernels, cols) in [(5usize, 7usize, 37usize), (1, 1, 0), (3, 4, 8)] {
+            let (patches, weights, keys) = test_tile(rows, kernels, cols);
+            let wm = WeightMatrix::new(&weights, kernels, cols);
+            let prepared = ExactEngine.prepare_weights(&wm);
+            assert_eq!(prepared.engine_name(), "exact");
+            assert_eq!(prepared.rows(), kernels);
+            assert_eq!(prepared.cols(), cols);
+            assert_eq!(prepared.as_matrix().as_slice(), wm.as_slice());
+            assert_eq!(
+                ExactEngine.vdp_batch_prepared(&patches, &prepared, &keys),
+                ExactEngine.vdp_batch(&patches, &wm, &keys),
+                "rows={rows} kernels={kernels} cols={cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_wide_weights_skip_the_narrow_form() {
+        // Weights outside i16 must prepare without a narrow copy and
+        // still agree with the unprepared path.
+        let cols = 4;
+        let weights = vec![i32::MAX, -70_000, 3, 1, 9, 40_000, i32::MIN + 1, 2];
+        let wm = WeightMatrix::new(&weights, 2, cols);
+        let prepared = ExactEngine.prepare_weights(&wm);
+        assert!(prepared.payload::<ExactPrepared>().expect("payload").w16.is_none());
+        let patches = PatchMatrix::from_vec(2, cols, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            ExactEngine.vdp_batch_prepared(&patches, &prepared, &[0, 1]),
+            ExactEngine.vdp_batch(&patches, &wm, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn prepared_guard_still_tracks_patch_magnitude() {
+        // Narrow weight form present, but huge *inputs* must push the
+        // prepared path onto the wide kernel — and stay exact.
+        let s = 8192usize;
+        let weights = vec![32_767i32; s];
+        let wm = WeightMatrix::new(&weights, 1, s);
+        let prepared = ExactEngine.prepare_weights(&wm);
+        assert!(prepared.payload::<ExactPrepared>().expect("payload").w16.is_some());
+        let patches = PatchMatrix::from_vec(1, s, vec![32_767u32; s]);
+        let got = ExactEngine.vdp_batch_prepared(&patches, &prepared, &[0]);
+        assert_eq!(got[0], s as f64 * 32_767.0 * 32_767.0);
+    }
+
+    #[test]
+    fn foreign_prepared_handle_falls_back_to_raw_weights() {
+        // A handle prepared by some other engine (no ExactPrepared
+        // payload) must still execute correctly on the raw matrix.
+        let (patches, weights, keys) = test_tile(2, 3, 9);
+        let wm = WeightMatrix::new(&weights, 3, 9);
+        let foreign = PreparedWeights::raw("someone-else", &wm);
+        assert_eq!(
+            ExactEngine.vdp_batch_prepared(&patches, &foreign, &keys),
+            ExactEngine.vdp_batch(&patches, &wm, &keys)
+        );
     }
 
     #[test]

@@ -17,8 +17,25 @@
 //! the result is bit-identical for any worker count. The pre-batching
 //! per-pixel path survives as [`QConv2d::forward_reference`], the parity
 //! oracle and benchmark baseline.
+//!
+//! Two weight-stationary extensions ride on the same block machinery:
+//!
+//! * **Prepared weights** — [`QConv2d::prepare`] / [`QFc::prepare`]
+//!   transform each layer's weights into the engine's
+//!   [`PreparedWeights`] form once at model load; every forward then
+//!   runs [`VdpEngine::vdp_batch_prepared`], so per-call weight
+//!   derivation (the exact engine's i16 narrowing, SCONNA's DKV/LUT
+//!   stream addressing) never repeats per row block.
+//! * **Whole-batch tiles** — the multi-image forwards
+//!   ([`QConv2d::forward_batch_keyed`],
+//!   [`QFc::forward_logits_batch_keyed`]) stack the im2col patches of
+//!   *every image of a serving batch* into one tile per (block, group),
+//!   so a layer's weights are fetched once per tile for the whole batch
+//!   instead of once per request. Each image keeps its own noise base
+//!   key, so the stacked result is bit-identical to running the images
+//!   one by one.
 
-use crate::engine::{combine_keys, mix_key, PatchMatrix, VdpEngine, WeightMatrix};
+use crate::engine::{combine_keys, mix_key, PatchMatrix, PreparedWeights, VdpEngine, WeightMatrix};
 use crate::quant::Requant;
 use crate::tensor::Tensor;
 use sconna_sim::parallel::{block_ranges, parallel_map_with};
@@ -104,7 +121,71 @@ impl QConv2d {
         base_key: u64,
         workers: usize,
     ) -> Tensor<u32> {
-        self.forward_blocks(input, engine, base_key, workers, |acc, rq| rq.apply(acc))
+        self.forward_blocks(&[input], engine, None, &[base_key], workers, |acc, rq| rq.apply(acc))
+            .pop()
+            .expect("one output per input")
+    }
+
+    /// Transforms this layer's weights into `engine`'s weight-stationary
+    /// [`PreparedWeights`] form, one handle per channel group (kernels of
+    /// a group are contiguous in the `[L, D/g, K, K]` layout) — computed
+    /// once at model load and reused by every forward.
+    pub fn prepare(&self, engine: &dyn VdpEngine) -> Vec<PreparedWeights> {
+        let patch_len = self.vector_len();
+        let kpg = self.weights.dims()[0] / self.groups;
+        (0..self.groups)
+            .map(|g| {
+                let wslice =
+                    &self.weights.as_slice()[g * kpg * patch_len..(g + 1) * kpg * patch_len];
+                engine.prepare_weights(&WeightMatrix::new(wslice, kpg, patch_len))
+            })
+            .collect()
+    }
+
+    /// [`QConv2d::forward_keyed`] against prepared weight handles from
+    /// [`QConv2d::prepare`] — bit-identical results, with the per-call
+    /// weight derivation hoisted out of the row-block loop.
+    ///
+    /// # Panics
+    /// Panics if `prepared` does not hold one handle per group with this
+    /// layer's geometry.
+    pub fn forward_prepared_keyed(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+        prepared: &[PreparedWeights],
+        base_key: u64,
+        workers: usize,
+    ) -> Tensor<u32> {
+        self.forward_blocks(&[input], engine, Some(prepared), &[base_key], workers, |acc, rq| {
+            rq.apply(acc)
+        })
+        .pop()
+        .expect("one output per input")
+    }
+
+    /// Runs the convolution over a whole serving batch at once: the
+    /// im2col patches of **all** images are stacked into one
+    /// `vdp_batch` tile per (row block, group), so the weight matrix is
+    /// fetched once per tile for the entire batch — the weight-stationary
+    /// amortization the hardware mapping assumes. Image `b`'s
+    /// accumulators are keyed from `base_keys[b]` exactly as in the
+    /// single-image path, so the result is bit-identical to calling
+    /// [`QConv2d::forward_keyed`] per image (property-tested). An empty
+    /// batch returns an empty vector.
+    ///
+    /// # Panics
+    /// Panics if the images disagree in shape, or `base_keys` is not one
+    /// key per image.
+    pub fn forward_batch_keyed(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&[PreparedWeights]>,
+        base_keys: &[u64],
+        workers: usize,
+    ) -> Vec<Tensor<u32>> {
+        self.forward_blocks(inputs, engine, prepared, base_keys, workers, |acc, rq| rq.apply(acc))
     }
 
     /// Runs the convolution but keeps **signed pre-activation codes**
@@ -123,9 +204,11 @@ impl QConv2d {
         base_key: u64,
         workers: usize,
     ) -> Tensor<i32> {
-        self.forward_blocks(input, engine, base_key, workers, |acc, rq| {
+        self.forward_blocks(&[input], engine, None, &[base_key], workers, |acc, rq| {
             rq.apply_signed(acc)
         })
+        .pop()
+        .expect("one output per input")
     }
 
     /// Pre-batching reference path: per-pixel patch gather and one
@@ -274,51 +357,86 @@ impl QConv2d {
         }
     }
 
-    /// The batched hot path: row blocks → im2col gather → `vdp_batch`
-    /// tile per group → requantize, blocks evaluated in parallel.
+    /// The batched hot path: row blocks → im2col gather (all images of
+    /// the batch stacked) → one `vdp_batch`/`vdp_batch_prepared` tile per
+    /// group → requantize, blocks evaluated in parallel.
     fn forward_blocks<T>(
         &self,
-        input: &Tensor<u32>,
+        inputs: &[&Tensor<u32>],
         engine: &dyn VdpEngine,
-        base_key: u64,
+        prepared: Option<&[PreparedWeights]>,
+        base_keys: &[u64],
         workers: usize,
         convert: impl Fn(f64, &Requant) -> T + Sync,
-    ) -> Tensor<T>
+    ) -> Vec<Tensor<T>>
     where
         T: Copy + Default + Send,
     {
-        let geo = self.validate(input);
+        assert_eq!(base_keys.len(), inputs.len(), "one base key per image");
+        let Some(first) = inputs.first() else {
+            // Empty batch: nothing to compute (mirrors the FC batch API).
+            return Vec::new();
+        };
+        let geo = self.validate(first);
+        for input in &inputs[1..] {
+            assert_eq!(
+                input.dims(),
+                first.dims(),
+                "{}: batched images must agree in shape",
+                self.name
+            );
+        }
+        if let Some(ps) = prepared {
+            assert_eq!(ps.len(), self.groups, "{}: one prepared handle per group", self.name);
+            for p in ps {
+                assert_eq!(
+                    (p.rows(), p.cols()),
+                    (geo.kernels_per_group, geo.patch_len),
+                    "{}: prepared handle geometry mismatch",
+                    self.name
+                );
+            }
+        }
         let rows_per_block = (CONV_BLOCK_PATCHES / geo.w_out.max(1)).clamp(1, 16);
         let blocks = block_ranges(geo.h_out, rows_per_block);
         let slabs: Vec<Vec<T>> = parallel_map_with(blocks.clone(), workers, |rows| {
-            self.eval_rows(input, engine, &geo, base_key, rows, &convert)
+            self.eval_rows(inputs, engine, prepared, &geo, base_keys, rows, &convert)
         });
 
-        // Assemble the row slabs (laid out [k][block row][x]) into the
-        // output tensor.
-        let mut out = Tensor::<T>::zeros(&[geo.l, geo.h_out, geo.w_out]);
-        let od = out.as_mut_slice();
+        // Assemble the row slabs (laid out [image][k][block row][x]) into
+        // one output tensor per image.
+        let mut outs: Vec<Tensor<T>> = inputs
+            .iter()
+            .map(|_| Tensor::<T>::zeros(&[geo.l, geo.h_out, geo.w_out]))
+            .collect();
         for (rows, slab) in blocks.into_iter().zip(slabs) {
             let bh = rows.len();
-            for k in 0..geo.l {
-                for (by, oy) in rows.clone().enumerate() {
-                    let src = (k * bh + by) * geo.w_out;
-                    let dst = (k * geo.h_out + oy) * geo.w_out;
-                    od[dst..dst + geo.w_out].copy_from_slice(&slab[src..src + geo.w_out]);
+            let n_local = bh * geo.w_out;
+            for (b, out) in outs.iter_mut().enumerate() {
+                let od = out.as_mut_slice();
+                for k in 0..geo.l {
+                    for (by, oy) in rows.clone().enumerate() {
+                        let src = (b * geo.l + k) * n_local + by * geo.w_out;
+                        let dst = (k * geo.h_out + oy) * geo.w_out;
+                        od[dst..dst + geo.w_out].copy_from_slice(&slab[src..src + geo.w_out]);
+                    }
                 }
             }
         }
-        out
+        outs
     }
 
-    /// Evaluates output rows `rows` of every kernel: one im2col gather +
-    /// one `vdp_batch` tile per group.
+    /// Evaluates output rows `rows` of every kernel for every image of
+    /// the batch: one im2col gather + one batched-VDP tile per group,
+    /// patches of all images stacked image-major.
+    #[allow(clippy::too_many_arguments)]
     fn eval_rows<T>(
         &self,
-        input: &Tensor<u32>,
+        inputs: &[&Tensor<u32>],
         engine: &dyn VdpEngine,
+        prepared: Option<&[PreparedWeights]>,
         geo: &ConvGeometry,
-        base_key: u64,
+        base_keys: &[u64],
         rows: std::ops::Range<usize>,
         convert: &(impl Fn(f64, &Requant) -> T + Sync),
     ) -> Vec<T>
@@ -326,36 +444,54 @@ impl QConv2d {
         T: Copy + Default,
     {
         let bh = rows.len();
-        let n_patches = bh * geo.w_out;
-        let mut slab = vec![T::default(); geo.l * n_patches];
+        let n_local = bh * geo.w_out;
+        let n_patches = inputs.len() * n_local;
+        let mut slab = vec![T::default(); inputs.len() * geo.l * n_local];
         let mut patches = PatchMatrix::zeros(n_patches, geo.patch_len);
         let mut keys = vec![0u64; n_patches];
         let kpg = geo.kernels_per_group;
 
         for g in 0..self.groups {
-            for (by, oy) in rows.clone().enumerate() {
-                for ox in 0..geo.w_out {
-                    let pi = by * geo.w_out + ox;
-                    self.gather_patch_fast(input.as_slice(), geo, g, oy, ox, patches.row_mut(pi));
-                    // Key layout mirrors forward_reference exactly: the
-                    // key of an accumulator depends only on its (layer,
-                    // group, output position) coordinates, never on the
-                    // block decomposition.
-                    keys[pi] = combine_keys(
-                        base_key,
-                        ((g * geo.h_out + oy) * geo.w_out + ox) as u64,
-                    );
+            for (b, input) in inputs.iter().enumerate() {
+                for (by, oy) in rows.clone().enumerate() {
+                    for ox in 0..geo.w_out {
+                        let pi = b * n_local + by * geo.w_out + ox;
+                        self.gather_patch_fast(
+                            input.as_slice(),
+                            geo,
+                            g,
+                            oy,
+                            ox,
+                            patches.row_mut(pi),
+                        );
+                        // Key layout mirrors forward_reference exactly:
+                        // the key of an accumulator depends only on its
+                        // (image, layer, group, output position)
+                        // coordinates — never on the block decomposition
+                        // or on which other images share the tile.
+                        keys[pi] = combine_keys(
+                            base_keys[b],
+                            ((g * geo.h_out + oy) * geo.w_out + ox) as u64,
+                        );
+                    }
                 }
             }
-            let wslice =
-                &self.weights.as_slice()[g * kpg * geo.patch_len..(g + 1) * kpg * geo.patch_len];
-            let wm = WeightMatrix::new(wslice, kpg, geo.patch_len);
-            let accs = engine.vdp_batch(&patches, &wm, &keys);
-            for pi in 0..n_patches {
-                for kg in 0..kpg {
-                    let k = g * kpg + kg;
-                    let acc = accs[pi * kpg + kg] + self.bias[k];
-                    slab[k * n_patches + pi] = convert(acc, &self.requant);
+            let accs = match prepared {
+                Some(ps) => engine.vdp_batch_prepared(&patches, &ps[g], &keys),
+                None => {
+                    let wslice = &self.weights.as_slice()
+                        [g * kpg * geo.patch_len..(g + 1) * kpg * geo.patch_len];
+                    engine.vdp_batch(&patches, &WeightMatrix::new(wslice, kpg, geo.patch_len), &keys)
+                }
+            };
+            for b in 0..inputs.len() {
+                for li in 0..n_local {
+                    let pi = b * n_local + li;
+                    for kg in 0..kpg {
+                        let k = g * kpg + kg;
+                        let acc = accs[pi * kpg + kg] + self.bias[k];
+                        slab[(b * geo.l + k) * n_local + li] = convert(acc, &self.requant);
+                    }
                 }
             }
         }
@@ -507,17 +643,60 @@ impl QFc {
         engine: &dyn VdpEngine,
         base_key: u64,
     ) -> Vec<f32> {
+        self.forward_logits_batch_keyed(&[input], engine, None, &[base_key])
+            .pop()
+            .expect("one logit row per input")
+    }
+
+    /// Transforms the classifier weights into `engine`'s
+    /// weight-stationary [`PreparedWeights`] form, once at model load.
+    pub fn prepare(&self, engine: &dyn VdpEngine) -> PreparedWeights {
         let [out_f, in_f] = *self.weights.dims() else {
             panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
         };
-        assert_eq!(input.len(), in_f, "{}: input length mismatch", self.name);
+        engine.prepare_weights(&WeightMatrix::new(self.weights.as_slice(), out_f, in_f))
+    }
+
+    /// Computes logits for a whole serving batch in one
+    /// `feature × class` tile: image `b`'s accumulators are keyed from
+    /// `base_keys[b]`, so the stacked result is bit-identical to calling
+    /// [`QFc::forward_logits_keyed`] per image. Passing a handle from
+    /// [`QFc::prepare`] additionally makes the tile weight-stationary.
+    ///
+    /// # Panics
+    /// Panics on input-length or key-count mismatch.
+    pub fn forward_logits_batch_keyed(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&PreparedWeights>,
+        base_keys: &[u64],
+    ) -> Vec<Vec<f32>> {
+        let [out_f, in_f] = *self.weights.dims() else {
+            panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
+        };
         assert_eq!(self.bias.len(), out_f, "{}: bias length mismatch", self.name);
-        let patches = PatchMatrix::from_vec(1, in_f, input.as_slice().to_vec());
-        let wm = WeightMatrix::new(self.weights.as_slice(), out_f, in_f);
-        let accs = engine.vdp_batch(&patches, &wm, &[base_key]);
-        accs.iter()
-            .zip(&self.bias)
-            .map(|(&acc, &b)| acc as f32 * self.dequant + b)
+        assert_eq!(base_keys.len(), inputs.len(), "one base key per image");
+        let mut data = Vec::with_capacity(inputs.len() * in_f);
+        for input in inputs {
+            assert_eq!(input.len(), in_f, "{}: input length mismatch", self.name);
+            data.extend_from_slice(input.as_slice());
+        }
+        let patches = PatchMatrix::from_vec(inputs.len(), in_f, data);
+        let accs = match prepared {
+            Some(p) => engine.vdp_batch_prepared(&patches, p, base_keys),
+            None => {
+                let wm = WeightMatrix::new(self.weights.as_slice(), out_f, in_f);
+                engine.vdp_batch(&patches, &wm, base_keys)
+            }
+        };
+        accs.chunks(out_f)
+            .map(|row| {
+                row.iter()
+                    .zip(&self.bias)
+                    .map(|(&acc, &b)| acc as f32 * self.dequant + b)
+                    .collect()
+            })
             .collect()
     }
 }
@@ -728,6 +907,23 @@ mod tests {
     fn top_k_ordering() {
         let logits = [0.1f32, 5.0, -2.0, 3.0];
         assert_eq!(top_k(&logits, 3), vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn empty_batch_forward_returns_empty() {
+        // Mirrors the FC batch API: a zero-request flush must not panic.
+        let conv = QConv2d {
+            name: "empty".into(),
+            weights: Tensor::from_vec(&[1, 1, 1, 1], vec![1]),
+            bias: vec![0.0],
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            requant: unit_requant(),
+        };
+        let prepared = conv.prepare(&ExactEngine);
+        let out = conv.forward_batch_keyed(&[], &ExactEngine, Some(&prepared), &[], 4);
+        assert!(out.is_empty());
     }
 
     #[test]

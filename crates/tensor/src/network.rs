@@ -1,7 +1,15 @@
 //! Quantized network container: an ordered stack of quantized layers that
 //! runs end-to-end on any [`VdpEngine`].
+//!
+//! [`QuantizedNetwork`] holds the weights; [`PreparedNetwork`] binds the
+//! network to one engine and transforms every layer's weights into that
+//! engine's weight-stationary [`crate::engine::PreparedWeights`] form
+//! **once at model load**. All heavy entry points (accuracy evaluation,
+//! serving instances) run through the prepared form; results are
+//! bit-identical to the unprepared paths by the `vdp_batch_prepared`
+//! contract.
 
-use crate::engine::{combine_keys, VdpEngine};
+use crate::engine::{combine_keys, PreparedWeights, VdpEngine};
 use crate::layers::{GlobalAvgPool, MaxPool2d, QConv2d, QFc};
 use crate::quant::ActivationQuant;
 use crate::tensor::Tensor;
@@ -84,9 +92,17 @@ impl QuantizedNetwork {
         crate::layers::argmax(&self.forward(image, engine))
     }
 
+    /// Binds this network to `engine`, preparing every layer's weights
+    /// into the engine's weight-stationary form once.
+    pub fn prepare<'a>(&'a self, engine: &'a dyn VdpEngine) -> PreparedNetwork<'a> {
+        PreparedNetwork::new(self, engine)
+    }
+
     /// Top-1 and Top-k accuracy in one forward pass per sample,
     /// parallelized over images. Sample `i` runs under image key `i`, so
-    /// the result is worker-count invariant and reproducible.
+    /// the result is worker-count invariant and reproducible. Weights are
+    /// prepared once for the whole evaluation (weight-stationary), which
+    /// cannot change the result — only the wall time.
     pub fn evaluate(
         &self,
         samples: &[crate::dataset::Sample],
@@ -94,20 +110,7 @@ impl QuantizedNetwork {
         engine: &dyn VdpEngine,
         workers: usize,
     ) -> (f64, f64) {
-        if samples.is_empty() {
-            return (0.0, 0.0);
-        }
-        let hits = parallel_map_with((0..samples.len()).collect(), workers, |i: usize| {
-            let s = &samples[i];
-            let logits = self.forward_keyed(&s.image, engine, i as u64);
-            let top1 = crate::layers::argmax(&logits) == s.label;
-            let topk = crate::layers::top_k(&logits, k).contains(&s.label);
-            (top1, topk)
-        });
-        let n = samples.len() as f64;
-        let top1 = hits.iter().filter(|h| h.0).count() as f64 / n;
-        let topk = hits.iter().filter(|h| h.1).count() as f64 / n;
-        (top1, topk)
+        self.prepare(engine).evaluate(samples, k, workers)
     }
 
     /// Top-1 accuracy over a labelled set.
@@ -127,6 +130,195 @@ impl QuantizedNetwork {
         engine: &dyn VdpEngine,
     ) -> f64 {
         self.evaluate(samples, k, engine, 1).1
+    }
+}
+
+/// Per-layer prepared weight handles, aligned with
+/// [`QuantizedNetwork::layers`].
+enum PreparedLayer {
+    /// Convolution: one handle per channel group.
+    Conv(Vec<PreparedWeights>),
+    /// Weight-free layer (pooling): nothing to prepare.
+    Direct,
+    /// Classifier head: one handle.
+    Fc(PreparedWeights),
+}
+
+/// A [`QuantizedNetwork`] bound to one engine, with every layer's weights
+/// transformed into the engine's weight-stationary
+/// [`PreparedWeights`] form at construction — the in-simulator mirror of
+/// loading a model onto an accelerator instance: DKV/LUT conversion and
+/// narrow-form derivation happen once, then every request reuses them.
+///
+/// All forwards are bit-identical to the unprepared
+/// [`QuantizedNetwork`] paths under the same keys (the
+/// `vdp_batch_prepared` contract), so preparation is purely a wall-time
+/// optimization — property-tested in `tests/batch_parity.rs`.
+///
+/// ```
+/// use sconna_tensor::engine::ExactEngine;
+/// # use sconna_tensor::network::{QLayer, QuantizedNetwork};
+/// # use sconna_tensor::layers::QFc;
+/// # use sconna_tensor::quant::ActivationQuant;
+/// # use sconna_tensor::Tensor;
+/// # let net = QuantizedNetwork {
+/// #     input_quant: ActivationQuant { scale: 1.0 / 255.0, bits: 8 },
+/// #     layers: vec![QLayer::GlobalAvgPool, QLayer::Fc(QFc {
+/// #         name: "fc".into(),
+/// #         weights: Tensor::from_vec(&[2, 1], vec![127, -127]),
+/// #         bias: vec![0.0, 0.0],
+/// #         dequant: 1.0,
+/// #     })],
+/// # };
+/// let engine = ExactEngine;
+/// let prepared = net.prepare(&engine);            // once, at model load
+/// let image = Tensor::from_fn(&[1, 4, 4], |_| 0.5);
+/// let logits = prepared.forward_keyed(&image, 7); // per request
+/// assert_eq!(logits, net.forward_keyed(&image, &engine, 7));
+/// ```
+pub struct PreparedNetwork<'a> {
+    net: &'a QuantizedNetwork,
+    engine: &'a dyn VdpEngine,
+    layers: Vec<PreparedLayer>,
+}
+
+impl<'a> PreparedNetwork<'a> {
+    /// Prepares every layer of `net` for `engine`.
+    pub fn new(net: &'a QuantizedNetwork, engine: &'a dyn VdpEngine) -> Self {
+        let layers = net
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                QLayer::Conv(conv) => PreparedLayer::Conv(conv.prepare(engine)),
+                QLayer::MaxPool(_) | QLayer::GlobalAvgPool => PreparedLayer::Direct,
+                QLayer::Fc(fc) => PreparedLayer::Fc(fc.prepare(engine)),
+            })
+            .collect();
+        Self { net, engine, layers }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &QuantizedNetwork {
+        self.net
+    }
+
+    /// The engine the weights were prepared for.
+    pub fn engine(&self) -> &dyn VdpEngine {
+        self.engine
+    }
+
+    /// [`QuantizedNetwork::forward_keyed`] through the prepared handles —
+    /// bit-identical logits, no per-call weight derivation.
+    pub fn forward_keyed(&self, image: &Tensor<f32>, image_key: u64) -> Vec<f32> {
+        self.forward_batch(&[image], &[image_key], 1)
+            .pop()
+            .expect("one logit row per image")
+    }
+
+    /// Runs a whole serving batch through the network with **stacked
+    /// tiles**: at every multiplying layer, the im2col patches (or
+    /// feature vectors) of all images share one batched-VDP tile, so each
+    /// layer's prepared weights are fetched once per row block for the
+    /// entire batch. Image `b` runs under `image_keys[b]`; the result is
+    /// bit-identical to per-image [`PreparedNetwork::forward_keyed`]
+    /// calls for any batch composition and any `workers` count.
+    ///
+    /// # Panics
+    /// Panics if `image_keys` is not one key per image, the images
+    /// disagree in shape, or the network does not end in its FC layer.
+    pub fn forward_batch(
+        &self,
+        images: &[&Tensor<f32>],
+        image_keys: &[u64],
+        workers: usize,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(image_keys.len(), images.len(), "one image key per image");
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let mut acts: Vec<Tensor<u32>> = images
+            .iter()
+            .map(|im| self.net.input_quant.quantize_tensor(im))
+            .collect();
+        let last = self.net.layers.len() - 1;
+        for (i, (layer, prep)) in self.net.layers.iter().zip(&self.layers).enumerate() {
+            match (layer, prep) {
+                (QLayer::Conv(conv), PreparedLayer::Conv(handles)) => {
+                    let base_keys: Vec<u64> = image_keys
+                        .iter()
+                        .map(|&k| combine_keys(k, conv.layer_key()))
+                        .collect();
+                    let refs: Vec<&Tensor<u32>> = acts.iter().collect();
+                    acts = conv.forward_batch_keyed(
+                        &refs,
+                        self.engine,
+                        Some(handles),
+                        &base_keys,
+                        workers,
+                    );
+                }
+                (QLayer::MaxPool(pool), _) => {
+                    acts = acts.iter().map(|a| pool.forward(a)).collect();
+                }
+                (QLayer::GlobalAvgPool, _) => {
+                    acts = acts.iter().map(|a| GlobalAvgPool.forward(a)).collect();
+                }
+                (QLayer::Fc(fc), PreparedLayer::Fc(handle)) => {
+                    assert_eq!(i, last, "FC must be the final layer");
+                    let base_keys: Vec<u64> = image_keys
+                        .iter()
+                        .map(|&k| combine_keys(k, fc.layer_key()))
+                        .collect();
+                    let refs: Vec<&Tensor<u32>> = acts.iter().collect();
+                    return fc.forward_logits_batch_keyed(
+                        &refs,
+                        self.engine,
+                        Some(handle),
+                        &base_keys,
+                    );
+                }
+                _ => unreachable!("prepared layers are aligned by construction"),
+            }
+        }
+        panic!("network must end in an FC classifier");
+    }
+
+    /// Predicted classes for a whole batch (argmax of
+    /// [`PreparedNetwork::forward_batch`]).
+    pub fn predict_batch(
+        &self,
+        images: &[&Tensor<f32>],
+        image_keys: &[u64],
+        workers: usize,
+    ) -> Vec<usize> {
+        self.forward_batch(images, image_keys, workers)
+            .iter()
+            .map(|logits| crate::layers::argmax(logits))
+            .collect()
+    }
+
+    /// Top-1 and Top-k accuracy, parallelized over images (sample `i`
+    /// runs under image key `i` — worker-count invariant).
+    pub fn evaluate(
+        &self,
+        samples: &[crate::dataset::Sample],
+        k: usize,
+        workers: usize,
+    ) -> (f64, f64) {
+        if samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let hits = parallel_map_with((0..samples.len()).collect(), workers, |i: usize| {
+            let s = &samples[i];
+            let logits = self.forward_keyed(&s.image, i as u64);
+            let top1 = crate::layers::argmax(&logits) == s.label;
+            let topk = crate::layers::top_k(&logits, k).contains(&s.label);
+            (top1, topk)
+        });
+        let n = samples.len() as f64;
+        let top1 = hits.iter().filter(|h| h.0).count() as f64 / n;
+        let topk = hits.iter().filter(|h| h.1).count() as f64 / n;
+        (top1, topk)
     }
 }
 
@@ -194,6 +386,44 @@ mod tests {
         let net = tiny_network();
         assert_eq!(net.accuracy(&[], &ExactEngine), 0.0);
         assert_eq!(net.evaluate(&[], 2, &ExactEngine, 4), (0.0, 0.0));
+    }
+
+    #[test]
+    fn prepared_forward_matches_unprepared() {
+        let net = tiny_network();
+        let prepared = net.prepare(&ExactEngine);
+        for key in [0u64, 7, 9999] {
+            let image = Tensor::from_fn(&[1, 4, 4], |i| ((i as u64 * 13 + key) % 16) as f32 / 16.0);
+            assert_eq!(
+                prepared.forward_keyed(&image, key),
+                net.forward_keyed(&image, &ExactEngine, key)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_forward_matches_per_image_forwards() {
+        // Stacked whole-batch tiles must be bit-identical to running the
+        // images one by one, for any worker count.
+        let net = tiny_network();
+        let prepared = net.prepare(&ExactEngine);
+        let images: Vec<Tensor<f32>> = (0..5)
+            .map(|b| Tensor::from_fn(&[1, 4, 4], |i| ((b * 7 + i) % 16) as f32 / 16.0))
+            .collect();
+        let refs: Vec<&Tensor<f32>> = images.iter().collect();
+        let keys: Vec<u64> = (0..5u64).map(|b| b * 1000 + 3).collect();
+        let singles: Vec<Vec<f32>> = refs
+            .iter()
+            .zip(&keys)
+            .map(|(im, &k)| prepared.forward_keyed(im, k))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(prepared.forward_batch(&refs, &keys, workers), singles, "{workers} workers");
+        }
+        // Predictions come straight off the batch logits.
+        let preds = prepared.predict_batch(&refs, &keys, 2);
+        assert_eq!(preds.len(), 5);
+        assert_eq!(prepared.forward_batch(&[], &[], 1), Vec::<Vec<f32>>::new());
     }
 
     #[test]

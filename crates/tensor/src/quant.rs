@@ -1,5 +1,5 @@
 //! Integer quantization — Section II / VI of the paper (8-bit
-//! integer-quantized CNNs, per Krishnamoorthi's whitepaper [6]).
+//! integer-quantized CNNs, per Krishnamoorthi's whitepaper \[6\]).
 //!
 //! The scheme matches what SCONNA's hardware consumes:
 //!

@@ -1,19 +1,28 @@
 //! Serving a stream of GoogleNet inference requests from a SCONNA fleet.
 //!
-//! Demonstrates the three fleet-level behaviors the serving simulator
-//! models on top of the single-accelerator reproduction:
+//! Demonstrates the fleet-level behaviors the serving simulator models
+//! on top of the single-accelerator reproduction:
 //!
 //! 1. served FPS scales with instance count (≥ 1.8× from 1 → 2),
 //! 2. batching lowers energy per inference vs batch-1 dispatch,
-//! 3. reports are seed-deterministic regardless of sweep thread count.
+//! 3. reports are seed-deterministic regardless of sweep thread count,
+//! 4. **functional serving**: instances execute their dequeued batches
+//!    through real `vdp_batch` tiles on a weight-stationary prepared
+//!    model, and the fleet reports top-1 accuracy-under-load —
+//!    bit-identical across worker counts and arrival orderings.
 //!
 //! Run with: `cargo run --release --example serving_sim`
 
 use sconna::accel::report::format_serving_sweep;
-use sconna::accel::serve::{sweep, ServingConfig};
-use sconna::accel::AcceleratorConfig;
+use sconna::accel::serve::{
+    simulate_serving_functional, sweep, ArrivalProcess, FunctionalWorkload, ServingConfig,
+};
+use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::parallel::default_workers;
+use sconna::tensor::dataset::SyntheticDataset;
+use sconna::tensor::engine::ExactEngine;
 use sconna::tensor::models::googlenet;
+use sconna::tensor::smallcnn::{SmallCnn, SmallCnnConfig};
 
 fn main() {
     let model = googlenet();
@@ -78,4 +87,70 @@ fn main() {
         serial.len(),
         default_workers()
     );
+
+    // 5. Functional serving: train a small CNN, quantize it, and let the
+    //    fleet *execute* the requests it schedules — real stacked
+    //    vdp_batch tiles on per-instance prepared (weight-stationary)
+    //    model copies, predictions keyed per request id.
+    println!("\n--- functional serving: accuracy under load ---");
+    let seed = 7u64;
+    let data = SyntheticDataset::new(10, 16, 0.25, seed);
+    let train = data.batch(20, seed.wrapping_add(1));
+    let test = data.batch(12, seed.wrapping_add(2));
+    let mut cnn = SmallCnn::new(
+        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        seed,
+    );
+    cnn.train(&train, 10, 0.05);
+    let qnet = cnn.quantize(&train, 8);
+    let engine = SconnaEngine::paper_default(seed);
+    let (offline_top1, _) = qnet.prepare(&ExactEngine).evaluate(&test, 5, default_workers());
+
+    let fn_requests = 96;
+    let fn_cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, fn_requests);
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let workload = FunctionalWorkload {
+            net: &qnet,
+            samples: &test,
+            engine: &engine,
+            workers,
+        };
+        runs.push((workers, simulate_serving_functional(&fn_cfg, &model, &workload)));
+    }
+    let (_, first) = &runs[0];
+    println!(
+        "{} requests on a 2-instance SCONNA fleet (stochastic engine, batch 8):",
+        fn_requests
+    );
+    println!(
+        "  top-1 accuracy under load: {:.1}%  ({} / {} correct; exact-engine offline top-1 {:.1}%)",
+        100.0 * first.accuracy_under_load,
+        first.correct,
+        first.serving.completed,
+        100.0 * offline_top1,
+    );
+    for (workers, run) in &runs {
+        assert_eq!(
+            run.predictions, first.predictions,
+            "predictions must be bit-identical across worker counts"
+        );
+        println!(
+            "  workers {workers}: accuracy {:.4} — predictions bit-identical",
+            run.accuracy_under_load
+        );
+    }
+    // Arrival ordering cannot move a prediction either: requests are
+    // keyed by id, not by schedule.
+    let poisson = simulate_serving_functional(
+        &ServingConfig {
+            arrivals: ArrivalProcess::Poisson { rate_fps: first.serving.fps * 0.5 },
+            seed: 11,
+            ..fn_cfg.clone()
+        },
+        &model,
+        &FunctionalWorkload { net: &qnet, samples: &test, engine: &engine, workers: 2 },
+    );
+    assert_eq!(poisson.predictions, first.predictions);
+    println!("  Poisson arrivals at 50% load: same {} predictions, same accuracy", fn_requests);
 }

@@ -2,7 +2,9 @@
 //! the im2col patch gather, and block-parallel conv forward must all be
 //! bit-identical to their single-vector / per-pixel references — for the
 //! exact engine, the noiseless stochastic engine, and the noisy engine
-//! with keyed ADC error.
+//! with keyed ADC error. The weight-stationary extensions obey the same
+//! bar: `PreparedWeights` tiles and whole-batch stacked tiles must be
+//! bit-equal to the unprepared per-request paths.
 
 use proptest::prelude::*;
 use sconna::accel::SconnaEngine;
@@ -22,7 +24,9 @@ fn unit_requant() -> Requant {
 }
 
 /// Asserts the `vdp_batch` contract on one engine: entry `(p, k)` equals
-/// the single-vector call under the combined key, bit for bit.
+/// the single-vector call under the combined key, bit for bit — and the
+/// weight-stationary `vdp_batch_prepared` path reproduces the same tile
+/// exactly.
 fn assert_batch_parity(engine: &dyn VdpEngine, patches: &PatchMatrix, wm: &WeightMatrix<'_>, keys: &[u64]) {
     let got = engine.vdp_batch(patches, wm, keys);
     assert_eq!(got.len(), patches.rows() * wm.rows());
@@ -37,6 +41,14 @@ fn assert_batch_parity(engine: &dyn VdpEngine, patches: &PatchMatrix, wm: &Weigh
             );
         }
     }
+    let prepared = engine.prepare_weights(wm);
+    let fast = engine.vdp_batch_prepared(patches, &prepared, keys);
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "{}: prepared tile diverged from raw tile",
+        engine.name()
+    );
 }
 
 proptest! {
@@ -119,5 +131,69 @@ proptest! {
             let parallel = conv.forward_keyed(&input, engine.as_ref(), conv.layer_key(), workers);
             prop_assert_eq!(batched.as_slice(), parallel.as_slice(), "workers {}", workers);
         }
+    }
+
+    /// The weight-stationary serving path — prepared per-group handles +
+    /// the im2col patches of a whole request batch stacked into one tile
+    /// — must be bit-equal to running each request through the plain
+    /// per-request `forward_keyed`, for every worker count, on random
+    /// conv geometries and batch compositions, with and without ADC
+    /// noise.
+    #[test]
+    fn prop_prepared_batch_tiles_match_per_request_forward(
+        d_g in 1usize..=2,
+        groups in 1usize..=3,
+        kpg in 1usize..=3,
+        k in 1usize..=2,
+        stride in 1usize..=2,
+        padding in 0usize..=1,
+        extra in 0usize..=4,
+        n_images in 1usize..=4,
+        seed in 0u64..=500,
+        noisy in 0u8..=1,
+    ) {
+        let noisy = noisy == 1;
+        let k = 2 * k - 1; // kernel side 1 or 3
+        let d_in = d_g * groups;
+        let l = kpg * groups;
+        let (h, w) = (k + extra, k + 1);
+        let conv = QConv2d {
+            name: format!("prep-{seed}"),
+            weights: Tensor::from_fn(&[l, d_g, k, k], |i| ((i as i64 * 3 + seed as i64) % 255) as i32 - 127),
+            bias: (0..l).map(|b| b as f64 * 0.5).collect(),
+            stride,
+            padding,
+            groups,
+            requant: unit_requant(),
+        };
+        let images: Vec<Tensor<u32>> = (0..n_images)
+            .map(|b| Tensor::<u32>::from_fn(&[d_in, h, w], |i| ((i as u64 * 23 + seed + b as u64 * 101) % 256) as u32))
+            .collect();
+        let base_keys: Vec<u64> = (0..n_images as u64).map(|b| seed.wrapping_mul(31).wrapping_add(b * 7919)).collect();
+
+        let engine: Box<dyn VdpEngine> = if noisy {
+            Box::new(SconnaEngine::paper_default(seed))
+        } else {
+            Box::new(ExactEngine)
+        };
+        // Per-request reference: plain unprepared single-image forwards.
+        let singles: Vec<Tensor<u32>> = images
+            .iter()
+            .zip(&base_keys)
+            .map(|(im, &bk)| conv.forward_keyed(im, engine.as_ref(), bk, 1))
+            .collect();
+
+        let prepared = conv.prepare(engine.as_ref());
+        let refs: Vec<&Tensor<u32>> = images.iter().collect();
+        for workers in [1usize, 2, 8] {
+            let stacked = conv.forward_batch_keyed(&refs, engine.as_ref(), Some(&prepared), &base_keys, workers);
+            prop_assert_eq!(stacked.len(), singles.len());
+            for (b, (got, want)) in stacked.iter().zip(&singles).enumerate() {
+                prop_assert_eq!(got.as_slice(), want.as_slice(), "image {} workers {}", b, workers);
+            }
+        }
+        // Single-image prepared forward is the same contract at batch 1.
+        let one = conv.forward_prepared_keyed(&images[0], engine.as_ref(), &prepared, base_keys[0], 2);
+        prop_assert_eq!(one.as_slice(), singles[0].as_slice());
     }
 }

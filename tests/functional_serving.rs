@@ -1,0 +1,177 @@
+//! Functional-serving guarantees: a fleet that *executes* its requests
+//! must compute exactly what the offline per-request forward computes —
+//! predictions keyed per request id, invariant under fleet size, batch
+//! packing, arrival ordering (closed-loop vs Poisson, any seed) and
+//! worker count — and the whole-network prepared/stacked forward must be
+//! bit-equal to the per-request path.
+
+use proptest::prelude::*;
+use sconna::accel::serve::{
+    simulate_serving_functional, ArrivalProcess, FunctionalWorkload, ServingConfig,
+};
+use sconna::accel::{AcceleratorConfig, SconnaEngine};
+use sconna::tensor::dataset::Sample;
+use sconna::tensor::engine::{ExactEngine, VdpEngine};
+use sconna::tensor::layers::{MaxPool2d, QConv2d, QFc};
+use sconna::tensor::models::shufflenet_v2;
+use sconna::tensor::network::{QLayer, QuantizedNetwork};
+use sconna::tensor::quant::{ActivationQuant, Requant, WeightQuant};
+use sconna::tensor::Tensor;
+
+/// A hand-built quantized CNN (weights from a hash, no training) plus a
+/// labelled request population.
+fn tiny_workload(seed: u64, classes: usize) -> (QuantizedNetwork, Vec<Sample>) {
+    let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
+    let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+    let net = QuantizedNetwork {
+        input_quant: aq,
+        layers: vec![
+            QLayer::Conv(QConv2d {
+                name: format!("c1-{seed}"),
+                weights: Tensor::from_fn(&[4, 1, 3, 3], |i| {
+                    ((i as u64 * 29 + seed) % 255) as i32 - 127
+                }),
+                bias: vec![0.0; 4],
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                requant: Requant::new(aq, wq, aq),
+            }),
+            QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+            QLayer::GlobalAvgPool,
+            QLayer::Fc(QFc {
+                name: format!("fc-{seed}"),
+                weights: Tensor::from_fn(&[classes, 4], |i| {
+                    ((i as u64 * 67 + seed) % 255) as i32 - 127
+                }),
+                bias: vec![0.0; classes],
+                dequant: aq.scale * wq.scale,
+            }),
+        ],
+    };
+    let samples: Vec<Sample> = (0..5)
+        .map(|s| Sample {
+            image: Tensor::from_fn(&[1, 8, 8], |i| {
+                ((s as u64 * 37 + i as u64 * 11 + seed) % 256) as f32 / 255.0
+            }),
+            label: s % classes,
+        })
+        .collect();
+    (net, samples)
+}
+
+/// Offline reference: request `r`'s prediction from a plain (unprepared,
+/// unstacked) per-request forward under image key `r`.
+fn offline_predictions(
+    net: &QuantizedNetwork,
+    samples: &[Sample],
+    engine: &dyn VdpEngine,
+    requests: usize,
+) -> Vec<usize> {
+    (0..requests)
+        .map(|r| {
+            let s = &samples[r % samples.len()];
+            sconna::tensor::layers::argmax(&net.forward_keyed(&s.image, engine, r as u64))
+        })
+        .collect()
+}
+
+proptest! {
+    /// Fleet accuracy-under-load is a pure function of the workload:
+    /// identical across 1/2/8 instance workers, fleet shapes, and
+    /// arrival orderings (closed-loop saturation and Poisson at any
+    /// rate/seed) — and every prediction equals the offline per-request
+    /// forward.
+    #[test]
+    fn prop_accuracy_under_load_is_schedule_invariant(
+        seed in 0u64..=200,
+        requests in 1usize..=24,
+        instances in 1usize..=4,
+        max_batch in 1usize..=8,
+        rate_idx in 0usize..=2,
+        arrival_seed in 0u64..=50,
+        noisy in 0u8..=1,
+    ) {
+        let (net, samples) = tiny_workload(seed, 3);
+        let exact = ExactEngine;
+        let sconna = SconnaEngine::paper_default(seed);
+        let engine: &dyn VdpEngine = if noisy == 1 { &sconna } else { &exact };
+        let offline = offline_predictions(&net, &samples, engine, requests);
+        let expected_correct = offline
+            .iter()
+            .enumerate()
+            .filter(|&(r, &p)| p == samples[r % samples.len()].label)
+            .count() as u64;
+
+        let model = shufflenet_v2();
+        for workers in [1usize, 2, 8] {
+            let workload = FunctionalWorkload {
+                net: &net,
+                samples: &samples,
+                engine,
+                workers,
+            };
+            // Closed-loop saturation ordering.
+            let closed = simulate_serving_functional(
+                &ServingConfig::saturation(
+                    AcceleratorConfig::sconna(),
+                    instances,
+                    max_batch,
+                    requests,
+                ),
+                &model,
+                &workload,
+            );
+            prop_assert_eq!(&closed.predictions, &offline, "closed loop, {} workers", workers);
+            prop_assert_eq!(closed.correct, expected_correct);
+            // Open-loop Poisson ordering at a workload-dependent rate.
+            let rate = [200.0f64, 1000.0, 5000.0][rate_idx];
+            let poisson = simulate_serving_functional(
+                &ServingConfig {
+                    arrivals: ArrivalProcess::Poisson { rate_fps: rate },
+                    seed: arrival_seed,
+                    ..ServingConfig::saturation(
+                        AcceleratorConfig::sconna(),
+                        instances,
+                        max_batch,
+                        requests,
+                    )
+                },
+                &model,
+                &workload,
+            );
+            prop_assert_eq!(&poisson.predictions, &offline, "poisson, {} workers", workers);
+            prop_assert_eq!(
+                poisson.accuracy_under_load.to_bits(),
+                closed.accuracy_under_load.to_bits()
+            );
+        }
+    }
+
+    /// The prepared whole-network stacked forward is bit-equal to the
+    /// plain per-request forward for any batch composition and worker
+    /// count — the network-level half of the serving guarantee.
+    #[test]
+    fn prop_prepared_network_batch_matches_per_request(
+        seed in 0u64..=300,
+        n_images in 1usize..=5,
+        noisy in 0u8..=1,
+    ) {
+        let (net, samples) = tiny_workload(seed, 4);
+        let exact = ExactEngine;
+        let sconna = SconnaEngine::paper_default(seed ^ 0xABCD);
+        let engine: &dyn VdpEngine = if noisy == 1 { &sconna } else { &exact };
+        let images: Vec<&Tensor<f32>> = (0..n_images).map(|b| &samples[b % samples.len()].image).collect();
+        let keys: Vec<u64> = (0..n_images as u64).map(|b| b * 997 + seed).collect();
+        let singles: Vec<Vec<f32>> = images
+            .iter()
+            .zip(&keys)
+            .map(|(im, &k)| net.forward_keyed(im, engine, k))
+            .collect();
+        let prepared = net.prepare(engine);
+        for workers in [1usize, 2, 8] {
+            let stacked = prepared.forward_batch(&images, &keys, workers);
+            prop_assert_eq!(&stacked, &singles, "{} workers", workers);
+        }
+    }
+}
