@@ -134,6 +134,39 @@ impl AcceleratorConfig {
         [Self::sconna(), Self::mam(), Self::amm()]
     }
 
+    /// The same organization at a reduced stream precision: a `bits`-bit
+    /// stochastic stream is `2^bits` symbols long, so one VDP pass
+    /// shortens proportionally (`symbol_time` here is the whole-stream
+    /// pass time, `2^B / BR`). This is the fallback operating point the
+    /// serving scheduler's `Degrade` admission policy dispatches shed
+    /// requests at — cheaper passes, coarser products.
+    ///
+    /// Only meaningful for SCONNA: the analog baselines' `symbol_time`
+    /// is a sample period (1 / GS/s), not a stream length, so their pass
+    /// time does not scale with precision this way.
+    ///
+    /// # Panics
+    /// Panics for a non-SCONNA configuration, `bits` of zero, or `bits`
+    /// above the native precision (this models degradation only).
+    pub fn with_native_bits(self, bits: u8) -> Self {
+        assert_eq!(
+            self.kind,
+            AcceleratorKind::Sconna,
+            "stream-length precision scaling only applies to SCONNA"
+        );
+        assert!(
+            bits >= 1 && bits <= self.native_bits,
+            "degraded precision must be in 1..={}, got {bits}",
+            self.native_bits
+        );
+        let ps = self.symbol_time.as_ps() * (1u64 << bits) / (1u64 << self.native_bits);
+        Self {
+            native_bits: bits,
+            symbol_time: SimTime::from_ps(ps.max(1)),
+            ..self
+        }
+    }
+
     /// VDPEs per VDPC: the paper's VDPCs have M = N arms sharing one
     /// N-wavelength laser bank.
     pub fn vdpes_per_vdpc(&self) -> usize {
@@ -316,6 +349,32 @@ mod tests {
         let max = areas.iter().fold(0f64, |a, &b| a.max(b));
         let min = areas.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(max / min < 1.01, "areas {areas:?} diverge");
+    }
+
+    #[test]
+    fn degraded_precision_shortens_the_stream_pass() {
+        let s = AcceleratorConfig::sconna();
+        let d = s.with_native_bits(4);
+        assert_eq!(d.native_bits, 4);
+        // 2^4 / 2^8 of the 8-bit pass: 8533 ps / 16 = 533 ps.
+        assert_eq!(d.symbol_time, SimTime::from_ps(533));
+        // Everything but the stream length is the same hardware.
+        assert_eq!(d.total_vdpes, s.total_vdpes);
+        assert_eq!(d.vdpe_size_n, s.vdpe_size_n);
+        // Native precision is the identity.
+        assert_eq!(s.with_native_bits(8).symbol_time, s.symbol_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies to SCONNA")]
+    fn degraded_precision_rejects_analog_baselines() {
+        let _ = AcceleratorConfig::mam().with_native_bits(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded precision must be in")]
+    fn degraded_precision_rejects_upgrades() {
+        let _ = AcceleratorConfig::sconna().with_native_bits(9);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::organization::AcceleratorConfig;
 use crate::perf::{simulate_inference, InferencePerf};
-use crate::serve::ServingReport;
+use crate::serve::{OverloadPoint, ServingReport};
 use sconna_sim::stats::gmean;
 use sconna_tensor::models::CnnModel;
 use std::fmt::Write as _;
@@ -136,6 +136,35 @@ pub fn format_serving_sweep(reports: &[ServingReport]) -> String {
     out
 }
 
+/// Formats an overload sweep as a table: one row per offered-load point
+/// with goodput, shed accounting, tail latency, queue depth and the
+/// accuracy-under-shedding columns.
+pub fn format_overload_sweep(points: &[OverloadPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12}{:>8}{:>10}{:>12}{:>12}{:>8}{:>10}{:>10}",
+        "offered", "goodput", "drop%", "degraded", "p50", "p99", "maxQ", "acc-adm", "acc-off"
+    );
+    for p in points {
+        let s = &p.report.serving;
+        let _ = writeln!(
+            out,
+            "{:<12.0}{:>12.0}{:>8.1}{:>10}{:>12}{:>12}{:>8}{:>9.1}%{:>9.1}%",
+            p.offered_fps,
+            s.goodput_fps,
+            100.0 * s.drop_rate,
+            s.degraded,
+            s.latency.p50.to_string(),
+            s.latency.p99.to_string(),
+            s.queue_depth.max_depth(),
+            100.0 * p.report.accuracy_under_load,
+            100.0 * p.report.accuracy_offered,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +208,53 @@ mod tests {
         let table = format_serving_sweep(&reports);
         assert_eq!(table.lines().count(), 3, "header + 2 rows");
         assert!(table.contains("J/inference"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn overload_table_has_one_row_per_point() {
+        use crate::engine::SconnaEngine;
+        use crate::serve::{overload_sweep, FunctionalWorkload, ServingConfig};
+        use sconna_tensor::dataset::Sample;
+        use sconna_tensor::layers::QFc;
+        use sconna_tensor::network::{QLayer, QuantizedNetwork};
+        use sconna_tensor::quant::ActivationQuant;
+        use sconna_tensor::Tensor;
+        let net = QuantizedNetwork {
+            input_quant: ActivationQuant { scale: 1.0 / 255.0, bits: 8 },
+            layers: vec![
+                QLayer::GlobalAvgPool,
+                QLayer::Fc(QFc {
+                    name: "fc".into(),
+                    weights: Tensor::from_vec(&[2, 1], vec![127, -127]),
+                    bias: vec![0.0, 0.0],
+                    dequant: 1.0,
+                }),
+            ],
+        };
+        let samples = vec![Sample {
+            image: Tensor::from_fn(&[1, 4, 4], |_| 0.5),
+            label: 0,
+        }];
+        let engine = SconnaEngine::paper_default(1);
+        let model = shufflenet_v2();
+        let base = ServingConfig {
+            queue_cap: Some(2),
+            ..ServingConfig::saturation(AcceleratorConfig::sconna(), 1, 2, 8)
+        };
+        let cap = base.estimated_capacity_fps(&model);
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 1,
+        };
+        let points = overload_sweep(&base, &model, &workload, &[0.5 * cap, 2.0 * cap], 1);
+        let table = format_overload_sweep(&points);
+        assert_eq!(table.lines().count(), 3, "header + 2 rows");
+        assert!(table.contains("acc-adm"));
         assert!(table.contains("p99"));
     }
 

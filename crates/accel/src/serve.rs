@@ -2,14 +2,14 @@
 //! headline throughput claim implies but never models.
 //!
 //! A *fleet* of R identical accelerator instances serves a stream of
-//! inference requests. Requests arrive either by an open-loop Poisson
-//! process (independent users at a target rate) or a closed loop (a fixed
+//! inference requests. Requests arrive by an open-loop Poisson process
+//! (independent users at a target rate), a closed loop (a fixed
 //! population of clients, each firing its next request the moment the
-//! previous one completes). A batching scheduler packs pending requests
-//! into batches of up to `max_batch`, dispatching a full batch as soon as
-//! an instance is idle and flushing partial batches once the oldest
-//! pending request has waited `batch_window` — the standard
-//! dynamic-batching policy of production inference servers.
+//! previous one completes), or a replayed trace. A batching scheduler
+//! packs pending requests into batches of up to `max_batch`, dispatching
+//! a full batch as soon as an instance is idle and flushing partial
+//! batches once the oldest pending request has waited `batch_window` —
+//! the standard dynamic-batching policy of production inference servers.
 //!
 //! Each dispatched batch occupies one instance for the weight-stationary
 //! batched makespan from [`crate::perf`], so the per-batch service time
@@ -17,6 +17,21 @@
 //! model's; what this module adds is queueing, packing and fleet-level
 //! accounting: throughput, latency percentiles, per-instance utilization
 //! and energy per inference.
+//!
+//! **Overload & admission control.** The pending queue can be bounded
+//! (`queue_cap` requests per instance) and an [`AdmissionPolicy`] decides
+//! what happens to traffic the fleet cannot absorb: reject the newcomer
+//! ([`AdmissionPolicy::DropNewest`]), evict the oldest waiter
+//! ([`AdmissionPolicy::DropOldest`]), shed requests whose queue wait has
+//! already blown their latency SLO ([`AdmissionPolicy::Deadline`]), or
+//! route overflow to a cheaper low-precision fallback model so shedding
+//! trades accuracy instead of availability
+//! ([`AdmissionPolicy::Degrade`]). Reports account every offered request
+//! into exactly one of *served*, *dropped* or *degraded*, quote goodput
+//! and drop rate, and carry the queue-depth time series
+//! ([`sconna_sim::stats::QueueDepthSamples`]). [`overload_sweep`] walks
+//! the offered load across the saturation knee and returns the
+//! accuracy-vs-load / tail-latency-vs-load curve.
 //!
 //! **Functional serving** ([`simulate_serving_functional`]) goes one step
 //! further: besides *timing* each batch, every instance owns an
@@ -29,7 +44,10 @@
 //! **accuracy-under-load** alongside FPS/latency/energy. Request `r`
 //! runs under noise key `r`, so its prediction is a pure function of
 //! `(model, engine, sample, r)` — independent of batch packing, instance
-//! assignment, arrival ordering and worker count.
+//! assignment, arrival ordering and worker count. Under
+//! [`AdmissionPolicy::Degrade`] the instances additionally hold a
+//! prepared copy of the low-precision fallback network and run degraded
+//! batches through it.
 //!
 //! Everything runs on one deterministic [`EventQueue`] per simulation, so
 //! a [`ServingReport`] is a pure function of its [`ServingConfig`] —
@@ -42,7 +60,7 @@ use rand::{Rng, SeedableRng};
 use sconna_sim::energy::EnergyLedger;
 use sconna_sim::event::EventQueue;
 use sconna_sim::parallel::parallel_map_with;
-use sconna_sim::stats::{LatencySamples, LatencySummary, Utilization};
+use sconna_sim::stats::{LatencySamples, LatencySummary, QueueDepthSamples, Utilization};
 use sconna_sim::time::SimTime;
 use sconna_tensor::dataset::Sample;
 use sconna_tensor::engine::VdpEngine;
@@ -53,7 +71,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// How requests enter the system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// Open loop: exponential inter-arrival times at `rate_fps`
     /// requests per second, independent of service progress.
@@ -62,13 +80,61 @@ pub enum ArrivalProcess {
         rate_fps: f64,
     },
     /// Closed loop: `clients` concurrent users; each fires its next
-    /// request the instant its previous one completes (zero think time).
-    /// This is the saturation workload that measures peak throughput.
+    /// request the instant its previous one completes — or is shed (a
+    /// rejected client immediately retries with a fresh request). This
+    /// is the saturation workload that measures peak throughput.
     ClosedLoop {
         /// Number of concurrent clients.
         clients: usize,
     },
+    /// Replay: request `i` of the trace arrives at `times[i]`. The trace
+    /// length must equal `ServingConfig::requests`. Request ids are
+    /// assigned in *time* order (ties by schedule order), so any
+    /// permutation of a tie-free trace simulates identically —
+    /// the reordering invariance the overload determinism tests pin.
+    Trace {
+        /// Absolute arrival times (need not be sorted).
+        times: Vec<SimTime>,
+    },
 }
+
+/// What the scheduler does with traffic the bounded queue cannot absorb.
+///
+/// Shedding triggers when a request arrives while the pending queue
+/// holds at least `queue_cap × instances` requests (and, for
+/// [`AdmissionPolicy::Deadline`], additionally at dispatch time). With
+/// `queue_cap: None` only `Deadline` ever sheds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the arriving request (classic tail drop). The default; with
+    /// an unbounded queue this is exactly the pre-overload scheduler.
+    #[default]
+    DropNewest,
+    /// Evict the oldest waiting request and admit the newcomer (the
+    /// freshest traffic is the most likely to still meet its deadline).
+    DropOldest,
+    /// Tail drop at the queue cap, plus SLO-aware shedding at dispatch:
+    /// any request whose queue wait already exceeds `slo` when an
+    /// instance would pick it up is shed instead of served — it could
+    /// only have become a late answer nobody is waiting for.
+    Deadline {
+        /// Queue-wait budget per request.
+        slo: SimTime,
+    },
+    /// Never drop: requests arriving over the cap are admitted onto the
+    /// same queue but marked **degraded** — they execute on a cheaper
+    /// `fallback_bits`-weight-precision copy of the model
+    /// ([`sconna_tensor::network::QuantizedNetwork::with_weight_bits`])
+    /// whose shorter stochastic streams make their batches
+    /// `2^native / 2^fallback` times faster
+    /// ([`AcceleratorConfig::with_native_bits`]). Shedding trades
+    /// accuracy instead of availability.
+    Degrade {
+        /// Weight precision of the fallback model, bits.
+        fallback_bits: u8,
+    },
+}
+
 
 /// One serving experiment: a fleet, a scheduler policy, a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,17 +148,34 @@ pub struct ServingConfig {
     /// How long the oldest pending request may wait before a partial
     /// batch is flushed to an idle instance.
     pub batch_window: SimTime,
+    /// Pending-queue bound, requests **per instance** (the shared queue
+    /// holds at most `queue_cap × instances`); `None` is unbounded.
+    pub queue_cap: Option<usize>,
+    /// What happens to traffic over the bound.
+    pub admission: AdmissionPolicy,
     /// Arrival process.
     pub arrivals: ArrivalProcess,
-    /// Total requests to serve; the simulation ends when all complete.
+    /// Total requests to serve; the simulation ends when every one has
+    /// been served, degraded or shed.
     pub requests: usize,
-    /// Seed for the arrival process (unused by `ClosedLoop`).
+    /// Seed for the arrival process (unused by `ClosedLoop`/`Trace`).
     pub seed: u64,
 }
 
 impl ServingConfig {
-    /// A closed-loop saturation test: enough clients to keep every
-    /// instance's batch slots full, serving `requests` requests.
+    /// A closed-loop saturation test: `2 × instances × max_batch`
+    /// zero-think-time clients — enough that whenever an instance goes
+    /// idle a full batch is already waiting, so every batch slot stays
+    /// occupied and the measured FPS is the fleet's service **capacity**.
+    /// That capacity is the knee of the open-loop overload sweep: offered
+    /// load below it is served at the offered rate, load above it can
+    /// only be absorbed by queueing and shedding (see [`overload_sweep`]
+    /// and the closed-form [`ServingConfig::estimated_capacity_fps`],
+    /// which this measured knee is unit-pinned against).
+    ///
+    /// Unbounded queue, [`AdmissionPolicy::DropNewest`] — i.e. no
+    /// shedding: the closed loop self-limits at `clients` outstanding
+    /// requests.
     pub fn saturation(
         accelerator: AcceleratorConfig,
         instances: usize,
@@ -104,6 +187,8 @@ impl ServingConfig {
             instances,
             max_batch,
             batch_window: SimTime::from_ns(100_000), // 100 µs
+            queue_cap: None,
+            admission: AdmissionPolicy::DropNewest,
             arrivals: ArrivalProcess::ClosedLoop {
                 clients: 2 * instances * max_batch,
             },
@@ -111,6 +196,58 @@ impl ServingConfig {
             seed: 0,
         }
     }
+
+    /// Closed-form service-capacity estimate: `instances × max_batch`
+    /// requests complete every full-batch makespan, so
+    /// `capacity = instances · max_batch / makespan(max_batch)`. This is
+    /// the saturation throughput the closed-loop measurement converges to
+    /// (it ignores window flushes and the final partial batch, so short
+    /// runs measure slightly below it) and the knee of the open-loop
+    /// overload sweep — pinned against both in this module's tests so
+    /// the estimate and the simulator cannot silently diverge.
+    pub fn estimated_capacity_fps(&self, model: &CnnModel) -> f64 {
+        let makespan = model
+            .workloads
+            .iter()
+            .fold(SimTime::ZERO, |acc, w| {
+                acc + analyze_layer_batched(&self.accelerator, w, self.max_batch).total
+            });
+        (self.instances * self.max_batch) as f64 / makespan.as_secs_f64()
+    }
+}
+
+/// The terminal state of one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Served at full fidelity.
+    Served,
+    /// Served on the low-precision fallback model
+    /// ([`AdmissionPolicy::Degrade`]).
+    Degraded,
+    /// Rejected on arrival at a full queue ([`AdmissionPolicy::DropNewest`]
+    /// or the arrival-side bound of [`AdmissionPolicy::Deadline`]).
+    ShedNewest,
+    /// Evicted from the queue head by a newer arrival
+    /// ([`AdmissionPolicy::DropOldest`]).
+    ShedOldest,
+    /// Shed at dispatch with its queue wait past the SLO
+    /// ([`AdmissionPolicy::Deadline`]).
+    ShedDeadline,
+}
+
+/// Per-cause shed counters. `newest + oldest + deadline` is the dropped
+/// total; `degraded` counts requests routed to the fallback model (they
+/// are *served*, not dropped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedCounts {
+    /// Arrivals rejected at a full queue.
+    pub newest: u64,
+    /// Oldest waiters evicted by newer arrivals.
+    pub oldest: u64,
+    /// Requests shed at dispatch with their SLO already blown.
+    pub deadline: u64,
+    /// Requests admitted onto the degraded (fallback-model) tier.
+    pub degraded: u64,
 }
 
 /// The functional side of a serving experiment: the quantized model the
@@ -124,6 +261,15 @@ impl ServingConfig {
 pub struct FunctionalWorkload<'a> {
     /// The quantized network every instance loads.
     pub net: &'a QuantizedNetwork,
+    /// Low-precision fallback network degraded batches execute on;
+    /// required when the admission policy is [`AdmissionPolicy::Degrade`]
+    /// (typically `net.degraded(fallback_bits)`).
+    pub fallback: Option<&'a QuantizedNetwork>,
+    /// Engine the fallback network runs on — typically the same
+    /// organization at `Precision::new(fallback_bits)`, whose shorter
+    /// streams and range-matched ADC keep the fallback's signal-to-noise
+    /// at its own grid. `None` shares the primary engine.
+    pub fallback_engine: Option<&'a dyn VdpEngine>,
     /// Labelled request population (round-robin by request id).
     pub samples: &'a [Sample],
     /// Engine each instance's prepared model executes on.
@@ -141,30 +287,57 @@ pub struct FunctionalServingReport {
     /// The queueing/energy report (identical to the analytic-only
     /// simulation of the same config).
     pub serving: ServingReport,
-    /// Predicted class per request, indexed by request id.
+    /// Predicted class per request, indexed by request id; `usize::MAX`
+    /// marks a dropped request (it never got a response).
     pub predictions: Vec<usize>,
-    /// Requests whose prediction matched the sample label.
+    /// Terminal state per request, indexed by request id — the **shed
+    /// set** of the run.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Responses (full-fidelity or degraded) whose prediction matched the
+    /// sample label.
     pub correct: u64,
-    /// Fleet-level top-1 accuracy-under-load: `correct / completed`.
+    /// Top-1 accuracy over **admitted** traffic: `correct / responses`
+    /// where `responses = completed + degraded` (0 when nothing was
+    /// served).
     pub accuracy_under_load: f64,
+    /// Top-1 accuracy over **offered** traffic: `correct / offered` — a
+    /// dropped request is an answer nobody got, so it scores as wrong.
+    pub accuracy_offered: f64,
 }
 
 /// Per-instance functional execution state: each instance owns a
-/// prepared (weight-stationary) copy of the model, loaded once at fleet
-/// bring-up, plus the request-id-indexed prediction ledger.
+/// prepared (weight-stationary) copy of the model — and, under
+/// [`AdmissionPolicy::Degrade`], of the fallback model — loaded once at
+/// fleet bring-up, plus the request-id-indexed prediction ledger.
 struct FunctionalExec<'a> {
     workload: &'a FunctionalWorkload<'a>,
     /// One engine-backed prepared model per instance.
     instances: Vec<PreparedNetwork<'a>>,
-    /// Prediction per request id (`usize::MAX` = not yet served).
+    /// Prepared fallback copies, one per instance, when degrading.
+    fallback: Option<Vec<PreparedNetwork<'a>>>,
+    /// Prediction per request id (`usize::MAX` = no response).
     predictions: Vec<usize>,
     correct: u64,
 }
 
 impl<'a> FunctionalExec<'a> {
-    fn new(workload: &'a FunctionalWorkload<'a>, instances: usize, requests: usize) -> Self {
+    fn new(
+        workload: &'a FunctionalWorkload<'a>,
+        instances: usize,
+        requests: usize,
+        degrading: bool,
+    ) -> Self {
         assert!(!workload.samples.is_empty(), "functional serving needs samples");
         assert!(workload.workers > 0, "need at least one worker");
+        let fallback = if degrading {
+            let fb = workload
+                .fallback
+                .expect("Degrade admission policy requires a fallback network");
+            let engine = workload.fallback_engine.unwrap_or(workload.engine);
+            Some((0..instances).map(|_| PreparedNetwork::new(fb, engine)).collect())
+        } else {
+            None
+        };
         Self {
             workload,
             // Model load: every instance prepares the weights once —
@@ -173,6 +346,7 @@ impl<'a> FunctionalExec<'a> {
             instances: (0..instances)
                 .map(|_| PreparedNetwork::new(workload.net, workload.engine))
                 .collect(),
+            fallback,
             predictions: vec![usize::MAX; requests],
             correct: 0,
         }
@@ -180,14 +354,20 @@ impl<'a> FunctionalExec<'a> {
 
     /// Executes one dispatched batch on instance `inst`: the whole
     /// batch's images run through stacked `vdp_batch` tiles, keyed per
-    /// request id.
-    fn execute_batch(&mut self, inst: usize, ids: &[u64]) {
+    /// request id — on the primary or the fallback prepared copy
+    /// according to the batch's tier.
+    fn execute_batch(&mut self, inst: usize, ids: &[u64], degraded: bool) {
         let samples = self.workload.samples;
         let images: Vec<&Tensor<f32>> = ids
             .iter()
             .map(|&id| &samples[id as usize % samples.len()].image)
             .collect();
-        let preds = self.instances[inst].predict_batch(&images, ids, self.workload.workers);
+        let nets = if degraded {
+            self.fallback.as_ref().expect("degraded batch without fallback models")
+        } else {
+            &self.instances
+        };
+        let preds = nets[inst].predict_batch(&images, ids, self.workload.workers);
         for (&id, pred) in ids.iter().zip(preds) {
             self.predictions[id as usize] = pred;
             if pred == samples[id as usize % samples.len()].label {
@@ -208,23 +388,44 @@ pub struct ServingReport {
     pub instances: usize,
     /// Scheduler batch limit.
     pub max_batch: usize,
-    /// Requests completed.
+    /// Requests that entered the system
+    /// (`= completed + dropped + degraded`).
+    pub offered: u64,
+    /// Requests served to completion at full fidelity.
     pub completed: u64,
-    /// Batches dispatched.
+    /// Requests shed with no response.
+    pub dropped: u64,
+    /// Requests served on the low-precision fallback model.
+    pub degraded: u64,
+    /// Per-cause shed breakdown.
+    pub shed: ShedCounts,
+    /// `dropped / offered`.
+    pub drop_rate: f64,
+    /// Batches dispatched (both tiers).
     pub batches: u64,
     /// Mean requests per dispatched batch (batch-slot fill).
     pub mean_batch_fill: f64,
     /// Time of the last completion.
     pub makespan: SimTime,
-    /// Served throughput: completed / makespan.
+    /// Full-fidelity served throughput: completed / makespan.
     pub fps: f64,
-    /// End-to-end request latency distribution (queueing + service).
+    /// Responses per second — full-fidelity *and* degraded
+    /// (`(completed + degraded) / makespan`): the availability a client
+    /// population observes. Excludes drops; under
+    /// [`AdmissionPolicy::Degrade`] it holds past the knee while `fps`
+    /// (and accuracy) give way.
+    pub goodput_fps: f64,
+    /// End-to-end latency distribution of the responses (queueing +
+    /// service; dropped requests contribute no sample). All-zero when
+    /// nothing was served.
     pub latency: LatencySummary,
+    /// Pending-queue depth over time, sampled at every change.
+    pub queue_depth: QueueDepthSamples,
     /// Per-instance utilization over the makespan, instance order.
     pub utilization: Vec<f64>,
     /// Total fleet energy over the makespan, joules.
     pub energy_j: f64,
-    /// Energy per completed inference, joules.
+    /// Energy per response, joules.
     pub energy_per_inference_j: f64,
     /// Average fleet power, watts.
     pub avg_power_w: f64,
@@ -237,20 +438,28 @@ enum Ev {
     /// The batching window of epoch `.0` expired.
     Flush(u64),
     /// Instance `.0` finished a batch of `(request id, arrival time)`
-    /// requests.
-    BatchDone(usize, Vec<(u64, SimTime)>),
+    /// requests; `.1` marks the degraded tier.
+    BatchDone(usize, bool, Vec<(u64, SimTime)>),
+}
+
+/// One waiting request.
+struct PendingReq {
+    id: u64,
+    arrived: SimTime,
+    /// Admitted onto the degraded (fallback-model) tier.
+    degraded: bool,
 }
 
 /// Per-batch-size analysis cache: the batched layer walk is identical for
 /// every batch of the same size, so it is computed once per size.
 struct BatchProfiles<'a> {
-    cfg: &'a AcceleratorConfig,
+    cfg: AcceleratorConfig,
     model: &'a CnnModel,
     by_size: Vec<Option<(SimTime, Vec<LayerPerf>)>>,
 }
 
 impl<'a> BatchProfiles<'a> {
-    fn new(cfg: &'a AcceleratorConfig, model: &'a CnnModel, max_batch: usize) -> Self {
+    fn new(cfg: AcceleratorConfig, model: &'a CnnModel, max_batch: usize) -> Self {
         Self {
             cfg,
             model,
@@ -265,7 +474,7 @@ impl<'a> BatchProfiles<'a> {
                 .model
                 .workloads
                 .iter()
-                .map(|w| analyze_layer_batched(self.cfg, w, batch))
+                .map(|w| analyze_layer_batched(&self.cfg, w, batch))
                 .collect();
             let makespan = layers
                 .iter()
@@ -281,21 +490,33 @@ struct Scheduler<'a> {
     cfg: ServingConfig,
     model: &'a CnnModel,
     profiles: BatchProfiles<'a>,
+    /// Fallback-tier profiles ([`AdmissionPolicy::Degrade`] only), on the
+    /// reduced-precision accelerator operating point.
+    degraded_profiles: Option<BatchProfiles<'a>>,
+    /// The reduced-precision operating point degraded batches record
+    /// their energy against.
+    degraded_accel: Option<AcceleratorConfig>,
     /// Functional execution state; `None` runs the analytic-only model.
     functional: Option<FunctionalExec<'a>>,
     ledger: EnergyLedger,
-    /// `(request id, arrival time)` of requests waiting to be batched.
-    /// Ids are assigned in arrival order, so id `r` always denotes the
-    /// `r`-th request to enter the system regardless of the arrival
-    /// process.
-    pending: VecDeque<(u64, SimTime)>,
+    /// Requests waiting to be batched, arrival order. Ids are assigned in
+    /// arrival order, so id `r` always denotes the `r`-th request to
+    /// enter the system regardless of the arrival process.
+    pending: VecDeque<PendingReq>,
     /// Next request id to assign.
     next_id: u64,
+    /// Terminal state per request id (`None` while in flight).
+    outcomes: Vec<Option<RequestOutcome>>,
     busy: Vec<bool>,
     util: Vec<Utilization>,
     latency: LatencySamples,
+    queue_depth: QueueDepthSamples,
     issued: usize,
+    offered: u64,
     completed: u64,
+    dropped: u64,
+    degraded_done: u64,
+    shed: ShedCounts,
     batches: u64,
     batched_requests: u64,
     last_completion: SimTime,
@@ -315,6 +536,21 @@ impl Scheduler<'_> {
         self.busy.iter().position(|&b| !b)
     }
 
+    /// Shared-queue bound implied by the per-instance `queue_cap`.
+    fn queue_bound(&self) -> Option<usize> {
+        self.cfg
+            .queue_cap
+            .map(|c| c.saturating_mul(self.cfg.instances))
+    }
+
+    /// Records the queue depth if it changed.
+    fn note_depth(&mut self, now: SimTime) {
+        let depth = self.pending.len();
+        if self.queue_depth.last_depth() != Some(depth) {
+            self.queue_depth.record(now, depth);
+        }
+    }
+
     fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>) {
         if self.issued >= self.cfg.requests {
             return;
@@ -329,43 +565,157 @@ impl Scheduler<'_> {
         q.schedule_in(SimTime::from_secs_f64(dt), Ev::Arrive);
     }
 
+    /// Marks request `id` shed for `cause` (a drop, not a response).
+    fn record_drop(&mut self, id: u64, cause: RequestOutcome) {
+        match cause {
+            RequestOutcome::ShedNewest => self.shed.newest += 1,
+            RequestOutcome::ShedOldest => self.shed.oldest += 1,
+            RequestOutcome::ShedDeadline => self.shed.deadline += 1,
+            _ => unreachable!("record_drop takes shed causes only"),
+        }
+        self.dropped += 1;
+        self.outcomes[id as usize] = Some(cause);
+    }
+
+    /// Admits one fresh arrival at `now` under the admission policy.
+    /// Returns how many requests were shed in the process (0 or 1): the
+    /// newcomer (`DropNewest`/`Deadline` at a full queue) or an evicted
+    /// older waiter (`DropOldest`).
+    fn admit(&mut self, now: SimTime) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.offered += 1;
+        self.outcomes.push(None);
+        let full = self
+            .queue_bound()
+            .is_some_and(|bound| self.pending.len() >= bound);
+        let shed = if !full {
+            self.pending.push_back(PendingReq { id, arrived: now, degraded: false });
+            0
+        } else {
+            match self.cfg.admission {
+                AdmissionPolicy::DropNewest | AdmissionPolicy::Deadline { .. } => {
+                    self.record_drop(id, RequestOutcome::ShedNewest);
+                    1
+                }
+                AdmissionPolicy::DropOldest => {
+                    let old = self.pending.pop_front().expect("full queue has a head");
+                    self.record_drop(old.id, RequestOutcome::ShedOldest);
+                    self.pending.push_back(PendingReq { id, arrived: now, degraded: false });
+                    1
+                }
+                AdmissionPolicy::Degrade { .. } => {
+                    // Admit anyway, but onto the fallback tier: the
+                    // request keeps its place in line and its client gets
+                    // a (coarser) answer.
+                    self.shed.degraded += 1;
+                    self.pending.push_back(PendingReq { id, arrived: now, degraded: true });
+                    0
+                }
+            }
+        };
+        self.note_depth(now);
+        shed
+    }
+
+    /// Admits `n` fresh arrivals at `now`. In the closed loop every shed
+    /// frees a client, which immediately fires its next request — so
+    /// admission keeps going until nothing was shed or the request
+    /// budget is exhausted.
+    fn admit_arrivals(&mut self, now: SimTime, mut n: usize) {
+        let closed = matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. });
+        while n > 0 {
+            n -= 1;
+            let shed = self.admit(now);
+            if closed && shed > 0 && self.issued < self.cfg.requests {
+                self.issued += 1;
+                n += 1;
+            }
+        }
+    }
+
     /// Dispatches as many batches as idle instances and pending requests
-    /// allow. Full batches always go; partial batches only when
-    /// `force_flush` is set (the window expired).
-    fn try_dispatch(&mut self, q: &mut EventQueue<Ev>) {
-        while !self.pending.is_empty() {
-            let take = if self.pending.len() >= self.cfg.max_batch {
-                self.cfg.max_batch
-            } else if self.force_flush {
-                self.pending.len()
-            } else {
+    /// allow. Full batches always go; partial batches when the window
+    /// expired (`force_flush`) or when a tier boundary caps the head run
+    /// (it can never grow — later arrivals queue behind the other tier).
+    /// Under [`AdmissionPolicy::Deadline`] requests whose wait already
+    /// exceeds the SLO are shed first — FIFO order means only a queue
+    /// prefix can have expired.
+    fn try_dispatch(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+        if let AdmissionPolicy::Deadline { slo } = self.cfg.admission {
+            let mut expired = 0usize;
+            while let Some(front) = self.pending.front() {
+                if now - front.arrived > slo {
+                    let r = self.pending.pop_front().expect("front exists");
+                    self.record_drop(r.id, RequestOutcome::ShedDeadline);
+                    expired += 1;
+                } else {
+                    break;
+                }
+            }
+            if expired > 0 {
+                self.note_depth(now);
+                if matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. }) {
+                    // Each shed frees a client for its next request.
+                    let replacements = expired
+                        .min(self.cfg.requests.saturating_sub(self.issued));
+                    self.issued += replacements;
+                    self.admit_arrivals(now, replacements);
+                }
+            }
+        }
+        while let Some(front) = self.pending.front() {
+            let tier_degraded = front.degraded;
+            // The head run of same-tier requests, scanned only as far as
+            // the batch limit needs.
+            let scan = self
+                .pending
+                .iter()
+                .take(self.cfg.max_batch + 1)
+                .take_while(|r| r.degraded == tier_degraded)
+                .count();
+            let take = scan.min(self.cfg.max_batch);
+            let dispatchable =
+                take == self.cfg.max_batch || scan < self.pending.len() || self.force_flush;
+            if !dispatchable {
                 break;
-            };
+            }
             let Some(inst) = self.idle_instance() else {
                 break;
             };
-            let reqs: Vec<(u64, SimTime)> = self.pending.drain(..take).collect();
-            let (makespan, layers) = self.profiles.get(take);
+            let reqs: Vec<(u64, SimTime)> = self
+                .pending
+                .drain(..take)
+                .map(|r| (r.id, r.arrived))
+                .collect();
+            let (makespan, layers) = if tier_degraded {
+                self.degraded_profiles
+                    .as_mut()
+                    .expect("degraded tier requires fallback profiles")
+                    .get(take)
+            } else {
+                self.profiles.get(take)
+            };
             let makespan = *makespan;
-            record_inference_ops(
-                &mut self.ledger,
-                &self.cfg.accelerator,
-                layers,
-                self.model,
-                take,
-            );
+            let accel = if tier_degraded {
+                self.degraded_accel.expect("degraded tier requires fallback config")
+            } else {
+                self.cfg.accelerator
+            };
+            record_inference_ops(&mut self.ledger, &accel, layers, self.model, take);
             if let Some(func) = &mut self.functional {
                 // Run the real inference the analytic model is timing:
                 // the whole batch through one stack of prepared tiles on
-                // this instance's model copy.
+                // this instance's model copy (primary or fallback).
                 let ids: Vec<u64> = reqs.iter().map(|&(id, _)| id).collect();
-                func.execute_batch(inst, &ids);
+                func.execute_batch(inst, &ids, tier_degraded);
             }
             self.busy[inst] = true;
             self.util[inst].add_busy(makespan);
             self.batches += 1;
             self.batched_requests += take as u64;
-            q.schedule_in(makespan, Ev::BatchDone(inst, reqs));
+            q.schedule_in(makespan, Ev::BatchDone(inst, tier_degraded, reqs));
+            self.note_depth(now);
         }
         if self.pending.is_empty() {
             // Window satisfied; stale timers are invalidated by the epoch.
@@ -378,19 +728,12 @@ impl Scheduler<'_> {
         }
     }
 
-    /// Enqueues a request, assigning the next id in arrival order.
-    fn enqueue(&mut self, now: SimTime) {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.pending.push_back((id, now));
-    }
-
     fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrive => {
-                self.enqueue(now);
+                self.admit_arrivals(now, 1);
                 self.schedule_poisson_arrival(q);
-                self.try_dispatch(q);
+                self.try_dispatch(q, now);
             }
             Ev::Flush(epoch) => {
                 if epoch != self.flush_epoch {
@@ -398,26 +741,29 @@ impl Scheduler<'_> {
                 }
                 self.flush_armed = false;
                 self.force_flush = true;
-                self.try_dispatch(q);
+                self.try_dispatch(q, now);
             }
-            Ev::BatchDone(inst, reqs) => {
+            Ev::BatchDone(inst, tier_degraded, reqs) => {
                 self.busy[inst] = false;
                 self.last_completion = now;
                 let n_done = reqs.len();
-                for (_, arrival) in reqs {
+                for (id, arrival) in reqs {
                     self.latency.record(now - arrival);
-                    self.completed += 1;
-                }
-                if let ArrivalProcess::ClosedLoop { .. } = self.cfg.arrivals {
-                    // Each completed client immediately re-requests.
-                    for _ in 0..n_done {
-                        if self.issued < self.cfg.requests {
-                            self.issued += 1;
-                            self.enqueue(now);
-                        }
+                    if tier_degraded {
+                        self.degraded_done += 1;
+                        self.outcomes[id as usize] = Some(RequestOutcome::Degraded);
+                    } else {
+                        self.completed += 1;
+                        self.outcomes[id as usize] = Some(RequestOutcome::Served);
                     }
                 }
-                self.try_dispatch(q);
+                if matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. }) {
+                    // Each completed client immediately re-requests.
+                    let replacements = n_done.min(self.cfg.requests - self.issued);
+                    self.issued += replacements;
+                    self.admit_arrivals(now, replacements);
+                }
+                self.try_dispatch(q, now);
             }
         }
     }
@@ -427,7 +773,8 @@ impl Scheduler<'_> {
 ///
 /// # Panics
 /// Panics on degenerate configurations: zero instances, zero batch limit,
-/// zero requests, or a non-positive Poisson rate.
+/// zero requests, a zero queue cap, a non-positive Poisson rate, or a
+/// trace whose length disagrees with `requests`.
 pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingReport {
     run_serving(config, model, None).0
 }
@@ -436,30 +783,46 @@ pub fn simulate_serving(config: &ServingConfig, model: &CnnModel) -> ServingRepo
 /// and energy model as [`simulate_serving`] (the `serving` field is
 /// bit-identical to the analytic-only run of the same config), with every
 /// instance additionally executing its dequeued batches through real
-/// stacked `vdp_batch` tiles on a prepared model copy.
+/// stacked `vdp_batch` tiles on a prepared model copy — the fallback copy
+/// for degraded batches.
 ///
 /// Request `r` serves `workload.samples[r % samples.len()]` under noise
-/// key `r`, so `predictions` and `accuracy_under_load` are invariant
-/// under fleet size, batch packing, arrival ordering and `workers`
-/// (property-tested in `tests/functional_serving.rs`).
+/// key `r`, so every *response's* prediction is a pure function of the
+/// workload and the request's tier — independent of fleet size, batch
+/// packing, arrival ordering and `workers` (property-tested in
+/// `tests/functional_serving.rs`). Which requests get shed or degraded
+/// is decided by the deterministic event simulation, so the whole report
+/// is bit-identical across runs and worker counts for a fixed config.
 ///
 /// # Panics
-/// Panics on degenerate configurations or an empty sample set.
+/// Panics on degenerate configurations, an empty sample set, or a
+/// [`AdmissionPolicy::Degrade`] policy without `workload.fallback`.
 pub fn simulate_serving_functional(
     config: &ServingConfig,
     model: &CnnModel,
     workload: &FunctionalWorkload<'_>,
 ) -> FunctionalServingReport {
-    let (serving, func) = run_serving(config, model, Some(workload));
+    let (serving, outcomes, func) = run_serving_full(config, model, Some(workload));
     let func = func.expect("functional state present");
     debug_assert!(
-        func.predictions.iter().all(|&p| p != usize::MAX),
-        "every request must have been executed"
+        outcomes
+            .iter()
+            .zip(&func.predictions)
+            .all(|(o, &p)| matches!(o, RequestOutcome::Served | RequestOutcome::Degraded)
+                == (p != usize::MAX)),
+        "exactly the responses must have been executed"
     );
     let correct = func.correct;
+    let responses = serving.completed + serving.degraded;
     FunctionalServingReport {
-        accuracy_under_load: correct as f64 / serving.completed as f64,
+        accuracy_under_load: if responses == 0 {
+            0.0
+        } else {
+            correct as f64 / responses as f64
+        },
+        accuracy_offered: correct as f64 / serving.offered as f64,
         predictions: func.predictions,
+        outcomes,
         correct,
         serving,
     }
@@ -471,9 +834,29 @@ fn run_serving<'a>(
     model: &'a CnnModel,
     workload: Option<&'a FunctionalWorkload<'a>>,
 ) -> (ServingReport, Option<FunctionalExec<'a>>) {
+    let (report, _, func) = run_serving_full(config, model, workload);
+    (report, func)
+}
+
+/// [`run_serving`] also returning the per-request outcome vector.
+fn run_serving_full<'a>(
+    config: &'a ServingConfig,
+    model: &'a CnnModel,
+    workload: Option<&'a FunctionalWorkload<'a>>,
+) -> (ServingReport, Vec<RequestOutcome>, Option<FunctionalExec<'a>>) {
     assert!(config.instances > 0, "need at least one instance");
     assert!(config.max_batch > 0, "max_batch must be positive");
     assert!(config.requests > 0, "need at least one request");
+    if let Some(cap) = config.queue_cap {
+        assert!(cap > 0, "queue_cap must be positive (use None for unbounded)");
+    }
+
+    let degrading = matches!(config.admission, AdmissionPolicy::Degrade { .. });
+    let degraded_accel = if let AdmissionPolicy::Degrade { fallback_bits } = config.admission {
+        Some(config.accelerator.with_native_bits(fallback_bits))
+    } else {
+        None
+    };
 
     let mut ledger = EnergyLedger::new();
     for _ in 0..config.instances {
@@ -482,16 +865,26 @@ fn run_serving<'a>(
 
     let mut sched = Scheduler {
         model,
-        profiles: BatchProfiles::new(&config.accelerator, model, config.max_batch),
-        functional: workload.map(|w| FunctionalExec::new(w, config.instances, config.requests)),
+        profiles: BatchProfiles::new(config.accelerator, model, config.max_batch),
+        degraded_profiles: degraded_accel
+            .map(|cfg| BatchProfiles::new(cfg, model, config.max_batch)),
+        degraded_accel,
+        functional: workload
+            .map(|w| FunctionalExec::new(w, config.instances, config.requests, degrading)),
         ledger,
         pending: VecDeque::new(),
         next_id: 0,
+        outcomes: Vec::with_capacity(config.requests),
         busy: vec![false; config.instances],
         util: vec![Utilization::new(); config.instances],
         latency: LatencySamples::new(),
+        queue_depth: QueueDepthSamples::new(),
         issued: 0,
+        offered: 0,
         completed: 0,
+        dropped: 0,
+        degraded_done: 0,
+        shed: ShedCounts::default(),
         batches: 0,
         batched_requests: 0,
         last_completion: SimTime::ZERO,
@@ -503,17 +896,28 @@ fn run_serving<'a>(
     };
 
     let mut q = EventQueue::new();
-    match config.arrivals {
+    match &config.arrivals {
         ArrivalProcess::Poisson { .. } => {
             // Seed the first arrival; each arrival schedules the next.
             sched.schedule_poisson_arrival(&mut q);
         }
         ArrivalProcess::ClosedLoop { clients } => {
-            assert!(clients > 0, "closed loop needs at least one client");
-            let initial = clients.min(config.requests);
+            assert!(*clients > 0, "closed loop needs at least one client");
+            let initial = (*clients).min(config.requests);
             for _ in 0..initial {
                 sched.issued += 1;
                 q.schedule_at(SimTime::ZERO, Ev::Arrive);
+            }
+        }
+        ArrivalProcess::Trace { times } => {
+            assert_eq!(
+                times.len(),
+                config.requests,
+                "trace length must equal the request count"
+            );
+            sched.issued = times.len();
+            for &t in times {
+                q.schedule_at(t, Ev::Arrive);
             }
         }
     }
@@ -521,31 +925,69 @@ fn run_serving<'a>(
     q.run(|q, now, ev| sched.handle(q, now, ev));
 
     assert_eq!(
-        sched.completed as usize, config.requests,
-        "scheduler must drain every request"
+        sched.offered as usize, config.requests,
+        "every request must enter the system"
     );
+    assert_eq!(
+        sched.completed + sched.dropped + sched.degraded_done,
+        sched.offered,
+        "served + dropped + degraded must account every offered request"
+    );
+    let outcomes: Vec<RequestOutcome> = sched
+        .outcomes
+        .iter()
+        .map(|o| o.expect("every request reaches a terminal state"))
+        .collect();
+    let responses = sched.completed + sched.degraded_done;
     // Stale flush timers may fire after the last completion, so the
     // serving makespan is the last completion time, not the queue's final
-    // clock.
+    // clock. ZERO (degenerate all-shed runs) zeroes the rate metrics.
     let makespan = sched.last_completion;
+    let secs = makespan.as_secs_f64();
     let energy_j = sched.ledger.total_energy_j(makespan);
     let report = ServingReport {
         accelerator: config.accelerator.name,
         model: model.name.clone(),
         instances: config.instances,
         max_batch: config.max_batch,
+        offered: sched.offered,
         completed: sched.completed,
+        dropped: sched.dropped,
+        degraded: sched.degraded_done,
+        shed: sched.shed,
+        drop_rate: sched.dropped as f64 / sched.offered as f64,
         batches: sched.batches,
-        mean_batch_fill: sched.batched_requests as f64 / sched.batches as f64,
+        mean_batch_fill: if sched.batches == 0 {
+            0.0
+        } else {
+            sched.batched_requests as f64 / sched.batches as f64
+        },
         makespan,
-        fps: sched.completed as f64 / makespan.as_secs_f64(),
-        latency: sched.latency.summary(),
-        utilization: sched.util.iter().map(|u| u.ratio(makespan)).collect(),
+        fps: if secs > 0.0 { sched.completed as f64 / secs } else { 0.0 },
+        goodput_fps: if secs > 0.0 { responses as f64 / secs } else { 0.0 },
+        latency: if sched.latency.is_empty() {
+            LatencySummary {
+                count: 0,
+                p50: SimTime::ZERO,
+                p95: SimTime::ZERO,
+                p99: SimTime::ZERO,
+                mean: SimTime::ZERO,
+                max: SimTime::ZERO,
+            }
+        } else {
+            sched.latency.summary()
+        },
+        queue_depth: sched.queue_depth,
+        utilization: if makespan > SimTime::ZERO {
+            sched.util.iter().map(|u| u.ratio(makespan)).collect()
+        } else {
+            vec![0.0; config.instances]
+        },
         energy_j,
-        energy_per_inference_j: energy_j / sched.completed as f64,
-        avg_power_w: sched.ledger.average_power_w(makespan),
+        energy_per_inference_j: if responses > 0 { energy_j / responses as f64 } else { 0.0 },
+        avg_power_w: if secs > 0.0 { sched.ledger.average_power_w(makespan) } else { 0.0 },
     };
-    (report, sched.functional)
+    (report, outcomes, sched.functional)
 }
 
 /// Runs a sweep of serving configurations in parallel on `workers`
@@ -554,6 +996,44 @@ fn run_serving<'a>(
 /// worker count (property-tested in `tests/determinism.rs`).
 pub fn sweep(configs: Vec<ServingConfig>, model: &CnnModel, workers: usize) -> Vec<ServingReport> {
     parallel_map_with(configs, workers, |c| simulate_serving(&c, model))
+}
+
+/// One point of an overload sweep: an offered load and what the fleet
+/// made of it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadPoint {
+    /// Offered Poisson arrival rate, requests per second.
+    pub offered_fps: f64,
+    /// The functional serving report at that load.
+    pub report: FunctionalServingReport,
+}
+
+/// Sweeps the offered (open-loop Poisson) load across the saturation
+/// knee under `base`'s fleet shape and admission policy, running the
+/// **functional** fleet at every point so the curve carries accuracy as
+/// well as goodput, drop rate and tail latency. Points are independent
+/// simulations parallelized over `workers` threads; the result is
+/// bit-identical for every worker count.
+///
+/// `base.arrivals` and `base.seed` are kept except that the arrival rate
+/// is overridden per point, so pass the Poisson seed in `base.seed`.
+pub fn overload_sweep(
+    base: &ServingConfig,
+    model: &CnnModel,
+    workload: &FunctionalWorkload<'_>,
+    offered_fps: &[f64],
+    workers: usize,
+) -> Vec<OverloadPoint> {
+    parallel_map_with(offered_fps.to_vec(), workers, |rate| {
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::Poisson { rate_fps: rate },
+            ..base.clone()
+        };
+        OverloadPoint {
+            offered_fps: rate,
+            report: simulate_serving_functional(&cfg, model, workload),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -617,11 +1097,19 @@ mod tests {
         // never computation.
         let (net, samples) = tiny_workload();
         let engine = SconnaEngine::paper_default(5);
-        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 1 };
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 1,
+        };
         let model = shufflenet_v2();
         let cfg = small_closed(2, 4, 13);
         let r = simulate_serving_functional(&cfg, &model, &workload);
         assert_eq!(r.predictions.len(), 13);
+        assert!(r.outcomes.iter().all(|&o| o == RequestOutcome::Served));
         for (id, &pred) in r.predictions.iter().enumerate() {
             let s = &samples[id % samples.len()];
             let offline = sconna_tensor::layers::argmax(&net.forward_keyed(&s.image, &engine, id as u64));
@@ -635,6 +1123,7 @@ mod tests {
             .count() as u64;
         assert_eq!(r.correct, correct);
         assert_eq!(r.accuracy_under_load, correct as f64 / 13.0);
+        assert_eq!(r.accuracy_offered, r.accuracy_under_load);
     }
 
     #[test]
@@ -644,7 +1133,14 @@ mod tests {
         // the analytic-only simulation of the same config.
         let (net, samples) = tiny_workload();
         let engine = SconnaEngine::paper_default(5);
-        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 2 };
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 2,
+        };
         let model = shufflenet_v2();
         let cfg = small_closed(2, 4, 16);
         let functional = simulate_serving_functional(&cfg, &model, &workload);
@@ -662,11 +1158,25 @@ mod tests {
         let model = shufflenet_v2();
         let requests = 17;
         let baseline = {
-            let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 1 };
+            let workload = FunctionalWorkload {
+                net: &net,
+                fallback: None,
+                fallback_engine: None,
+                samples: &samples,
+                engine: &engine,
+                workers: 1,
+            };
             simulate_serving_functional(&small_closed(1, 1, requests), &model, &workload)
         };
         for (instances, max_batch, workers) in [(1usize, 4usize, 2usize), (2, 4, 1), (4, 2, 8)] {
-            let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers };
+            let workload = FunctionalWorkload {
+                net: &net,
+                fallback: None,
+                fallback_engine: None,
+                samples: &samples,
+                engine: &engine,
+                workers,
+            };
             let r = simulate_serving_functional(
                 &small_closed(instances, max_batch, requests),
                 &model,
@@ -676,7 +1186,14 @@ mod tests {
             assert_eq!(r.accuracy_under_load, baseline.accuracy_under_load);
         }
         // Open-loop arrivals reorder timing but not request identity.
-        let workload = FunctionalWorkload { net: &net, samples: &samples, engine: &engine, workers: 2 };
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 2,
+        };
         let poisson = simulate_serving_functional(
             &ServingConfig {
                 arrivals: ArrivalProcess::Poisson { rate_fps: 800.0 },
@@ -694,9 +1211,273 @@ mod tests {
         let model = shufflenet_v2();
         let r = simulate_serving(&small_closed(2, 4, 37), &model);
         assert_eq!(r.completed, 37);
+        assert_eq!(r.offered, 37);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.degraded, 0);
         assert_eq!(r.latency.count, 37);
         assert!(r.batches >= 37u64.div_ceil(4));
         assert!(r.mean_batch_fill >= 1.0 && r.mean_batch_fill <= 4.0);
+    }
+
+    #[test]
+    fn unbounded_drop_newest_is_bit_identical_to_pr2_scheduler() {
+        // Regression pin: the overload machinery must not move a bit of
+        // the unbounded scheduler's behavior. Expected values captured
+        // from the pre-overload implementation (PR 4) on these exact
+        // configs.
+        let model = shufflenet_v2();
+        let closed = simulate_serving(&small_closed(2, 4, 37), &model);
+        assert_eq!(closed.completed, 37);
+        assert_eq!(closed.batches, 10);
+        assert!((closed.mean_batch_fill - 3.7).abs() < 1e-12);
+        assert_eq!(closed.makespan, SimTime::from_ps(385_286_830));
+        assert!((closed.fps - 96_032.350_755_409_95).abs() < 1e-6);
+        assert_eq!(closed.latency.p50, SimTime::from_ps(154_114_732));
+        assert_eq!(closed.latency.p99, SimTime::from_ps(154_114_732));
+        assert_eq!(closed.latency.mean, SimTime::from_ps(135_982_316));
+        assert_eq!(closed.utilization[0], 1.0);
+        assert!((closed.utilization[1] - 0.858_701_422_522_020_9).abs() < 1e-12);
+        assert!((closed.energy_j - 0.236_006_470_388_707_2).abs() < 1e-12);
+
+        let poisson = simulate_serving(
+            &ServingConfig {
+                arrivals: ArrivalProcess::Poisson { rate_fps: 2_000.0 },
+                seed: 17,
+                ..small_closed(2, 4, 24)
+            },
+            &model,
+        );
+        assert_eq!(poisson.completed, 24);
+        assert_eq!(poisson.batches, 22);
+        assert_eq!(poisson.makespan, SimTime::from_ps(12_234_353_686));
+        assert_eq!(poisson.latency.p50, SimTime::from_ps(122_616_885));
+        assert_eq!(poisson.latency.max, SimTime::from_ps(140_701_453));
+        assert!((poisson.energy_j - 2.696_219_434_090_293).abs() < 1e-12);
+
+        // A huge finite cap behaves exactly like the unbounded queue.
+        let capped = simulate_serving(
+            &ServingConfig { queue_cap: Some(1_000_000), ..small_closed(2, 4, 37) },
+            &model,
+        );
+        assert_eq!(format!("{capped:?}"), format!("{closed:?}"));
+    }
+
+    #[test]
+    fn drop_newest_bounds_the_queue_and_sheds_overflow() {
+        let model = shufflenet_v2();
+        let base = small_closed(1, 2, 64);
+        let capacity = base.estimated_capacity_fps(&model);
+        let cfg = ServingConfig {
+            queue_cap: Some(2),
+            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            seed: 5,
+            ..base
+        };
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.offered, 64);
+        assert_eq!(r.completed + r.dropped, 64);
+        assert!(r.dropped > 0, "3x overload against a 2-deep queue must shed");
+        assert_eq!(r.shed.newest, r.dropped);
+        assert_eq!(r.shed.oldest + r.shed.deadline + r.shed.degraded, 0);
+        assert!((r.drop_rate - r.dropped as f64 / 64.0).abs() < 1e-12);
+        // The queue bound holds over the whole series.
+        assert!(r.queue_depth.max_depth() <= 2, "depth {}", r.queue_depth.max_depth());
+        let end = r.makespan.max(r.queue_depth.last_time().expect("series non-empty"));
+        assert!(r.queue_depth.mean_depth(end) <= 2.0);
+        // Bounded queue => bounded wait: every response saw at most a
+        // full queue ahead of it plus its own batch (+ window flushes).
+        assert!(r.goodput_fps >= r.fps);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_head_of_the_queue() {
+        let model = shufflenet_v2();
+        let base = small_closed(1, 2, 48);
+        let capacity = base.estimated_capacity_fps(&model);
+        let cfg = ServingConfig {
+            queue_cap: Some(1),
+            admission: AdmissionPolicy::DropOldest,
+            arrivals: ArrivalProcess::Poisson { rate_fps: 4.0 * capacity },
+            seed: 9,
+            ..base
+        };
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.completed + r.dropped, 48);
+        assert!(r.shed.oldest > 0, "4x overload against a 1-deep queue must evict");
+        assert_eq!(r.shed.oldest, r.dropped);
+        assert_eq!(r.shed.newest, 0);
+        // Eviction keeps the freshest traffic: the newest request always
+        // survives admission, so the very last request is always served.
+        assert!(r.queue_depth.max_depth() <= 1);
+    }
+
+    #[test]
+    fn deadline_policy_sheds_stale_requests_and_bounds_tail_latency() {
+        let model = shufflenet_v2();
+        let base = small_closed(1, 2, 64);
+        let capacity = base.estimated_capacity_fps(&model);
+        // SLO: two batch services of queue wait.
+        let service = SimTime::from_secs_f64(2.0 * base.max_batch as f64 / capacity);
+        let over = ServingConfig {
+            admission: AdmissionPolicy::Deadline { slo: service },
+            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            seed: 3,
+            ..base.clone()
+        };
+        let r = simulate_serving(&over, &model);
+        assert_eq!(r.completed + r.dropped, 64);
+        assert!(r.shed.deadline > 0, "3x overload must blow the SLO");
+        // Served requests waited at most `slo` in queue, so their
+        // end-to-end latency is bounded by slo + one batch service + one
+        // flush window.
+        let bound = service + SimTime::from_secs_f64(base.max_batch as f64 / capacity)
+            + base.batch_window;
+        assert!(
+            r.latency.max <= bound,
+            "deadline shedding must bound the tail: {} > {}",
+            r.latency.max,
+            bound
+        );
+    }
+
+    #[test]
+    fn degrade_policy_trades_accuracy_for_availability() {
+        let (net, samples) = tiny_workload();
+        let fallback = net.with_weight_bits(2);
+        let engine = SconnaEngine::paper_default(11);
+        let model = shufflenet_v2();
+        let base = small_closed(1, 2, 48);
+        let capacity = base.estimated_capacity_fps(&model);
+        let cfg = ServingConfig {
+            queue_cap: Some(1),
+            admission: AdmissionPolicy::Degrade { fallback_bits: 4 },
+            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            seed: 7,
+            ..base
+        };
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: Some(&fallback),
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 1,
+        };
+        let r = simulate_serving_functional(&cfg, &model, &workload);
+        // Availability: nobody is dropped.
+        assert_eq!(r.serving.dropped, 0);
+        assert_eq!(r.serving.completed + r.serving.degraded, 48);
+        assert!(r.serving.degraded > 0, "3x overload must degrade");
+        assert_eq!(r.serving.shed.degraded, r.serving.degraded);
+        assert!(r.serving.goodput_fps > r.serving.fps);
+        // Every degraded response matches the offline fallback forward;
+        // every full response the offline primary forward.
+        for (id, (&pred, &outcome)) in r.predictions.iter().zip(&r.outcomes).enumerate() {
+            let s = &samples[id % samples.len()];
+            let reference = match outcome {
+                RequestOutcome::Served => &net,
+                RequestOutcome::Degraded => &fallback,
+                _ => panic!("no drops under Degrade"),
+            };
+            let offline = sconna_tensor::layers::argmax(&reference.forward_keyed(
+                &s.image,
+                &engine,
+                id as u64,
+            ));
+            assert_eq!(pred, offline, "request {id} ({outcome:?})");
+        }
+        // Accuracy accounting: offered == admitted here (no drops).
+        assert_eq!(r.accuracy_under_load, r.accuracy_offered);
+    }
+
+    #[test]
+    fn degraded_batches_run_faster_than_full_fidelity_ones() {
+        // The whole point of degrading: a 4-bit stream is 16x shorter, so
+        // under identical overload the Degrade fleet finishes far sooner
+        // than a fleet that must serve everyone at full fidelity.
+        let model = shufflenet_v2();
+        let base = small_closed(1, 2, 48);
+        let capacity = base.estimated_capacity_fps(&model);
+        let over = ArrivalProcess::Poisson { rate_fps: 4.0 * capacity };
+        let full = simulate_serving(
+            &ServingConfig { arrivals: over.clone(), seed: 2, ..base.clone() },
+            &model,
+        );
+        let degrade = simulate_serving(
+            &ServingConfig {
+                queue_cap: Some(1),
+                admission: AdmissionPolicy::Degrade { fallback_bits: 4 },
+                arrivals: over,
+                seed: 2,
+                ..base
+            },
+            &model,
+        );
+        assert!(degrade.degraded > 0);
+        assert!(
+            degrade.makespan < full.makespan,
+            "degraded fleet {} vs full-fidelity {}",
+            degrade.makespan,
+            full.makespan
+        );
+    }
+
+    #[test]
+    fn trace_arrivals_are_insertion_order_invariant() {
+        // A tie-free trace assigns request ids in time order, so any
+        // permutation of the times vector simulates identically.
+        let model = shufflenet_v2();
+        let times: Vec<SimTime> = (0..24u64)
+            .map(|i| SimTime::from_ps((i * 37 + 11) * 1_000_000 % 300_000_000 + i))
+            .collect();
+        let mut shuffled = times.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(7);
+        let run = |ts: Vec<SimTime>| {
+            simulate_serving(
+                &ServingConfig {
+                    queue_cap: Some(1),
+                    admission: AdmissionPolicy::DropOldest,
+                    arrivals: ArrivalProcess::Trace { times: ts },
+                    ..small_closed(1, 2, 24)
+                },
+                &model,
+            )
+        };
+        assert_eq!(format!("{:?}", run(times)), format!("{:?}", run(shuffled)));
+    }
+
+    #[test]
+    #[should_panic(expected = "trace length must equal")]
+    fn trace_length_mismatch_panics() {
+        let model = shufflenet_v2();
+        let _ = simulate_serving(
+            &ServingConfig {
+                arrivals: ArrivalProcess::Trace { times: vec![SimTime::ZERO; 3] },
+                ..small_closed(1, 2, 4)
+            },
+            &model,
+        );
+    }
+
+    #[test]
+    fn saturation_measures_the_closed_form_capacity_estimate() {
+        // The knee pin, closed-loop half: the saturation workload's
+        // measured FPS converges on `estimated_capacity_fps` (short runs
+        // sit slightly below it — window flushes and the final partial
+        // batch waste slots). The open-loop half lives in
+        // tests/overload.rs next to the sweep itself.
+        let model = shufflenet_v2();
+        for (instances, max_batch) in [(1usize, 4usize), (2, 8)] {
+            let cfg = small_closed(instances, max_batch, 96);
+            let estimate = cfg.estimated_capacity_fps(&model);
+            let measured = simulate_serving(&cfg, &model).fps;
+            let ratio = measured / estimate;
+            assert!(
+                (0.85..=1.02).contains(&ratio),
+                "{instances}x{max_batch}: measured {measured:.0} vs estimate {estimate:.0} (ratio {ratio:.3})"
+            );
+        }
     }
 
     #[test]
@@ -843,6 +1624,21 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_series_tracks_the_backlog() {
+        let model = shufflenet_v2();
+        let r = simulate_serving(&small_closed(2, 4, 37), &model);
+        // Saturation backlog: 2·instances·max_batch clients against
+        // 2·max_batch in-flight slots leaves 8 waiting at peak.
+        assert!(!r.queue_depth.is_empty());
+        assert!(r.queue_depth.max_depth() >= 4, "depth {}", r.queue_depth.max_depth());
+        // The queue drains by the end.
+        assert_eq!(r.queue_depth.last_depth(), Some(0));
+        // The series is time-ordered by construction; mean is finite.
+        let mean = r.queue_depth.mean_depth(r.makespan);
+        assert!(mean > 0.0 && mean <= r.queue_depth.max_depth() as f64);
+    }
+
+    #[test]
     fn sweep_covers_every_config_in_order() {
         let model = shufflenet_v2();
         let configs: Vec<ServingConfig> = [1usize, 2, 3]
@@ -855,5 +1651,36 @@ mod tests {
             assert_eq!(r.instances, i + 1);
             assert_eq!(r.completed, 12);
         }
+    }
+
+    #[test]
+    fn overload_sweep_is_worker_count_invariant() {
+        let (net, samples) = tiny_workload();
+        let engine = SconnaEngine::paper_default(3);
+        let model = shufflenet_v2();
+        let base = ServingConfig {
+            queue_cap: Some(2),
+            seed: 1,
+            ..small_closed(1, 2, 24)
+        };
+        let capacity = base.estimated_capacity_fps(&model);
+        let rates = [0.5 * capacity, 1.5 * capacity];
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers: 1,
+        };
+        let baseline = overload_sweep(&base, &model, &workload, &rates, 1);
+        assert_eq!(baseline.len(), 2);
+        for workers in [2usize, 8] {
+            let run = overload_sweep(&base, &model, &workload, &rates, workers);
+            assert_eq!(format!("{run:?}"), format!("{baseline:?}"), "{workers} workers");
+        }
+        // Past the knee the bounded queue sheds; below it nothing does.
+        assert_eq!(baseline[0].report.serving.dropped, 0);
+        assert!(baseline[1].report.serving.dropped > 0);
     }
 }

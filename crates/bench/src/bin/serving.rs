@@ -80,6 +80,8 @@ fn main() {
     let engine = SconnaEngine::paper_default(seed);
     let workload = FunctionalWorkload {
         net: &qnet,
+        fallback: None,
+        fallback_engine: None,
         samples: &test,
         engine: &engine,
         workers: default_workers(),

@@ -174,6 +174,92 @@ impl LatencySamples {
     }
 }
 
+/// Queue-depth time series: `(time, depth)` recorded at every queue-length
+/// change of a bounded serving queue, for overload analysis. The depth
+/// between two samples is a step function — the depth recorded by the
+/// earlier sample holds until the later one.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDepthSamples {
+    samples: Vec<(SimTime, usize)>,
+}
+
+impl QueueDepthSamples {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the queue depth after a change at `at`. Several changes at
+    /// the same instant may all be recorded; the last one is the depth
+    /// the queue settles at.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous sample (the series is a
+    /// simulation trace, so time never rewinds).
+    pub fn record(&mut self, at: SimTime, depth: usize) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(at >= last, "queue-depth samples must be time-ordered");
+        }
+        self.samples.push((at, depth));
+    }
+
+    /// Depth recorded by the most recent sample (`None` before the first).
+    pub fn last_depth(&self) -> Option<usize> {
+        self.samples.last().map(|&(_, d)| d)
+    }
+
+    /// Time of the most recent sample (`None` before the first). Shed
+    /// events can outlive the last completion, so a series may extend
+    /// past a serving report's makespan — integrate to
+    /// `makespan.max(last_time())`.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.samples.last().map(|&(t, _)| t)
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw `(time, depth)` series.
+    pub fn samples(&self) -> &[(SimTime, usize)] {
+        &self.samples
+    }
+
+    /// Largest depth ever recorded (0 for an empty series).
+    pub fn max_depth(&self) -> usize {
+        self.samples.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Time-weighted mean depth over `[0, end]`: the step function is 0
+    /// before the first sample and holds each sample's depth until the
+    /// next. Integer picosecond arithmetic, so bit-identical across
+    /// platforms.
+    ///
+    /// # Panics
+    /// Panics if `end` is zero or precedes the last sample.
+    pub fn mean_depth(&self, end: SimTime) -> f64 {
+        assert!(end > SimTime::ZERO, "mean depth over an empty interval");
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(end >= last, "end precedes the last sample");
+        }
+        let mut weighted: u128 = 0;
+        for (i, &(at, depth)) in self.samples.iter().enumerate() {
+            let until = self
+                .samples
+                .get(i + 1)
+                .map_or(end, |&(next, _)| next);
+            weighted += depth as u128 * (until - at).as_ps() as u128;
+        }
+        weighted as f64 / end.as_ps() as f64
+    }
+}
+
 /// Nearest-rank lookup on an already-sorted, non-empty sample slice.
 fn nearest_rank(sorted: &[SimTime], p: f64) -> SimTime {
     assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
@@ -208,6 +294,7 @@ pub fn gmean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn counters_accumulate() {
@@ -314,6 +401,111 @@ mod tests {
     #[should_panic(expected = "empty sample set")]
     fn percentile_of_empty_panics() {
         let _ = LatencySamples::new().percentile(50.0);
+    }
+
+    /// Sort-free reference for the nearest-rank definition: the smallest
+    /// sample such that at least `p` percent of samples are at or below
+    /// it. Independent of the implementation's ceil-of-rank arithmetic.
+    fn reference_percentile(samples: &[SimTime], p: f64) -> SimTime {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = samples.len() as f64;
+        for &candidate in &sorted {
+            let at_or_below = sorted.iter().filter(|&&s| s <= candidate).count() as f64;
+            if at_or_below * 100.0 >= p * n {
+                return candidate;
+            }
+        }
+        sorted[sorted.len() - 1]
+    }
+
+    proptest! {
+        /// `percentile` matches the "smallest sample covering p percent"
+        /// reference for random sample sets at the report percentiles and
+        /// at arbitrary p — including the single-sample case, where every
+        /// percentile is that sample.
+        #[test]
+        fn prop_percentile_matches_sort_based_reference(
+            samples_ps in proptest::collection::vec(0u64..1_000_000, 1..64),
+            p_extra in 1u64..=1000,
+        ) {
+            let mut l = LatencySamples::new();
+            for &ps in &samples_ps {
+                l.record(SimTime::from_ps(ps));
+            }
+            let times: Vec<SimTime> =
+                samples_ps.iter().map(|&ps| SimTime::from_ps(ps)).collect();
+            // The percentiles the serving reports quote, plus a random p
+            // in (0, 100].
+            let ps_to_check = [50.0, 95.0, 99.0, 100.0, p_extra as f64 / 10.0];
+            for &p in &ps_to_check {
+                prop_assert_eq!(
+                    l.percentile(p),
+                    reference_percentile(&times, p),
+                    "p = {} over {} samples", p, times.len()
+                );
+            }
+            if times.len() == 1 {
+                prop_assert_eq!(l.percentile(50.0), times[0]);
+                prop_assert_eq!(l.percentile(100.0), times[0]);
+            }
+            // Summary and individual queries agree.
+            let s = l.summary();
+            prop_assert_eq!(s.p50, l.percentile(50.0));
+            prop_assert_eq!(s.p95, l.percentile(95.0));
+            prop_assert_eq!(s.p99, l.percentile(99.0));
+            prop_assert_eq!(s.max, l.max());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn percentile_zero_panics() {
+        // p = 0 has no nearest-rank meaning (rank 0 names no sample); the
+        // minimum is percentile(ε) for any ε > 0.
+        let mut l = LatencySamples::new();
+        l.record(SimTime::from_ps(1));
+        let _ = l.percentile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn percentile_above_hundred_panics() {
+        let mut l = LatencySamples::new();
+        l.record(SimTime::from_ps(1));
+        let _ = l.percentile(100.1);
+    }
+
+    #[test]
+    fn queue_depth_series_records_steps() {
+        let mut q = QueueDepthSamples::new();
+        assert!(q.is_empty());
+        assert_eq!(q.max_depth(), 0);
+        assert_eq!(q.last_depth(), None);
+        q.record(SimTime::from_ps(10), 1);
+        q.record(SimTime::from_ps(20), 3);
+        q.record(SimTime::from_ps(20), 2); // same-instant settle
+        q.record(SimTime::from_ps(60), 0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.last_depth(), Some(0));
+        // Depth 0 for 10 ps, 1 for 10 ps, 2 for 40 ps, 0 for 40 ps:
+        // mean over [0, 100] = (1·10 + 2·40) / 100 = 0.9.
+        assert!((q.mean_depth(SimTime::from_ps(100)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_mean_of_empty_series_is_zero() {
+        let q = QueueDepthSamples::new();
+        assert_eq!(q.mean_depth(SimTime::from_ps(50)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn queue_depth_rejects_time_rewind() {
+        let mut q = QueueDepthSamples::new();
+        q.record(SimTime::from_ps(10), 1);
+        q.record(SimTime::from_ps(5), 2);
     }
 
     #[test]

@@ -48,6 +48,36 @@ use sconna_sim::parallel::{block_ranges, parallel_map_with};
 /// noise key) is identical for any parallelism.
 const CONV_BLOCK_PATCHES: usize = 128;
 
+/// Re-fits signed weight codes onto the symmetric `bits`-bit grid:
+/// the observed |code| maximum maps to the new `qmax`, every code is
+/// rounded onto the coarser grid, and the returned `ratio` is the factor
+/// the layer's scale (requant multiplier / dequant) must grow by so the
+/// represented real weights are preserved to within half a new step.
+/// Codes that already fit the target grid are returned unchanged with a
+/// ratio of 1 — requantizing to the current precision is the identity.
+///
+/// # Panics
+/// Panics if `bits` is not in `2..=16`.
+fn requantize_weight_codes(weights: &Tensor<i32>, bits: u8) -> (Tensor<i32>, f64) {
+    assert!(
+        (2..=16).contains(&bits),
+        "weight precision must be in 2..=16, got {bits}"
+    );
+    let qmax = (1i32 << (bits - 1)) - 1;
+    let max_abs = weights
+        .as_slice()
+        .iter()
+        .map(|w| w.unsigned_abs())
+        .max()
+        .unwrap_or(0);
+    if max_abs <= qmax as u32 {
+        return (weights.clone(), 1.0);
+    }
+    let ratio = max_abs as f64 / qmax as f64;
+    let requantized = weights.map(|w| ((w as f64 / ratio).round() as i32).clamp(-qmax, qmax));
+    (requantized, ratio)
+}
+
 /// FNV-1a hash of a layer name — the stable per-layer component of every
 /// accumulator's noise key.
 fn name_key(name: &str) -> u64 {
@@ -124,6 +154,30 @@ impl QConv2d {
         self.forward_blocks(&[input], engine, None, &[base_key], workers, |acc, rq| rq.apply(acc))
             .pop()
             .expect("one output per input")
+    }
+
+    /// A lower-weight-precision copy of this layer: weight codes are
+    /// re-fit onto the symmetric `bits`-bit grid (the layer's observed
+    /// |code| maximum maps to the new `qmax`), and the requantizer and
+    /// accumulator-unit bias absorb the scale change, so the represented
+    /// real weights move by at most half a new quantization step. The
+    /// building block of [`crate::network::QuantizedNetwork::with_weight_bits`],
+    /// the cheap fallback model a `Degrade` admission policy serves shed
+    /// requests on.
+    ///
+    /// # Panics
+    /// Panics if `bits` is not in `2..=16`.
+    pub fn with_weight_bits(&self, bits: u8) -> Self {
+        let (weights, ratio) = requantize_weight_codes(&self.weights, bits);
+        Self {
+            weights,
+            bias: self.bias.iter().map(|b| b / ratio).collect(),
+            requant: Requant {
+                multiplier: (self.requant.multiplier as f64 * ratio) as f32,
+                ..self.requant
+            },
+            ..self.clone()
+        }
     }
 
     /// Transforms this layer's weights into `engine`'s weight-stationary
@@ -646,6 +700,22 @@ impl QFc {
         self.forward_logits_batch_keyed(&[input], engine, None, &[base_key])
             .pop()
             .expect("one logit row per input")
+    }
+
+    /// A lower-weight-precision copy of the classifier: weight codes are
+    /// re-fit onto the symmetric `bits`-bit grid and the dequantization
+    /// multiplier absorbs the scale change (the real-valued bias is
+    /// unaffected). See [`QConv2d::with_weight_bits`].
+    ///
+    /// # Panics
+    /// Panics if `bits` is not in `2..=16`.
+    pub fn with_weight_bits(&self, bits: u8) -> Self {
+        let (weights, ratio) = requantize_weight_codes(&self.weights, bits);
+        Self {
+            weights,
+            dequant: (self.dequant as f64 * ratio) as f32,
+            ..self.clone()
+        }
     }
 
     /// Transforms the classifier weights into `engine`'s

@@ -98,6 +98,125 @@ impl QuantizedNetwork {
         PreparedNetwork::new(self, engine)
     }
 
+    /// A low-weight-precision copy of this network — the **fallback
+    /// model** an overloaded serving fleet degrades shed requests to
+    /// (`accel::serve`'s `Degrade` admission policy): every weighted
+    /// layer's codes are re-fit onto the symmetric `bits`-bit grid with
+    /// the layer scales adjusted to match, so the represented real
+    /// weights move by at most half a new quantization step while VDP
+    /// streams shorten from `2^B_old` to `2^bits` symbols. Weight-free
+    /// layers and the activation quantizers are shared unchanged.
+    ///
+    /// Requantizing to a precision the codes already fit is the identity,
+    /// so `with_weight_bits` composes monotonically: degrading an already
+    /// degraded network never sharpens it.
+    ///
+    /// # Panics
+    /// Panics if `bits` is not in `2..=16`.
+    pub fn with_weight_bits(&self, bits: u8) -> QuantizedNetwork {
+        QuantizedNetwork {
+            input_quant: self.input_quant,
+            layers: self
+                .layers
+                .iter()
+                .map(|layer| match layer {
+                    QLayer::Conv(conv) => QLayer::Conv(conv.with_weight_bits(bits)),
+                    QLayer::MaxPool(pool) => QLayer::MaxPool(*pool),
+                    QLayer::GlobalAvgPool => QLayer::GlobalAvgPool,
+                    QLayer::Fc(fc) => QLayer::Fc(fc.with_weight_bits(bits)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The **full low-precision fallback**: weights *and* activation
+    /// codes re-fit onto `bits`-bit grids, every layer scale adjusted so
+    /// the represented real values are preserved to the coarser grids'
+    /// resolution. Unlike [`QuantizedNetwork::with_weight_bits`] (which
+    /// touches only weights), the result is a genuine `bits`-bit network
+    /// whose codes fit a `bits`-bit stochastic engine — run it on one
+    /// (`Precision::new(bits)`) and the streams shorten `2^B / 2^bits`×
+    /// while the range-matched ADC keeps the signal-to-noise ratio of the
+    /// native operating point. This is the fallback model
+    /// `accel::serve`'s `Degrade` admission policy executes shed
+    /// requests on.
+    ///
+    /// Activation quantizers already at or below `bits` are left
+    /// untouched, so degrading is monotone here too.
+    ///
+    /// # Panics
+    /// Panics if `bits` is not in `2..=16`.
+    pub fn degraded(&self, bits: u8) -> QuantizedNetwork {
+        assert!(
+            (2..=16).contains(&bits),
+            "degraded precision must be in 2..=16, got {bits}"
+        );
+        // Ratio the activation scale grows by when re-fitting an
+        // `old`-bit range onto the `bits`-bit grid (1 when it already
+        // fits).
+        let act_ratio = |old: u8| -> f64 {
+            if bits >= old {
+                1.0
+            } else {
+                (((1u32 << old) - 1) as f64) / (((1u32 << bits) - 1) as f64)
+            }
+        };
+        let degrade_act = |q: ActivationQuant| -> ActivationQuant {
+            if bits >= q.bits {
+                q
+            } else {
+                ActivationQuant {
+                    scale: (q.scale as f64 * act_ratio(q.bits)) as f32,
+                    bits,
+                }
+            }
+        };
+        // Walk the layers tracking the incoming activation precision:
+        // each conv's requantizer couples its input scale, weight scale
+        // and output scale, and all three move.
+        let mut in_ratio = act_ratio(self.input_quant.bits);
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                QLayer::Conv(conv) => {
+                    let narrowed = conv.with_weight_bits(bits);
+                    let w_ratio = narrowed.requant.multiplier as f64
+                        / conv.requant.multiplier as f64;
+                    let out_ratio = act_ratio(conv.requant.bits);
+                    let next = QConv2d {
+                        // Accumulator units shrink by the input and
+                        // weight re-scaling; the output grid supplies
+                        // the new requantization target.
+                        bias: narrowed.bias.iter().map(|b| b / in_ratio).collect(),
+                        requant: crate::quant::Requant {
+                            multiplier: (conv.requant.multiplier as f64 * in_ratio * w_ratio
+                                / out_ratio) as f32,
+                            bits: bits.min(conv.requant.bits),
+                        },
+                        ..narrowed
+                    };
+                    in_ratio = out_ratio;
+                    QLayer::Conv(next)
+                }
+                QLayer::MaxPool(pool) => QLayer::MaxPool(*pool),
+                QLayer::GlobalAvgPool => QLayer::GlobalAvgPool,
+                QLayer::Fc(fc) => {
+                    let narrowed = fc.with_weight_bits(bits);
+                    let w_ratio = narrowed.dequant as f64 / fc.dequant as f64;
+                    QLayer::Fc(QFc {
+                        dequant: (fc.dequant as f64 * in_ratio * w_ratio) as f32,
+                        ..narrowed
+                    })
+                }
+            })
+            .collect();
+        QuantizedNetwork {
+            input_quant: degrade_act(self.input_quant),
+            layers,
+        }
+    }
+
     /// Top-1 and Top-k accuracy in one forward pass per sample,
     /// parallelized over images. Sample `i` runs under image key `i`, so
     /// the result is worker-count invariant and reproducible. Weights are
@@ -424,6 +543,112 @@ mod tests {
         let preds = prepared.predict_batch(&refs, &keys, 2);
         assert_eq!(preds.len(), 5);
         assert_eq!(prepared.forward_batch(&[], &[], 1), Vec::<Vec<f32>>::new());
+    }
+
+    #[test]
+    fn with_weight_bits_at_native_precision_is_identity() {
+        // The tiny network's codes already span the 8-bit grid exactly,
+        // so requantizing to 8 bits must not move a code or a scale.
+        let net = tiny_network();
+        let same = net.with_weight_bits(8);
+        let (QLayer::Conv(a), QLayer::Conv(b)) = (&net.layers[0], &same.layers[0]) else {
+            panic!("conv first");
+        };
+        assert_eq!(a.weights.as_slice(), b.weights.as_slice());
+        assert_eq!(a.requant.multiplier, b.requant.multiplier);
+        let (QLayer::Fc(fa), QLayer::Fc(fb)) = (&net.layers[3], &same.layers[3]) else {
+            panic!("fc last");
+        };
+        assert_eq!(fa.weights.as_slice(), fb.weights.as_slice());
+        assert_eq!(fa.dequant, fb.dequant);
+    }
+
+    #[test]
+    fn with_weight_bits_preserves_represented_weights_within_half_step() {
+        let net = tiny_network();
+        for bits in [2u8, 4, 6] {
+            let degraded = net.with_weight_bits(bits);
+            let qmax = (1i32 << (bits - 1)) - 1;
+            let (QLayer::Conv(orig), QLayer::Conv(deg)) =
+                (&net.layers[0], &degraded.layers[0])
+            else {
+                panic!("conv first");
+            };
+            let ratio = deg.requant.multiplier as f64 / orig.requant.multiplier as f64;
+            for (&o, &d) in orig
+                .weights
+                .as_slice()
+                .iter()
+                .zip(deg.weights.as_slice())
+            {
+                assert!(d.abs() <= qmax, "{bits}-bit code {d} out of range");
+                // Real weight o·s vs d·(s·ratio): within half a new step.
+                assert!(
+                    (o as f64 - d as f64 * ratio).abs() <= ratio / 2.0 + 1e-9,
+                    "bits {bits}: code {o} -> {d} (ratio {ratio})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_network_still_classifies_the_trivial_set() {
+        // 4-bit weights coarsen the filters but the bright-image argmax
+        // survives — the accuracy-for-availability trade the serving
+        // fleet's Degrade policy exploits.
+        let net = tiny_network().with_weight_bits(4);
+        let image = Tensor::from_fn(&[1, 4, 4], |_| 0.9);
+        assert_eq!(net.predict(&image, &ExactEngine), 0);
+        // Degrading a degraded network never sharpens it back.
+        let twice = net.with_weight_bits(4);
+        let (QLayer::Fc(a), QLayer::Fc(b)) = (&net.layers[3], &twice.layers[3]) else {
+            panic!("fc last");
+        };
+        assert_eq!(a.weights.as_slice(), b.weights.as_slice());
+        assert_eq!(a.dequant, b.dequant);
+    }
+
+    #[test]
+    fn degraded_network_codes_fit_the_target_grid_and_track_the_original() {
+        let net = tiny_network();
+        let image = Tensor::from_fn(&[1, 4, 4], |i| i as f32 / 16.0);
+        let reference = net.forward(&image, &ExactEngine);
+        for bits in [4u8, 5, 6] {
+            let deg = net.degraded(bits);
+            // Input codes fit the grid.
+            assert_eq!(deg.input_quant.bits, bits);
+            let (QLayer::Conv(c), QLayer::Fc(f)) = (&deg.layers[0], &deg.layers[3]) else {
+                panic!("conv first, fc last");
+            };
+            let wqmax = (1i32 << (bits - 1)) - 1;
+            assert!(c.weights.as_slice().iter().all(|w| w.abs() <= wqmax));
+            assert!(f.weights.as_slice().iter().all(|w| w.abs() <= wqmax));
+            assert_eq!(c.requant.bits, bits);
+            // Logits track the full-precision forward to grid resolution
+            // (the tiny net's logits are O(0.1); a few new-grid steps).
+            let logits = deg.forward(&image, &ExactEngine);
+            for (a, b) in logits.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() < 0.15,
+                    "bits {bits}: logits {logits:?} vs {reference:?}"
+                );
+            }
+            // The bright image still classifies.
+            let bright = Tensor::from_fn(&[1, 4, 4], |_| 0.9);
+            assert_eq!(deg.predict(&bright, &ExactEngine), 0);
+            // Degrading is idempotent at the same precision.
+            let twice = deg.degraded(bits);
+            let QLayer::Conv(c2) = &twice.layers[0] else { panic!("conv") };
+            assert_eq!(c.weights.as_slice(), c2.weights.as_slice());
+            assert_eq!(c.requant.multiplier, c2.requant.multiplier);
+        }
+        // At-or-above-native precision is the identity.
+        let same = net.degraded(8);
+        assert_eq!(same.input_quant.bits, 8);
+        assert_eq!(
+            format!("{:?}", same.layers[0]),
+            format!("{:?}", net.layers[0])
+        );
     }
 
     #[test]

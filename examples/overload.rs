@@ -1,0 +1,156 @@
+//! Driving a SCONNA serving fleet past its saturation knee.
+//!
+//! Demonstrates the overload subsystem on top of the functional serving
+//! fleet:
+//!
+//! 1. the closed-form capacity estimate names the knee of the open-loop
+//!    sweep (below it goodput tracks the offered load, above it the
+//!    bounded queue has to shed);
+//! 2. `DropNewest` lets goodput plateau at capacity while p99 collapses
+//!    onto the full-queue wait;
+//! 3. `Deadline` keeps p99 bounded near the SLO by dropping stale
+//!    requests instead of serving late answers;
+//! 4. `Degrade` drops nobody: overflow runs on a 4-bit fallback model
+//!    (`QuantizedNetwork::degraded`) bound to a 4-bit engine — goodput
+//!    holds, accuracy pays;
+//! 5. the whole sweep is bit-identical across worker counts.
+//!
+//! Run with: `cargo run --release --example overload`
+
+use sconna::accel::report::format_overload_sweep;
+use sconna::accel::serve::{
+    overload_sweep, AdmissionPolicy, FunctionalWorkload, ServingConfig,
+};
+use sconna::accel::{AcceleratorConfig, SconnaEngine};
+use sconna::photonics::pca::AdcModel;
+use sconna::sc::Precision;
+use sconna::sim::time::SimTime;
+use sconna::tensor::dataset::SyntheticDataset;
+use sconna::tensor::smallcnn::{SmallCnn, SmallCnnConfig};
+
+const FALLBACK_BITS: u8 = 4;
+
+fn main() {
+    // The fleet: 2 SCONNA instances, batch 8, a 16-deep per-instance
+    // queue, timed on the GoogleNet-class ShuffleNet V2 layer walk.
+    let model = sconna::tensor::models::shufflenet_v2();
+    let requests = 96;
+    let base = ServingConfig {
+        queue_cap: Some(16),
+        seed: 5,
+        ..ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, requests)
+    };
+    let capacity = base.estimated_capacity_fps(&model);
+    println!(
+        "fleet: {} instances x batch {} on {} | capacity estimate {:.0} fps\n",
+        base.instances, base.max_batch, model.name, capacity
+    );
+
+    // The functional workload: a trained small CNN, its 4-bit fallback,
+    // and precision-matched engines for both.
+    let seed = 7u64;
+    let data = SyntheticDataset::new(10, 16, 0.25, seed);
+    let train = data.batch(20, seed.wrapping_add(1));
+    let test = data.batch(12, seed.wrapping_add(2));
+    let mut cnn = SmallCnn::new(
+        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        seed,
+    );
+    cnn.train(&train, 10, 0.05);
+    let qnet = cnn.quantize(&train, 8);
+    let fallback = qnet.degraded(FALLBACK_BITS);
+    let engine = SconnaEngine::paper_default(seed);
+    let fb_engine = SconnaEngine::new(
+        Precision::new(FALLBACK_BITS),
+        176,
+        Some(AdcModel::sconna_default()),
+        seed,
+    );
+    let workload = FunctionalWorkload {
+        net: &qnet,
+        fallback: Some(&fallback),
+        fallback_engine: Some(&fb_engine),
+        samples: &test,
+        engine: &engine,
+        workers: 2,
+    };
+
+    let rates = [0.5 * capacity, 1.5 * capacity, 3.0 * capacity];
+    let slo = SimTime::from_secs_f64(2.0 * base.max_batch as f64 / capacity);
+
+    // 1+2. DropNewest across the knee.
+    let cfg_dn = base.clone();
+    let dn = overload_sweep(&cfg_dn, &model, &workload, &rates, 2);
+    println!("DropNewest (bounded queue, reject arrivals when full):");
+    print!("{}", format_overload_sweep(&dn));
+    assert_eq!(dn[0].report.serving.dropped, 0, "below the knee nothing sheds");
+    let plateau = dn[2].report.serving.goodput_fps / capacity;
+    assert!(
+        (0.7..=1.1).contains(&plateau),
+        "goodput must plateau at capacity, got {plateau:.2}x"
+    );
+    assert!(
+        dn[2].report.serving.latency.p99 > dn[0].report.serving.latency.p99,
+        "p99 must collapse past the knee"
+    );
+    println!(
+        "  -> knee at ~{:.0} fps: goodput {:.2}x capacity at 3x load, p99 {} (vs {})\n",
+        capacity,
+        plateau,
+        dn[2].report.serving.latency.p99,
+        dn[0].report.serving.latency.p99
+    );
+
+    // 3. Deadline keeps the tail bounded.
+    let cfg_dl = ServingConfig {
+        admission: AdmissionPolicy::Deadline { slo },
+        ..base.clone()
+    };
+    let dl = overload_sweep(&cfg_dl, &model, &workload, &rates, 2);
+    println!("Deadline (shed anything whose queue wait blew slo = {slo}):");
+    print!("{}", format_overload_sweep(&dl));
+    let batch_service =
+        SimTime::from_secs_f64(base.instances as f64 * base.max_batch as f64 / capacity);
+    let bound = slo + batch_service + base.batch_window;
+    assert!(
+        dl[2].report.serving.latency.p99 <= bound,
+        "deadline p99 {} must stay under {bound}",
+        dl[2].report.serving.latency.p99
+    );
+    assert!(dl[2].report.serving.drop_rate > 0.0);
+    println!(
+        "  -> p99 {} <= {} at 3x load, paid with a {:.0}% drop rate\n",
+        dl[2].report.serving.latency.p99,
+        bound,
+        100.0 * dl[2].report.serving.drop_rate
+    );
+
+    // 4. Degrade trades accuracy instead of availability.
+    let cfg_dg = ServingConfig {
+        admission: AdmissionPolicy::Degrade { fallback_bits: FALLBACK_BITS },
+        ..base.clone()
+    };
+    let dg = overload_sweep(&cfg_dg, &model, &workload, &rates, 2);
+    println!("Degrade (overflow runs on the B{FALLBACK_BITS} fallback — nobody is dropped):");
+    print!("{}", format_overload_sweep(&dg));
+    assert_eq!(dg[2].report.serving.dropped, 0);
+    assert!(dg[2].report.serving.degraded > 0);
+    assert!(dg[2].report.serving.goodput_fps > dn[2].report.serving.goodput_fps);
+    assert!(dg[2].report.accuracy_under_load < dg[0].report.accuracy_under_load);
+    println!(
+        "  -> goodput {:.0} fps (vs {:.0} under DropNewest), accuracy {:.1}% (vs {:.1}% below knee)\n",
+        dg[2].report.serving.goodput_fps,
+        dn[2].report.serving.goodput_fps,
+        100.0 * dg[2].report.accuracy_under_load,
+        100.0 * dg[0].report.accuracy_under_load
+    );
+
+    // 5. Determinism: the whole sweep, rerun serially, is bit-identical.
+    let dg_serial = overload_sweep(&cfg_dg, &model, &workload, &rates, 1);
+    assert_eq!(
+        format!("{dg_serial:?}"),
+        format!("{dg:?}"),
+        "sweep must not depend on worker count"
+    );
+    println!("determinism: sweep bit-identical across 1 and 2 sweep workers");
+}

@@ -112,6 +112,8 @@ fn main() {
     for workers in [1usize, 2, 8] {
         let workload = FunctionalWorkload {
             net: &qnet,
+            fallback: None,
+            fallback_engine: None,
             samples: &test,
             engine: &engine,
             workers,
@@ -149,7 +151,14 @@ fn main() {
             ..fn_cfg.clone()
         },
         &model,
-        &FunctionalWorkload { net: &qnet, samples: &test, engine: &engine, workers: 2 },
+        &FunctionalWorkload {
+            net: &qnet,
+            fallback: None,
+            fallback_engine: None,
+            samples: &test,
+            engine: &engine,
+            workers: 2,
+        },
     );
     assert_eq!(poisson.predictions, first.predictions);
     println!("  Poisson arrivals at 50% load: same {} predictions, same accuracy", fn_requests);

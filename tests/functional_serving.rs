@@ -6,9 +6,13 @@
 //! bit-equal to the per-request path.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sconna::accel::serve::{
-    simulate_serving_functional, ArrivalProcess, FunctionalWorkload, ServingConfig,
+    simulate_serving_functional, AdmissionPolicy, ArrivalProcess, FunctionalWorkload,
+    ServingConfig,
 };
+use sconna::sim::time::SimTime;
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::tensor::dataset::Sample;
 use sconna::tensor::engine::{ExactEngine, VdpEngine};
@@ -107,6 +111,8 @@ proptest! {
         for workers in [1usize, 2, 8] {
             let workload = FunctionalWorkload {
                 net: &net,
+                fallback: None,
+                fallback_engine: None,
                 samples: &samples,
                 engine,
                 workers,
@@ -173,5 +179,140 @@ proptest! {
             let stacked = prepared.forward_batch(&images, &keys, workers);
             prop_assert_eq!(&stacked, &singles, "{} workers", workers);
         }
+    }
+}
+
+/// Draws `n` Poisson arrival times at `rate_fps` — the same exponential
+/// inter-arrival construction the scheduler uses, materialized so the
+/// trace can be replayed in any insertion order.
+fn poisson_times(n: usize, rate_fps: f64, seed: u64) -> Vec<SimTime> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_fps;
+            SimTime::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Determinism of the overload path: for every admission policy the full
+/// [`sconna::accel::serve::FunctionalServingReport`] — predictions, shed
+/// sets (`outcomes`), queue-depth series, every counter — is bit-identical
+/// across 1/2/8 instance workers and across shuffled insertion orders of
+/// the same Poisson arrival trace (ids bind to arrival *times*, not to
+/// schedule order).
+#[test]
+fn overload_reports_are_worker_and_arrival_order_invariant() {
+    let (net, samples) = tiny_workload(13, 3);
+    let fallback = net.with_weight_bits(4);
+    let engine = SconnaEngine::paper_default(13);
+    let model = shufflenet_v2();
+    let requests = 40;
+
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, requests);
+    let capacity = base.estimated_capacity_fps(&model);
+    let times = poisson_times(requests, 1.8 * capacity, 99);
+    let mut shuffled = times.clone();
+    shuffled.reverse();
+    shuffled.rotate_left(11);
+
+    let policies = [
+        AdmissionPolicy::DropNewest,
+        AdmissionPolicy::DropOldest,
+        AdmissionPolicy::Deadline { slo: SimTime::from_ns(120_000) },
+        AdmissionPolicy::Degrade { fallback_bits: 4 },
+    ];
+    for admission in policies {
+        let cfg = |trace: Vec<SimTime>| ServingConfig {
+            queue_cap: Some(2),
+            admission,
+            arrivals: ArrivalProcess::Trace { times: trace },
+            ..base.clone()
+        };
+        let workload = |workers: usize| FunctionalWorkload {
+            net: &net,
+            fallback: Some(&fallback),
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers,
+        };
+        let baseline =
+            simulate_serving_functional(&cfg(times.clone()), &model, &workload(1));
+        // The overload config actually sheds — otherwise this pins nothing.
+        assert!(
+            baseline.serving.dropped + baseline.serving.degraded > 0,
+            "{admission:?} at 1.8x load must shed"
+        );
+        let debug = format!("{baseline:?}");
+        for workers in [2usize, 8] {
+            let run =
+                simulate_serving_functional(&cfg(times.clone()), &model, &workload(workers));
+            assert_eq!(
+                format!("{run:?}"),
+                debug,
+                "{admission:?}: {workers} workers diverged"
+            );
+        }
+        let reordered =
+            simulate_serving_functional(&cfg(shuffled.clone()), &model, &workload(2));
+        assert_eq!(
+            format!("{reordered:?}"),
+            debug,
+            "{admission:?}: shuffled arrival insertion order diverged"
+        );
+        // And the run is reproducible wholesale.
+        let again = simulate_serving_functional(&cfg(times.clone()), &model, &workload(1));
+        assert_eq!(format!("{again:?}"), debug, "{admission:?}: rerun diverged");
+    }
+}
+
+/// Degraded predictions are pure functions of `(fallback net, engine,
+/// sample, request id)`: whichever requests the schedule degrades, their
+/// responses equal the offline fallback forward — and the full-fidelity
+/// responses equal the offline primary forward.
+#[test]
+fn shed_and_degraded_responses_match_their_offline_references() {
+    use sconna::accel::serve::RequestOutcome;
+    let (net, samples) = tiny_workload(29, 3);
+    let fallback = net.with_weight_bits(4);
+    let engine = SconnaEngine::paper_default(29);
+    let model = shufflenet_v2();
+    let requests = 32;
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 1, 2, requests);
+    let capacity = base.estimated_capacity_fps(&model);
+    let cfg = ServingConfig {
+        queue_cap: Some(1),
+        admission: AdmissionPolicy::Degrade { fallback_bits: 4 },
+        arrivals: ArrivalProcess::Poisson { rate_fps: 2.5 * capacity },
+        seed: 4,
+        ..base
+    };
+    let workload = FunctionalWorkload {
+        net: &net,
+        fallback: Some(&fallback),
+        fallback_engine: None,
+        samples: &samples,
+        engine: &engine,
+        workers: 2,
+    };
+    let r = simulate_serving_functional(&cfg, &model, &workload);
+    assert!(r.serving.degraded > 0, "2.5x load against a 1-deep queue must degrade");
+    assert_eq!(r.serving.dropped, 0);
+    for (id, (&pred, &outcome)) in r.predictions.iter().zip(&r.outcomes).enumerate() {
+        let s = &samples[id % samples.len()];
+        let reference = match outcome {
+            RequestOutcome::Served => &net,
+            RequestOutcome::Degraded => &fallback,
+            _ => panic!("no drops under Degrade"),
+        };
+        let offline = sconna::tensor::layers::argmax(&reference.forward_keyed(
+            &s.image,
+            &engine,
+            id as u64,
+        ));
+        assert_eq!(pred, offline, "request {id} ({outcome:?})");
     }
 }
