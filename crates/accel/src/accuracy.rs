@@ -114,7 +114,8 @@ impl AccuracyExperiment {
         let sconna = SconnaEngine::paper_default(self.seed);
 
         let (exact_top1, exact_topk) = qnet.prepare(&exact).evaluate(&test, self.k, self.workers);
-        let (sconna_top1, sconna_topk) = qnet.prepare(&sconna).evaluate(&test, self.k, self.workers);
+        let (sconna_top1, sconna_topk) =
+            qnet.prepare(&sconna).evaluate(&test, self.k, self.workers);
 
         AccuracyResult {
             fp_top1,
@@ -153,7 +154,10 @@ pub fn layer_error_experiment(
     vdps_per_layer: usize,
     seed: u64,
 ) -> LayerErrorResult {
-    assert!(max_layers > 0 && vdps_per_layer > 0, "degenerate experiment");
+    assert!(
+        max_layers > 0 && vdps_per_layer > 0,
+        "degenerate experiment"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let engine = SconnaEngine::paper_default(seed);
     let mut measured = Vec::new();
@@ -167,8 +171,9 @@ pub fn layer_error_experiment(
         len_sum += w.vector_len;
         for _ in 0..vdps_per_layer {
             let inputs: Vec<u32> = (0..w.vector_len).map(|_| rng.gen_range(0..=255)).collect();
-            let weights: Vec<i32> =
-                (0..w.vector_len).map(|_| rng.gen_range(-127..=127)).collect();
+            let weights: Vec<i32> = (0..w.vector_len)
+                .map(|_| rng.gen_range(-127..=127))
+                .collect();
             reference.push(ExactEngine.vdp(&inputs, &weights));
             // Distinct key per draw: each VDP sees an independent ADC
             // noise realization, as the sequential shared-RNG stream did.
@@ -223,8 +228,14 @@ mod tests {
         let serial = base.run();
         for workers in [2usize, 8] {
             let parallel = AccuracyExperiment { workers, ..base }.run();
-            assert_eq!(serial.sconna_top1, parallel.sconna_top1, "{workers} workers");
-            assert_eq!(serial.sconna_topk, parallel.sconna_topk, "{workers} workers");
+            assert_eq!(
+                serial.sconna_top1, parallel.sconna_top1,
+                "{workers} workers"
+            );
+            assert_eq!(
+                serial.sconna_topk, parallel.sconna_topk,
+                "{workers} workers"
+            );
             assert_eq!(serial.exact_top1, parallel.exact_top1, "{workers} workers");
         }
     }

@@ -194,7 +194,14 @@ impl SconnaEngine {
     /// one Box-Muller draw ([`AdcModel::convert_pair`]) but receive its
     /// two independent Gaussian projections.
     #[inline]
-    fn convert_rails(&self, ranged: &AdcModel, pos: u64, neg: u64, key: u64, chunk: usize) -> (f64, f64) {
+    fn convert_rails(
+        &self,
+        ranged: &AdcModel,
+        pos: u64,
+        neg: u64,
+        key: u64,
+        chunk: usize,
+    ) -> (f64, f64) {
         let mut stream = KeyedAdcStream::new(self.seed, key, chunk as u64);
         ranged.convert_pair(pos as f64, neg as f64, &mut stream)
     }
@@ -218,9 +225,9 @@ impl SconnaEngine {
             // clamping and rail steering can never diverge between the
             // LUT and closed-form precisions.
             let (pos, neg) = match &self.lut {
-                Some(lut) => accumulate_rails(ichunk, wchunk, qmax, |i, mag, k| {
-                    lut.product(i, mag, k)
-                }),
+                Some(lut) => {
+                    accumulate_rails(ichunk, wchunk, qmax, |i, mag, k| lut.product(i, mag, k))
+                }
                 None => accumulate_rails(ichunk, wchunk, qmax, |i, mag, k| {
                     osm_product_debiased(i, mag, self.precision, k)
                 }),
@@ -259,16 +266,15 @@ impl SconnaEngine {
         let mut total = 0.0f64;
         for (chunk, (ichunk, (mchunk, nchunk))) in inputs
             .chunks(self.vdpe_size)
-            .zip(
-                mags.chunks(self.vdpe_size)
-                    .zip(negs.chunks(self.vdpe_size)),
-            )
+            .zip(mags.chunks(self.vdpe_size).zip(negs.chunks(self.vdpe_size)))
             .enumerate()
         {
             let (pos, neg) = match &self.lut {
-                Some(lut) => accumulate_rails_prepared(ichunk, mchunk, nchunk, qmax, |i, mag, k| {
-                    lut.product(i, mag, k)
-                }),
+                Some(lut) => {
+                    accumulate_rails_prepared(ichunk, mchunk, nchunk, qmax, |i, mag, k| {
+                        lut.product(i, mag, k)
+                    })
+                }
                 None => accumulate_rails_prepared(ichunk, mchunk, nchunk, qmax, |i, mag, k| {
                     osm_product_debiased(i, mag, self.precision, k)
                 }),
@@ -320,9 +326,7 @@ impl VdpEngine for SconnaEngine {
         let ranged = match &self.adc {
             Some(adc) => (0..weights.cols())
                 .step_by(self.vdpe_size.max(1))
-                .map(|start| {
-                    self.ranged_adc(adc, self.vdpe_size.min(weights.cols() - start))
-                })
+                .map(|start| self.ranged_adc(adc, self.vdpe_size.min(weights.cols() - start)))
                 .collect(),
             None => Vec::new(),
         };
@@ -387,9 +391,7 @@ mod tests {
 
     fn test_vectors(len: usize) -> (Vec<u32>, Vec<i32>) {
         let inputs: Vec<u32> = (0..len).map(|k| ((k * 37) % 256) as u32).collect();
-        let weights: Vec<i32> = (0..len)
-            .map(|k| ((k * 53) % 255) as i32 - 127)
-            .collect();
+        let weights: Vec<i32> = (0..len).map(|k| ((k * 53) % 255) as i32 - 127).collect();
         (inputs, weights)
     }
 
@@ -485,8 +487,7 @@ mod tests {
         let mut noisy_err = 0.0;
         for seed in 0..trials {
             noiseless_err += (SconnaEngine::noiseless().vdp(&inputs, &weights) - exact).abs();
-            noisy_err +=
-                (SconnaEngine::paper_default(seed).vdp(&inputs, &weights) - exact).abs();
+            noisy_err += (SconnaEngine::paper_default(seed).vdp(&inputs, &weights) - exact).abs();
         }
         assert!(
             noisy_err >= noiseless_err,
@@ -513,7 +514,9 @@ mod tests {
             cols,
             (0..3 * cols).map(|i| ((i * 29) % 256) as u32).collect(),
         );
-        let wdata: Vec<i32> = (0..4 * cols).map(|i| ((i * 43) % 255) as i32 - 127).collect();
+        let wdata: Vec<i32> = (0..4 * cols)
+            .map(|i| ((i * 43) % 255) as i32 - 127)
+            .collect();
         let wm = WeightMatrix::new(&wdata, 4, cols);
         let keys = [5u64, 77, 4242];
         for engine in [SconnaEngine::paper_default(11), SconnaEngine::noiseless()] {
@@ -523,7 +526,8 @@ mod tests {
             assert_eq!(
                 raw.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "{}", engine.name()
+                "{}",
+                engine.name()
             );
         }
     }
@@ -566,7 +570,9 @@ mod tests {
             cols,
             (0..3 * cols).map(|i| ((i * 31) % 256) as u32).collect(),
         );
-        let wdata: Vec<i32> = (0..5 * cols).map(|i| ((i * 41) % 255) as i32 - 127).collect();
+        let wdata: Vec<i32> = (0..5 * cols)
+            .map(|i| ((i * 41) % 255) as i32 - 127)
+            .collect();
         let wm = WeightMatrix::new(&wdata, 5, cols);
         let keys = [3u64, 99, 12345];
         let e = SconnaEngine::paper_default(11);

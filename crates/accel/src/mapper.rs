@@ -198,7 +198,11 @@ mod tests {
         // Early ResNet50 layers (64 kernels x few chunks) underfill the
         // 1024-VDPE array; late layers fill it.
         let first = &reports[0];
-        let last_conv = reports.iter().rev().find(|r| r.layer.contains("conv")).unwrap();
+        let last_conv = reports
+            .iter()
+            .rev()
+            .find(|r| r.layer.contains("conv"))
+            .unwrap();
         assert!(first.occupancy < last_conv.occupancy + 1e-9);
     }
 }

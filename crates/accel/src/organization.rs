@@ -330,12 +330,18 @@ mod tests {
         // of the paper-implied per-VDPE areas.
         let mam = AcceleratorConfig::mam();
         let amm = AcceleratorConfig::amm();
-        let mam_rel = (mam.mechanical_vdpe_area_estimate() - MAM_VDPE_AREA_MM2).abs()
-            / MAM_VDPE_AREA_MM2;
-        let amm_rel = (amm.mechanical_vdpe_area_estimate() - AMM_VDPE_AREA_MM2).abs()
-            / AMM_VDPE_AREA_MM2;
-        assert!(mam_rel < 0.35, "MAM mechanical estimate off by {mam_rel:.2}");
-        assert!(amm_rel < 0.35, "AMM mechanical estimate off by {amm_rel:.2}");
+        let mam_rel =
+            (mam.mechanical_vdpe_area_estimate() - MAM_VDPE_AREA_MM2).abs() / MAM_VDPE_AREA_MM2;
+        let amm_rel =
+            (amm.mechanical_vdpe_area_estimate() - AMM_VDPE_AREA_MM2).abs() / AMM_VDPE_AREA_MM2;
+        assert!(
+            mam_rel < 0.35,
+            "MAM mechanical estimate off by {mam_rel:.2}"
+        );
+        assert!(
+            amm_rel < 0.35,
+            "AMM mechanical estimate off by {amm_rel:.2}"
+        );
     }
 
     #[test]
@@ -385,8 +391,7 @@ mod tests {
         let s = AcceleratorConfig::sconna();
         let m = AcceleratorConfig::mam();
         let rate = |c: &AcceleratorConfig| {
-            (c.effective_parallel_vdpes() * c.vdpe_size_n) as f64
-                / c.symbol_time.as_secs_f64()
+            (c.effective_parallel_vdpes() * c.vdpe_size_n) as f64 / c.symbol_time.as_secs_f64()
         };
         assert!(rate(&m) > rate(&s));
     }

@@ -100,11 +100,7 @@ pub fn analyze_layer_batched(cfg: &AcceleratorConfig, w: &VdpWorkload, batch: us
     } else {
         outputs * chunks * slices
     };
-    let psum = scale_time(
-        p::REDUCTION_NETWORK.latency,
-        psum_adds,
-        cfg.tiles() as u64,
-    );
+    let psum = scale_time(p::REDUCTION_NETWORK.latency, psum_adds, cfg.tiles() as u64);
 
     // DKV programming: one event per (kernel, chunk, slice) assignment;
     // rounds of `total_vdpes` assignments program in parallel.
@@ -116,11 +112,9 @@ pub fn analyze_layer_batched(cfg: &AcceleratorConfig, w: &VdpWorkload, batch: us
     // (L·S, once) move into the per-VDPC operand scratchpads, each fed
     // at the eDRAM bandwidth (operand storage is distributed with the
     // VDPCs; SCONNA's LUT buffers live beside the OSMs).
-    let bytes = (batch as usize * w.ops_per_kernel * w.vector_len
-        + w.kernels * w.vector_len) as f64;
-    let memory = SimTime::from_secs_f64(
-        bytes / (cfg.vdpc_count() as f64 * p::EDRAM_BANDWIDTH_BPS),
-    );
+    let bytes =
+        (batch as usize * w.ops_per_kernel * w.vector_len + w.kernels * w.vector_len) as f64;
+    let memory = SimTime::from_secs_f64(bytes / (cfg.vdpc_count() as f64 * p::EDRAM_BANDWIDTH_BPS));
 
     let pipeline_fill = pipeline_fill(cfg, chunks);
     let total = compute.max(psum).max(reprogram).max(memory) + pipeline_fill;
@@ -430,12 +424,7 @@ mod tests {
         // combine for analog, no chunk splitting for SCONNA.
         for cfg in AcceleratorConfig::all() {
             let lp = analyze_layer(&cfg, &one_layer(9, 96, 196));
-            assert_eq!(
-                lp.passes,
-                96 * 196 * cfg.bit_slices as u64,
-                "{}",
-                cfg.name
-            );
+            assert_eq!(lp.passes, 96 * 196 * cfg.bit_slices as u64, "{}", cfg.name);
         }
     }
 
@@ -458,9 +447,7 @@ mod tests {
         let ratio = |a: &AcceleratorConfig, b: &AcceleratorConfig| {
             let rs: Vec<f64> = models
                 .iter()
-                .map(|m| {
-                    simulate_inference(a, m).fps / simulate_inference(b, m).fps
-                })
+                .map(|m| simulate_inference(a, m).fps / simulate_inference(b, m).fps)
                 .collect();
             sconna_sim::stats::gmean(&rs)
         };
@@ -486,12 +473,13 @@ mod tests {
         // ResNet50 than for MobileNet_V2 / ShuffleNet_V2.
         let sconna = AcceleratorConfig::sconna();
         let mam = AcceleratorConfig::mam();
-        let r = |m: &CnnModel| {
-            simulate_inference(&sconna, m).fps / simulate_inference(&mam, m).fps
-        };
+        let r = |m: &CnnModel| simulate_inference(&sconna, m).fps / simulate_inference(&mam, m).fps;
         let big = sconna_sim::stats::gmean(&[r(&googlenet()), r(&resnet50())]);
         let small = sconna_sim::stats::gmean(&[r(&mobilenet_v2()), r(&shufflenet_v2())]);
-        assert!(big > small, "big-CNN ratio {big} vs small-CNN ratio {small}");
+        assert!(
+            big > small,
+            "big-CNN ratio {big} vs small-CNN ratio {small}"
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
         use sconna_tensor::quant::ActivationQuant;
         use sconna_tensor::Tensor;
         let net = QuantizedNetwork {
-            input_quant: ActivationQuant { scale: 1.0 / 255.0, bits: 8 },
+            input_quant: ActivationQuant {
+                scale: 1.0 / 255.0,
+                bits: 8,
+            },
             layers: vec![
                 QLayer::GlobalAvgPool,
                 QLayer::Fc(QFc {

@@ -135,7 +135,6 @@ pub enum AdmissionPolicy {
     },
 }
 
-
 /// One serving experiment: a fleet, a scheduler policy, a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingConfig {
@@ -206,12 +205,9 @@ impl ServingConfig {
     /// overload sweep — pinned against both in this module's tests so
     /// the estimate and the simulator cannot silently diverge.
     pub fn estimated_capacity_fps(&self, model: &CnnModel) -> f64 {
-        let makespan = model
-            .workloads
-            .iter()
-            .fold(SimTime::ZERO, |acc, w| {
-                acc + analyze_layer_batched(&self.accelerator, w, self.max_batch).total
-            });
+        let makespan = model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
+            acc + analyze_layer_batched(&self.accelerator, w, self.max_batch).total
+        });
         (self.instances * self.max_batch) as f64 / makespan.as_secs_f64()
     }
 }
@@ -327,14 +323,21 @@ impl<'a> FunctionalExec<'a> {
         requests: usize,
         degrading: bool,
     ) -> Self {
-        assert!(!workload.samples.is_empty(), "functional serving needs samples");
+        assert!(
+            !workload.samples.is_empty(),
+            "functional serving needs samples"
+        );
         assert!(workload.workers > 0, "need at least one worker");
         let fallback = if degrading {
-            let fb = workload
-                .fallback
-                .expect("Degrade admission policy requires a fallback network");
+            let fb = workload.fallback.expect(
+                "invariant: Degrade admission requires FunctionalWorkload::fallback (documented)",
+            );
             let engine = workload.fallback_engine.unwrap_or(workload.engine);
-            Some((0..instances).map(|_| PreparedNetwork::new(fb, engine)).collect())
+            Some(
+                (0..instances)
+                    .map(|_| PreparedNetwork::new(fb, engine))
+                    .collect(),
+            )
         } else {
             None
         };
@@ -363,7 +366,9 @@ impl<'a> FunctionalExec<'a> {
             .map(|&id| &samples[id as usize % samples.len()].image)
             .collect();
         let nets = if degraded {
-            self.fallback.as_ref().expect("degraded batch without fallback models")
+            self.fallback.as_ref().expect(
+                "invariant: degraded batches are only dispatched after fallback nets were built",
+            )
         } else {
             &self.instances
         };
@@ -476,12 +481,11 @@ impl<'a> BatchProfiles<'a> {
                 .iter()
                 .map(|w| analyze_layer_batched(&self.cfg, w, batch))
                 .collect();
-            let makespan = layers
-                .iter()
-                .fold(SimTime::ZERO, |acc, l| acc + l.total);
+            let makespan = layers.iter().fold(SimTime::ZERO, |acc, l| acc + l.total);
             *slot = Some((makespan, layers));
         }
-        slot.as_ref().expect("just filled")
+        slot.as_ref()
+            .expect("invariant: slot was filled by the branch above")
     }
 }
 
@@ -590,7 +594,11 @@ impl Scheduler<'_> {
             .queue_bound()
             .is_some_and(|bound| self.pending.len() >= bound);
         let shed = if !full {
-            self.pending.push_back(PendingReq { id, arrived: now, degraded: false });
+            self.pending.push_back(PendingReq {
+                id,
+                arrived: now,
+                degraded: false,
+            });
             0
         } else {
             match self.cfg.admission {
@@ -599,9 +607,16 @@ impl Scheduler<'_> {
                     1
                 }
                 AdmissionPolicy::DropOldest => {
-                    let old = self.pending.pop_front().expect("full queue has a head");
+                    let old = self
+                        .pending
+                        .pop_front()
+                        .expect("invariant: the queue is full here, so it has a head");
                     self.record_drop(old.id, RequestOutcome::ShedOldest);
-                    self.pending.push_back(PendingReq { id, arrived: now, degraded: false });
+                    self.pending.push_back(PendingReq {
+                        id,
+                        arrived: now,
+                        degraded: false,
+                    });
                     1
                 }
                 AdmissionPolicy::Degrade { .. } => {
@@ -609,7 +624,11 @@ impl Scheduler<'_> {
                     // request keeps its place in line and its client gets
                     // a (coarser) answer.
                     self.shed.degraded += 1;
-                    self.pending.push_back(PendingReq { id, arrived: now, degraded: true });
+                    self.pending.push_back(PendingReq {
+                        id,
+                        arrived: now,
+                        degraded: true,
+                    });
                     0
                 }
             }
@@ -646,7 +665,10 @@ impl Scheduler<'_> {
             let mut expired = 0usize;
             while let Some(front) = self.pending.front() {
                 if now - front.arrived > slo {
-                    let r = self.pending.pop_front().expect("front exists");
+                    let r = self
+                        .pending
+                        .pop_front()
+                        .expect("invariant: front() returned Some above");
                     self.record_drop(r.id, RequestOutcome::ShedDeadline);
                     expired += 1;
                 } else {
@@ -657,8 +679,7 @@ impl Scheduler<'_> {
                 self.note_depth(now);
                 if matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. }) {
                     // Each shed frees a client for its next request.
-                    let replacements = expired
-                        .min(self.cfg.requests.saturating_sub(self.issued));
+                    let replacements = expired.min(self.cfg.requests.saturating_sub(self.issued));
                     self.issued += replacements;
                     self.admit_arrivals(now, replacements);
                 }
@@ -691,14 +712,16 @@ impl Scheduler<'_> {
             let (makespan, layers) = if tier_degraded {
                 self.degraded_profiles
                     .as_mut()
-                    .expect("degraded tier requires fallback profiles")
+                    .expect("invariant: the degraded tier is only entered after fallback profiles were built")
                     .get(take)
             } else {
                 self.profiles.get(take)
             };
             let makespan = *makespan;
             let accel = if tier_degraded {
-                self.degraded_accel.expect("degraded tier requires fallback config")
+                self.degraded_accel.expect(
+                    "invariant: the degraded tier is only entered after fallback config was set",
+                )
             } else {
                 self.cfg.accelerator
             };
@@ -803,13 +826,16 @@ pub fn simulate_serving_functional(
     workload: &FunctionalWorkload<'_>,
 ) -> FunctionalServingReport {
     let (serving, outcomes, func) = run_serving_full(config, model, Some(workload));
-    let func = func.expect("functional state present");
+    let func =
+        func.expect("invariant: run_serving_full returns functional state when given a workload");
     debug_assert!(
         outcomes
             .iter()
             .zip(&func.predictions)
-            .all(|(o, &p)| matches!(o, RequestOutcome::Served | RequestOutcome::Degraded)
-                == (p != usize::MAX)),
+            .all(
+                |(o, &p)| matches!(o, RequestOutcome::Served | RequestOutcome::Degraded)
+                    == (p != usize::MAX)
+            ),
         "exactly the responses must have been executed"
     );
     let correct = func.correct;
@@ -843,12 +869,19 @@ fn run_serving_full<'a>(
     config: &'a ServingConfig,
     model: &'a CnnModel,
     workload: Option<&'a FunctionalWorkload<'a>>,
-) -> (ServingReport, Vec<RequestOutcome>, Option<FunctionalExec<'a>>) {
+) -> (
+    ServingReport,
+    Vec<RequestOutcome>,
+    Option<FunctionalExec<'a>>,
+) {
     assert!(config.instances > 0, "need at least one instance");
     assert!(config.max_batch > 0, "max_batch must be positive");
     assert!(config.requests > 0, "need at least one request");
     if let Some(cap) = config.queue_cap {
-        assert!(cap > 0, "queue_cap must be positive (use None for unbounded)");
+        assert!(
+            cap > 0,
+            "queue_cap must be positive (use None for unbounded)"
+        );
     }
 
     let degrading = matches!(config.admission, AdmissionPolicy::Degrade { .. });
@@ -936,7 +969,9 @@ fn run_serving_full<'a>(
     let outcomes: Vec<RequestOutcome> = sched
         .outcomes
         .iter()
-        .map(|o| o.expect("every request reaches a terminal state"))
+        .map(|o| {
+            o.expect("invariant: every request reaches a terminal state before the queue drains")
+        })
         .collect();
     let responses = sched.completed + sched.degraded_done;
     // Stale flush timers may fire after the last completion, so the
@@ -963,8 +998,16 @@ fn run_serving_full<'a>(
             sched.batched_requests as f64 / sched.batches as f64
         },
         makespan,
-        fps: if secs > 0.0 { sched.completed as f64 / secs } else { 0.0 },
-        goodput_fps: if secs > 0.0 { responses as f64 / secs } else { 0.0 },
+        fps: if secs > 0.0 {
+            sched.completed as f64 / secs
+        } else {
+            0.0
+        },
+        goodput_fps: if secs > 0.0 {
+            responses as f64 / secs
+        } else {
+            0.0
+        },
         latency: if sched.latency.is_empty() {
             LatencySummary {
                 count: 0,
@@ -984,8 +1027,16 @@ fn run_serving_full<'a>(
             vec![0.0; config.instances]
         },
         energy_j,
-        energy_per_inference_j: if responses > 0 { energy_j / responses as f64 } else { 0.0 },
-        avg_power_w: if secs > 0.0 { sched.ledger.average_power_w(makespan) } else { 0.0 },
+        energy_per_inference_j: if responses > 0 {
+            energy_j / responses as f64
+        } else {
+            0.0
+        },
+        avg_power_w: if secs > 0.0 {
+            sched.ledger.average_power_w(makespan)
+        } else {
+            0.0
+        },
     };
     (report, outcomes, sched.functional)
 }
@@ -1046,19 +1097,20 @@ mod tests {
     use sconna_tensor::quant::{ActivationQuant, Requant, WeightQuant};
 
     fn small_closed(instances: usize, max_batch: usize, requests: usize) -> ServingConfig {
-        ServingConfig::saturation(
-            AcceleratorConfig::sconna(),
-            instances,
-            max_batch,
-            requests,
-        )
+        ServingConfig::saturation(AcceleratorConfig::sconna(), instances, max_batch, requests)
     }
 
     /// A hand-built quantized CNN (no training) plus a labelled request
     /// population for functional-serving tests.
     fn tiny_workload() -> (QuantizedNetwork, Vec<Sample>) {
-        let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
-        let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+        let aq = ActivationQuant {
+            scale: 1.0 / 255.0,
+            bits: 8,
+        };
+        let wq = WeightQuant {
+            scale: 1.0 / 127.0,
+            bits: 8,
+        };
         let net = QuantizedNetwork {
             input_quant: aq,
             layers: vec![
@@ -1071,7 +1123,11 @@ mod tests {
                     groups: 1,
                     requant: Requant::new(aq, wq, aq),
                 }),
-                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::MaxPool(MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
                 QLayer::GlobalAvgPool,
                 QLayer::Fc(QFc {
                     name: "fc".into(),
@@ -1112,7 +1168,8 @@ mod tests {
         assert!(r.outcomes.iter().all(|&o| o == RequestOutcome::Served));
         for (id, &pred) in r.predictions.iter().enumerate() {
             let s = &samples[id % samples.len()];
-            let offline = sconna_tensor::layers::argmax(&net.forward_keyed(&s.image, &engine, id as u64));
+            let offline =
+                sconna_tensor::layers::argmax(&net.forward_keyed(&s.image, &engine, id as u64));
             assert_eq!(pred, offline, "request {id}");
         }
         let correct = r
@@ -1182,7 +1239,10 @@ mod tests {
                 &model,
                 &workload,
             );
-            assert_eq!(r.predictions, baseline.predictions, "{instances}x{max_batch} w{workers}");
+            assert_eq!(
+                r.predictions, baseline.predictions,
+                "{instances}x{max_batch} w{workers}"
+            );
             assert_eq!(r.accuracy_under_load, baseline.accuracy_under_load);
         }
         // Open-loop arrivals reorder timing but not request identity.
@@ -1256,7 +1316,10 @@ mod tests {
 
         // A huge finite cap behaves exactly like the unbounded queue.
         let capped = simulate_serving(
-            &ServingConfig { queue_cap: Some(1_000_000), ..small_closed(2, 4, 37) },
+            &ServingConfig {
+                queue_cap: Some(1_000_000),
+                ..small_closed(2, 4, 37)
+            },
             &model,
         );
         assert_eq!(format!("{capped:?}"), format!("{closed:?}"));
@@ -1269,20 +1332,31 @@ mod tests {
         let capacity = base.estimated_capacity_fps(&model);
         let cfg = ServingConfig {
             queue_cap: Some(2),
-            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: 3.0 * capacity,
+            },
             seed: 5,
             ..base
         };
         let r = simulate_serving(&cfg, &model);
         assert_eq!(r.offered, 64);
         assert_eq!(r.completed + r.dropped, 64);
-        assert!(r.dropped > 0, "3x overload against a 2-deep queue must shed");
+        assert!(
+            r.dropped > 0,
+            "3x overload against a 2-deep queue must shed"
+        );
         assert_eq!(r.shed.newest, r.dropped);
         assert_eq!(r.shed.oldest + r.shed.deadline + r.shed.degraded, 0);
         assert!((r.drop_rate - r.dropped as f64 / 64.0).abs() < 1e-12);
         // The queue bound holds over the whole series.
-        assert!(r.queue_depth.max_depth() <= 2, "depth {}", r.queue_depth.max_depth());
-        let end = r.makespan.max(r.queue_depth.last_time().expect("series non-empty"));
+        assert!(
+            r.queue_depth.max_depth() <= 2,
+            "depth {}",
+            r.queue_depth.max_depth()
+        );
+        let end = r
+            .makespan
+            .max(r.queue_depth.last_time().expect("series non-empty"));
         assert!(r.queue_depth.mean_depth(end) <= 2.0);
         // Bounded queue => bounded wait: every response saw at most a
         // full queue ahead of it plus its own batch (+ window flushes).
@@ -1297,13 +1371,18 @@ mod tests {
         let cfg = ServingConfig {
             queue_cap: Some(1),
             admission: AdmissionPolicy::DropOldest,
-            arrivals: ArrivalProcess::Poisson { rate_fps: 4.0 * capacity },
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: 4.0 * capacity,
+            },
             seed: 9,
             ..base
         };
         let r = simulate_serving(&cfg, &model);
         assert_eq!(r.completed + r.dropped, 48);
-        assert!(r.shed.oldest > 0, "4x overload against a 1-deep queue must evict");
+        assert!(
+            r.shed.oldest > 0,
+            "4x overload against a 1-deep queue must evict"
+        );
         assert_eq!(r.shed.oldest, r.dropped);
         assert_eq!(r.shed.newest, 0);
         // Eviction keeps the freshest traffic: the newest request always
@@ -1320,7 +1399,9 @@ mod tests {
         let service = SimTime::from_secs_f64(2.0 * base.max_batch as f64 / capacity);
         let over = ServingConfig {
             admission: AdmissionPolicy::Deadline { slo: service },
-            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: 3.0 * capacity,
+            },
             seed: 3,
             ..base.clone()
         };
@@ -1330,8 +1411,8 @@ mod tests {
         // Served requests waited at most `slo` in queue, so their
         // end-to-end latency is bounded by slo + one batch service + one
         // flush window.
-        let bound = service + SimTime::from_secs_f64(base.max_batch as f64 / capacity)
-            + base.batch_window;
+        let bound =
+            service + SimTime::from_secs_f64(base.max_batch as f64 / capacity) + base.batch_window;
         assert!(
             r.latency.max <= bound,
             "deadline shedding must bound the tail: {} > {}",
@@ -1351,7 +1432,9 @@ mod tests {
         let cfg = ServingConfig {
             queue_cap: Some(1),
             admission: AdmissionPolicy::Degrade { fallback_bits: 4 },
-            arrivals: ArrivalProcess::Poisson { rate_fps: 3.0 * capacity },
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: 3.0 * capacity,
+            },
             seed: 7,
             ..base
         };
@@ -1379,11 +1462,9 @@ mod tests {
                 RequestOutcome::Degraded => &fallback,
                 _ => panic!("no drops under Degrade"),
             };
-            let offline = sconna_tensor::layers::argmax(&reference.forward_keyed(
-                &s.image,
-                &engine,
-                id as u64,
-            ));
+            let offline = sconna_tensor::layers::argmax(
+                &reference.forward_keyed(&s.image, &engine, id as u64),
+            );
             assert_eq!(pred, offline, "request {id} ({outcome:?})");
         }
         // Accuracy accounting: offered == admitted here (no drops).
@@ -1398,9 +1479,15 @@ mod tests {
         let model = shufflenet_v2();
         let base = small_closed(1, 2, 48);
         let capacity = base.estimated_capacity_fps(&model);
-        let over = ArrivalProcess::Poisson { rate_fps: 4.0 * capacity };
+        let over = ArrivalProcess::Poisson {
+            rate_fps: 4.0 * capacity,
+        };
         let full = simulate_serving(
-            &ServingConfig { arrivals: over.clone(), seed: 2, ..base.clone() },
+            &ServingConfig {
+                arrivals: over.clone(),
+                seed: 2,
+                ..base.clone()
+            },
             &model,
         );
         let degrade = simulate_serving(
@@ -1453,7 +1540,9 @@ mod tests {
         let model = shufflenet_v2();
         let _ = simulate_serving(
             &ServingConfig {
-                arrivals: ArrivalProcess::Trace { times: vec![SimTime::ZERO; 3] },
+                arrivals: ArrivalProcess::Trace {
+                    times: vec![SimTime::ZERO; 3],
+                },
                 ..small_closed(1, 2, 4)
             },
             &model,
@@ -1533,12 +1622,9 @@ mod tests {
         assert!(r.latency.p95 <= r.latency.p99);
         assert!(r.latency.p99 <= r.latency.max);
         // Every request at least pays one batch service time.
-        let service = model
-            .workloads
-            .iter()
-            .fold(SimTime::ZERO, |acc, w| {
-                acc + analyze_layer_batched(&cfg.accelerator, w, 1).total
-            });
+        let service = model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
+            acc + analyze_layer_batched(&cfg.accelerator, w, 1).total
+        });
         assert!(r.latency.p50 >= service);
     }
 
@@ -1558,8 +1644,7 @@ mod tests {
         assert_eq!(r.completed, 48);
         // At 30 % load the p50 wait is bounded by the batch window plus
         // a couple of service times.
-        let bound = cfg.batch_window
-            + SimTime::from_ps(3 * sat.latency.p50.as_ps());
+        let bound = cfg.batch_window + SimTime::from_ps(3 * sat.latency.p50.as_ps());
         assert!(
             r.latency.p50 <= bound,
             "p50 {} vs bound {}",
@@ -1582,7 +1667,13 @@ mod tests {
         let a = simulate_serving(&cfg, &model);
         let b = simulate_serving(&cfg, &model);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        let c = simulate_serving(&ServingConfig { seed: 12, ..cfg.clone() }, &model);
+        let c = simulate_serving(
+            &ServingConfig {
+                seed: 12,
+                ..cfg.clone()
+            },
+            &model,
+        );
         assert_ne!(
             a.makespan, c.makespan,
             "different seeds must shift the arrival process"
@@ -1630,7 +1721,11 @@ mod tests {
         // Saturation backlog: 2·instances·max_batch clients against
         // 2·max_batch in-flight slots leaves 8 waiting at peak.
         assert!(!r.queue_depth.is_empty());
-        assert!(r.queue_depth.max_depth() >= 4, "depth {}", r.queue_depth.max_depth());
+        assert!(
+            r.queue_depth.max_depth() >= 4,
+            "depth {}",
+            r.queue_depth.max_depth()
+        );
         // The queue drains by the end.
         assert_eq!(r.queue_depth.last_depth(), Some(0));
         // The series is time-ordered by construction; mean is finite.
@@ -1677,7 +1772,11 @@ mod tests {
         assert_eq!(baseline.len(), 2);
         for workers in [2usize, 8] {
             let run = overload_sweep(&base, &model, &workload, &rates, workers);
-            assert_eq!(format!("{run:?}"), format!("{baseline:?}"), "{workers} workers");
+            assert_eq!(
+                format!("{run:?}"),
+                format!("{baseline:?}"),
+                "{workers} workers"
+            );
         }
         // Past the knee the bounded queue sheds; below it nothing does.
         assert_eq!(baseline[0].report.serving.dropped, 0);

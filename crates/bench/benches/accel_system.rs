@@ -16,13 +16,11 @@ fn bench_inference_sim(c: &mut Criterion) {
     g.sample_size(30);
     for cfg in AcceleratorConfig::all() {
         g.bench_function(format!("resnet50_{:?}", cfg.kind), |b| {
-            b.iter(|| simulate_inference(black_box(&cfg), black_box(&resnet)))
+            b.iter(|| simulate_inference(black_box(&cfg), black_box(&resnet)));
         });
     }
     g.bench_function("shufflenet_sconna", |b| {
-        b.iter(|| {
-            simulate_inference(black_box(&AcceleratorConfig::sconna()), black_box(&shuffle))
-        })
+        b.iter(|| simulate_inference(black_box(&AcceleratorConfig::sconna()), black_box(&shuffle)));
     });
     g.finish();
 }
@@ -35,10 +33,10 @@ fn bench_engine_vdp(c: &mut Criterion) {
     let noisy = SconnaEngine::paper_default(1);
     let mut g = c.benchmark_group("engine_vdp_s4608");
     g.bench_function("noiseless", |b| {
-        b.iter(|| noiseless.vdp(black_box(&inputs), black_box(&weights)))
+        b.iter(|| noiseless.vdp(black_box(&inputs), black_box(&weights)));
     });
     g.bench_function("with_adc_noise", |b| {
-        b.iter(|| noisy.vdp(black_box(&inputs), black_box(&weights)))
+        b.iter(|| noisy.vdp(black_box(&inputs), black_box(&weights)));
     });
     g.finish();
 }

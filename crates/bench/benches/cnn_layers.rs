@@ -11,8 +11,14 @@ use sconna_tensor::quant::{ActivationQuant, Requant, WeightQuant};
 use sconna_tensor::Tensor;
 
 fn test_conv(channels: usize, kernels: usize) -> (QConv2d, Tensor<u32>) {
-    let aq = ActivationQuant { scale: 1.0, bits: 8 };
-    let wq = WeightQuant { scale: 1.0, bits: 8 };
+    let aq = ActivationQuant {
+        scale: 1.0,
+        bits: 8,
+    };
+    let wq = WeightQuant {
+        scale: 1.0,
+        bits: 8,
+    };
     let conv = QConv2d {
         name: "bench".into(),
         weights: Tensor::from_fn(&[kernels, channels, 3, 3], |i| (i % 255) as i32 - 127),
@@ -31,20 +37,24 @@ fn bench_qconv(c: &mut Criterion) {
     let mut g = c.benchmark_group("qconv_16x16x14x14");
     g.sample_size(20);
     g.bench_function("exact_engine", |b| {
-        b.iter(|| conv.forward(black_box(&input), &ExactEngine))
+        b.iter(|| conv.forward(black_box(&input), &ExactEngine));
     });
     let sconna = SconnaEngine::noiseless();
     g.bench_function("sconna_engine", |b| {
-        b.iter(|| conv.forward(black_box(&input), &sconna))
+        b.iter(|| conv.forward(black_box(&input), &sconna));
     });
     g.finish();
 }
 
 fn bench_pooling(c: &mut Criterion) {
     let input = Tensor::from_fn(&[64, 56, 56], |i| (i % 256) as u32);
-    let pool = MaxPool2d { kernel: 3, stride: 2, padding: 1 };
+    let pool = MaxPool2d {
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
     c.bench_function("maxpool_3x3s2_64x56x56", |b| {
-        b.iter(|| pool.forward(black_box(&input)))
+        b.iter(|| pool.forward(black_box(&input)));
     });
 }
 
@@ -52,7 +62,7 @@ fn bench_model_zoo(c: &mut Criterion) {
     c.bench_function("build_all_models", |b| b.iter(all_models));
     let model = resnet50();
     c.bench_function("resnet50_census", |b| {
-        b.iter(|| black_box(&model).kernel_census(44))
+        b.iter(|| black_box(&model).kernel_census(44));
     });
 }
 

@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sconna_photonics::oag::{transient, OpticalAndGate};
 use sconna_photonics::pca::AdcModel;
-use sconna_photonics::scalability::{
-    max_analog_n, sconna_scalability_default, AnalogOrganization,
-};
+use sconna_photonics::scalability::{max_analog_n, sconna_scalability_default, AnalogOrganization};
 use sconna_photonics::units::dbm_to_watts;
 use sconna_sc::sng::{LfsrSng, StochasticNumberGenerator};
 use sconna_sc::Precision;
@@ -20,21 +18,21 @@ fn bench_transient(c: &mut Criterion) {
     let i = LfsrSng::new(0xACE1).generate(128, p);
     let w = LfsrSng::new(0x1DEA).generate(128, p);
     c.bench_function("oag_transient_256b_16spb", |b| {
-        b.iter(|| transient(black_box(&gate), &i, &w, 10e9, 2e-12, 16))
+        b.iter(|| transient(black_box(&gate), &i, &w, 10e9, 2e-12, 16));
     });
 }
 
 fn bench_scalability(c: &mut Criterion) {
     c.bench_function("sconna_scalability_solve", |b| {
-        b.iter(sconna_scalability_default)
+        b.iter(sconna_scalability_default);
     });
     c.bench_function("analog_max_n_solve", |b| {
-        b.iter(|| max_analog_n(AnalogOrganization::Mam, black_box(4), black_box(5e9)))
+        b.iter(|| max_analog_n(AnalogOrganization::Mam, black_box(4), black_box(5e9)));
     });
     let gate = OpticalAndGate::new(0.8e-9, 50e-9, 1e-3);
     let floor = dbm_to_watts(-28.0);
     c.bench_function("oag_supported_bitrate_bisect", |b| {
-        b.iter(|| gate.supported_bitrate_hz(black_box(floor)))
+        b.iter(|| gate.supported_bitrate_hz(black_box(floor)));
     });
 }
 
@@ -42,7 +40,7 @@ fn bench_pca(c: &mut Criterion) {
     let adc = AdcModel::sconna_default();
     c.bench_function("pca_adc_convert", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| adc.convert(black_box(20_000.0), &mut rng))
+        b.iter(|| adc.convert(black_box(20_000.0), &mut rng));
     });
 }
 

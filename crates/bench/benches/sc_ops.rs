@@ -13,13 +13,13 @@ fn bench_sng(c: &mut Criterion) {
     let p = Precision::B8;
     let mut g = c.benchmark_group("sng");
     g.bench_function("lds_generate_256b", |b| {
-        b.iter(|| LdsSng.generate(black_box(173), p))
+        b.iter(|| LdsSng.generate(black_box(173), p));
     });
     g.bench_function("thermometer_generate_256b", |b| {
-        b.iter(|| ThermometerSng.generate(black_box(173), p))
+        b.iter(|| ThermometerSng.generate(black_box(173), p));
     });
     g.bench_function("lfsr_generate_256b", |b| {
-        b.iter(|| LfsrSng::default().generate(black_box(173), p))
+        b.iter(|| LfsrSng::default().generate(black_box(173), p));
     });
     g.finish();
 }
@@ -29,13 +29,13 @@ fn bench_multiply(c: &mut Criterion) {
     let lut = PairLut::generate(p);
     let mut g = c.benchmark_group("multiply");
     g.bench_function("stream_multiply", |b| {
-        b.iter(|| osm_product_stream(black_box(173), black_box(88), p).count_ones())
+        b.iter(|| osm_product_stream(black_box(173), black_box(88), p).count_ones());
     });
     g.bench_function("closed_form_multiply", |b| {
-        b.iter(|| lds_product(black_box(173), black_box(88), p))
+        b.iter(|| lds_product(black_box(173), black_box(88), p));
     });
     g.bench_function("lut_fetch_multiply", |b| {
-        b.iter(|| lut.multiply(black_box(173), black_box(88)))
+        b.iter(|| lut.multiply(black_box(173), black_box(88)));
     });
     g.finish();
 }
@@ -48,7 +48,7 @@ fn bench_vdp(c: &mut Criterion) {
         let weights: Vec<i32> = (0..len).map(|k| ((k * 53) % 255) as i32 - 127).collect();
         g.throughput(Throughput::Elements(len as u64));
         g.bench_function(format!("stochastic_vdp_s{len}"), |b| {
-            b.iter(|| stochastic_vdp(black_box(&inputs), black_box(&weights), p))
+            b.iter(|| stochastic_vdp(black_box(&inputs), black_box(&weights), p));
         });
     }
     g.finish();
@@ -56,9 +56,15 @@ fn bench_vdp(c: &mut Criterion) {
 
 fn bench_lut_generation(c: &mut Criterion) {
     c.bench_function("pair_lut_generate_b8", |b| {
-        b.iter(|| PairLut::generate(Precision::B8))
+        b.iter(|| PairLut::generate(Precision::B8));
     });
 }
 
-criterion_group!(benches, bench_sng, bench_multiply, bench_vdp, bench_lut_generation);
+criterion_group!(
+    benches,
+    bench_sng,
+    bench_multiply,
+    bench_vdp,
+    bench_lut_generation
+);
 criterion_main!(benches);

@@ -13,9 +13,8 @@ fn bench_serving(c: &mut Criterion) {
     for &requests in &[64usize, 512] {
         g.throughput(Throughput::Elements(requests as u64));
         g.bench_function(format!("closed_loop_{requests}"), |b| {
-            let cfg =
-                ServingConfig::saturation(AcceleratorConfig::sconna(), 4, 8, requests);
-            b.iter(|| black_box(simulate_serving(&cfg, &model)))
+            let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 4, 8, requests);
+            b.iter(|| black_box(simulate_serving(&cfg, &model)));
         });
     }
     g.bench_function("poisson_256", |b| {
@@ -24,7 +23,7 @@ fn bench_serving(c: &mut Criterion) {
             seed: 3,
             ..ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, 256)
         };
-        b.iter(|| black_box(simulate_serving(&cfg, &model)))
+        b.iter(|| black_box(simulate_serving(&cfg, &model)));
     });
     g.finish();
 }

@@ -22,7 +22,7 @@ fn bench_event_queue(c: &mut Criterion) {
                     acc = acc.wrapping_add(v);
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     g.bench_function("cascading_run_10k", |b| {
@@ -34,7 +34,7 @@ fn bench_event_queue(c: &mut Criterion) {
                     q.schedule_in(SimTime::from_ps(3), remaining - 1);
                 }
             })
-        })
+        });
     });
     g.finish();
 }
@@ -52,7 +52,7 @@ fn bench_energy_ledger(c: &mut Criterion) {
                 l.record_ops(&format!("component-{i}"), 1000);
             }
             black_box(l.total_energy_j(SimTime::from_ns(1_000_000)))
-        })
+        });
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_noc(c: &mut Criterion) {
                 }
             }
             black_box(total)
-        })
+        });
     });
 }
 

@@ -30,8 +30,7 @@ fn main() {
         for w in (0..=256u32).step_by(8) {
             let ideal = real_product(i, w, p);
             let lut_prod = lut.multiply(i, w) as f64;
-            let lfsr_prod =
-                multiply_streams(&lfsr_i.generate(i, p), &lfsr_w.generate(w, p)) as f64;
+            let lfsr_prod = multiply_streams(&lfsr_i.generate(i, p), &lfsr_w.generate(w, p)) as f64;
             let hash_prod = hashed.multiply(i, w) as f64;
             for (k, prod) in [lut_prod, lfsr_prod, hash_prod].into_iter().enumerate() {
                 let err = (prod - ideal).abs();

@@ -8,9 +8,7 @@ use rand::SeedableRng;
 use sconna_accel::organization::AcceleratorConfig;
 use sconna_accel::perf::simulate_inference;
 use sconna_bench::banner;
-use sconna_photonics::thermal::{
-    tuning_power_analysis, FabricationVariation, HeaterModel,
-};
+use sconna_photonics::thermal::{tuning_power_analysis, FabricationVariation, HeaterModel};
 use sconna_sim::time::SimTime;
 use sconna_tensor::models::resnet50;
 

@@ -42,15 +42,15 @@ fn main() {
     }
     println!();
     println!("decision errors: {errors} / {} bits", expected.len());
-    println!("T(lambda_in) = I AND W  =>  {}", if errors == 0 { "VALIDATED" } else { "FAILED" });
+    println!(
+        "T(lambda_in) = I AND W  =>  {}",
+        if errors == 0 { "VALIDATED" } else { "FAILED" }
+    );
 
     // ASCII eye view of the output waveform.
     println!();
     println!("drop-port waveform (one char per sample, 16/bit):");
-    let max = result
-        .samples
-        .iter()
-        .fold(0f64, |m, s| m.max(s.output_w));
+    let max = result.samples.iter().fold(0f64, |m, s| m.max(s.output_w));
     let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
     let line: String = result
         .samples

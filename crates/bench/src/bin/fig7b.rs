@@ -32,7 +32,14 @@ fn main() {
     let v100 = pca.output_voltage(full);
     let v50 = pca.output_voltage(full / 2);
     let linearity = (v100 / v50 - 2.0).abs();
-    println!("linearity check: V(100%)/V(50%) = {:.4} (ideal 2.0000)", v100 / v50);
-    println!("saturation margin: capacity = {} ones vs full scale {}", pca.capacity_ones(), full);
+    println!(
+        "linearity check: V(100%)/V(50%) = {:.4} (ideal 2.0000)",
+        v100 / v50
+    );
+    println!(
+        "saturation margin: capacity = {} ones vs full scale {}",
+        pca.capacity_ones(),
+        full
+    );
     assert!(linearity < 1e-9, "PCA must be linear through alpha = 100%");
 }

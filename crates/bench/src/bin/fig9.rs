@@ -18,18 +18,18 @@ fn main() {
     let models = all_models();
     let grid = run_fig9(&models);
 
-    println!("{}", grid.format_metric("Fig. 9(a): throughput", "FPS", |p| p.fps));
+    println!(
+        "{}",
+        grid.format_metric("Fig. 9(a): throughput", "FPS", |p| p.fps)
+    );
     println!(
         "{}",
         grid.format_metric("Fig. 9(b): energy efficiency", "FPS/W", |p| p.fps_per_w)
     );
     println!(
         "{}",
-        grid.format_metric(
-            "Fig. 9(c): area efficiency",
-            "FPS/W/mm2",
-            |p| p.fps_per_w_per_mm2
-        )
+        grid.format_metric("Fig. 9(c): area efficiency", "FPS/W/mm2", |p| p
+            .fps_per_w_per_mm2)
     );
     println!("{}", grid.format_speedups());
 

@@ -131,16 +131,25 @@ fn best_time(repeats: usize, mut f: impl FnMut()) -> f64 {
 
 /// Builds a pseudo-random patch × kernel tile with one model layer's
 /// geometry.
-fn layer_tile(s: usize, patches: usize, kernels: usize, salt: usize) -> (PatchMatrix, Vec<i32>, Vec<u64>) {
+fn layer_tile(
+    s: usize,
+    patches: usize,
+    kernels: usize,
+    salt: usize,
+) -> (PatchMatrix, Vec<i32>, Vec<u64>) {
     let pm = PatchMatrix::from_vec(
         patches,
         s,
-        (0..patches * s).map(|i| ((i * 37 + salt) % 256) as u32).collect(),
+        (0..patches * s)
+            .map(|i| ((i * 37 + salt) % 256) as u32)
+            .collect(),
     );
     let wd: Vec<i32> = (0..kernels * s)
         .map(|i| ((i * 53 + salt) % 255) as i32 - 127)
         .collect();
-    let keys: Vec<u64> = (0..patches as u64).map(|p| p.wrapping_mul(0x9E37_79B9)).collect();
+    let keys: Vec<u64> = (0..patches as u64)
+        .map(|p| p.wrapping_mul(0x9E37_79B9))
+        .collect();
     (pm, wd, keys)
 }
 
@@ -184,7 +193,11 @@ fn tile_bench(
             std::hint::black_box(after.vdp_batch(&pm, &wm, &keys));
         });
     }
-    TileResult { single_s, batch_s, macs }
+    TileResult {
+        single_s,
+        batch_s,
+        macs,
+    }
 }
 
 /// The end-to-end quantized network (small-CNN topology, pseudo-random
@@ -198,8 +211,14 @@ struct E2eNet {
 }
 
 fn e2e_net(input_size: usize) -> E2eNet {
-    let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
-    let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+    let aq = ActivationQuant {
+        scale: 1.0 / 255.0,
+        bits: 8,
+    };
+    let wq = WeightQuant {
+        scale: 1.0 / 127.0,
+        bits: 8,
+    };
     let conv = |name: &str, l: usize, d: usize| QConv2d {
         name: name.into(),
         weights: Tensor::from_fn(&[l, d, 3, 3], |i| (i % 255) as i32 - 127),
@@ -212,7 +231,11 @@ fn e2e_net(input_size: usize) -> E2eNet {
     let fc_in = 16 * (input_size / 4) * (input_size / 4);
     E2eNet {
         conv1: conv("bench-conv1", 8, 1),
-        pool: MaxPool2d { kernel: 2, stride: 2, padding: 0 },
+        pool: MaxPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        },
         conv2: conv("bench-conv2", 16, 8),
         fc: QFc {
             name: "bench-fc".into(),
@@ -266,13 +289,17 @@ impl E2eNet {
         engine: &dyn VdpEngine,
         prep: &PreparedE2e,
     ) -> Vec<f32> {
-        let a = self
-            .conv1
-            .forward_prepared_keyed(image, engine, &prep.conv1, self.conv1.layer_key(), 1);
+        let a = self.conv1.forward_prepared_keyed(
+            image,
+            engine,
+            &prep.conv1,
+            self.conv1.layer_key(),
+            1,
+        );
         let a = self.pool.forward(&a);
-        let a = self
-            .conv2
-            .forward_prepared_keyed(&a, engine, &prep.conv2, self.conv2.layer_key(), 1);
+        let a =
+            self.conv2
+                .forward_prepared_keyed(&a, engine, &prep.conv2, self.conv2.layer_key(), 1);
         let a = self.pool.forward(&a);
         self.fc
             .forward_logits_batch_keyed(&[&a], engine, Some(&prep.fc), &[self.fc.layer_key()])
@@ -288,7 +315,9 @@ impl E2eNet {
         let a = self.conv2.forward_reference(&a, engine);
         let a = self.pool.forward(&a);
         // Reference FC: row-at-a-time single-vector calls.
-        let [out_f, in_f] = *self.fc.weights.dims() else { panic!("fc rank") };
+        let [out_f, in_f] = *self.fc.weights.dims() else {
+            panic!("fc rank")
+        };
         let base = self.fc.layer_key();
         (0..out_f)
             .map(|o| {
@@ -301,7 +330,11 @@ impl E2eNet {
 }
 
 fn json_num(v: f64) -> String {
-    if v.is_finite() { format!("{v:.4}") } else { "null".into() }
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
 }
 
 fn main() {
@@ -315,9 +348,19 @@ fn main() {
     );
 
     let caps = if smoke {
-        TileCaps { layers: 2, patches: 8, kernels: 8, repeats: 1 }
+        TileCaps {
+            layers: 2,
+            patches: 8,
+            kernels: 8,
+            repeats: 1,
+        }
     } else {
-        TileCaps { layers: 8, patches: 64, kernels: 32, repeats: 3 }
+        TileCaps {
+            layers: 8,
+            patches: 64,
+            kernels: 32,
+            repeats: 3,
+        }
     };
     let (e2e_images, e2e_repeats) = if smoke { (2usize, 1usize) } else { (8, 3) };
 
@@ -384,13 +427,18 @@ fn main() {
         }
         std::hint::black_box(sink);
     };
-    let exact_single = best_time(e2e_repeats, || run_all(&|img| net.forward_single(img, &exact)));
-    let exact_batched =
-        best_time(e2e_repeats, || run_all(&|img| net.forward_batched(img, &exact)));
-    let sconna_single =
-        best_time(e2e_repeats, || run_all(&|img| net.forward_single(img, &legacy)));
-    let sconna_batched =
-        best_time(e2e_repeats, || run_all(&|img| net.forward_batched(img, &sconna)));
+    let exact_single = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_single(img, &exact));
+    });
+    let exact_batched = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_batched(img, &exact));
+    });
+    let sconna_single = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_single(img, &legacy));
+    });
+    let sconna_batched = best_time(e2e_repeats, || {
+        run_all(&|img| net.forward_batched(img, &sconna));
+    });
     let exact_speedup = exact_single / exact_batched.max(1e-12);
     let sconna_speedup = sconna_single / sconna_batched.max(1e-12);
 
@@ -414,10 +462,10 @@ fn main() {
         );
     }
     let exact_prepared = best_time(e2e_repeats, || {
-        run_all(&|img| net.forward_prepared(img, &exact, &exact_prep))
+        run_all(&|img| net.forward_prepared(img, &exact, &exact_prep));
     });
     let sconna_prepared = best_time(e2e_repeats, || {
-        run_all(&|img| net.forward_prepared(img, &sconna, &sconna_prep))
+        run_all(&|img| net.forward_prepared(img, &sconna, &sconna_prep));
     });
     let exact_prepared_over_batched = exact_batched / exact_prepared.max(1e-12);
     let sconna_prepared_over_batched = sconna_batched / sconna_prepared.max(1e-12);
@@ -435,23 +483,18 @@ fn main() {
             == w1.as_slice()
     });
 
-    println!("\nend-to-end small CNN ({} images, 16x16):", e2e_images);
+    println!("\nend-to-end small CNN ({e2e_images} images, 16x16):");
     println!(
-        "  exact : single {:.4}s  batched {:.4}s  -> {:.2}x",
-        exact_single, exact_batched, exact_speedup
+        "  exact : single {exact_single:.4}s  batched {exact_batched:.4}s  -> {exact_speedup:.2}x"
     );
     println!(
-        "  sconna: legacy single {:.4}s  batched {:.4}s  -> {:.2}x",
-        sconna_single, sconna_batched, sconna_speedup
+        "  sconna: legacy single {sconna_single:.4}s  batched {sconna_batched:.4}s  -> {sconna_speedup:.2}x"
     );
     println!(
-        "  prepared weights: exact {:.4}s ({:.2}x vs batched)  sconna {:.4}s ({:.2}x vs batched)",
-        exact_prepared, exact_prepared_over_batched, sconna_prepared, sconna_prepared_over_batched
+        "  prepared weights: exact {exact_prepared:.4}s ({exact_prepared_over_batched:.2}x vs batched)  sconna {sconna_prepared:.4}s ({sconna_prepared_over_batched:.2}x vs batched)"
     );
     println!("  conv worker invariance (1/2/8): {invariant}");
-    println!(
-        "  geo-mean tile speedup: exact {geo_mean_exact:.2}x  sconna {geo_mean_sconna:.2}x"
-    );
+    println!("  geo-mean tile speedup: exact {geo_mean_exact:.2}x  sconna {geo_mean_sconna:.2}x");
 
     let json = format!(
         concat!(

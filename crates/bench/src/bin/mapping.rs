@@ -16,7 +16,10 @@ fn main() {
         )
     );
     for cfg in AcceleratorConfig::all() {
-        println!("== {} ({} VDPEs of N = {})", cfg.name, cfg.total_vdpes, cfg.vdpe_size_n);
+        println!(
+            "== {} ({} VDPEs of N = {})",
+            cfg.name, cfg.total_vdpes, cfg.vdpe_size_n
+        );
         for model in all_models() {
             let reports = map_model(&cfg, &model);
             let n = reports.len() as f64;

@@ -42,7 +42,11 @@ use sconna_tensor::smallcnn::{SmallCnn, SmallCnnConfig};
 const FALLBACK_BITS: u8 = 4;
 
 fn json_num(v: f64) -> String {
-    if v.is_finite() { format!("{v:.4}") } else { "null".into() }
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
 }
 
 fn point_json(p: &OverloadPoint, capacity: f64) -> String {
@@ -92,7 +96,13 @@ fn main() {
         if smoke {
             (shufflenet_v2(), 48, 4, 2, &[0.5, 2.5])
         } else {
-            (googlenet(), 192, 8, 16, &[0.4, 0.7, 0.9, 1.1, 1.4, 2.0, 3.0])
+            (
+                googlenet(),
+                192,
+                8,
+                16,
+                &[0.4, 0.7, 0.9, 1.1, 1.4, 2.0, 3.0],
+            )
         };
 
     // The fleet every policy serves: 2 instances behind a bounded queue —
@@ -116,13 +126,22 @@ fn main() {
 
     // Functional workload: a trained, quantized small CNN and its
     // low-precision fallback, each bound to a precision-matched engine.
-    let (epochs, train_pc, test_pc) = if smoke { (8usize, 12usize, 6usize) } else { (10, 20, 12) };
+    let (epochs, train_pc, test_pc) = if smoke {
+        (8usize, 12usize, 6usize)
+    } else {
+        (10, 20, 12)
+    };
     let seed = 7u64;
     let data = SyntheticDataset::new(10, 16, 0.25, seed);
     let train = data.batch(train_pc, seed.wrapping_add(1));
     let test = data.batch(test_pc, seed.wrapping_add(2));
     let mut cnn = SmallCnn::new(
-        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        SmallCnnConfig {
+            input_size: 16,
+            channels1: 8,
+            channels2: 16,
+            classes: 10,
+        },
         seed,
     );
     cnn.train(&train, epochs, 0.05);
@@ -154,7 +173,12 @@ fn main() {
         ("drop_newest", AdmissionPolicy::DropNewest),
         ("drop_oldest", AdmissionPolicy::DropOldest),
         ("deadline", AdmissionPolicy::Deadline { slo }),
-        ("degrade", AdmissionPolicy::Degrade { fallback_bits: FALLBACK_BITS }),
+        (
+            "degrade",
+            AdmissionPolicy::Degrade {
+                fallback_bits: FALLBACK_BITS,
+            },
+        ),
     ];
 
     // The whole grid at three worker settings (sweep-level × in-instance
@@ -163,7 +187,10 @@ fn main() {
         policies
             .iter()
             .map(|&(_, admission)| {
-                let cfg = ServingConfig { admission, ..base.clone() };
+                let cfg = ServingConfig {
+                    admission,
+                    ..base.clone()
+                };
                 let workload = FunctionalWorkload {
                     net: &qnet,
                     fallback: Some(&fallback),
@@ -205,7 +232,10 @@ fn main() {
     let dl_o = over(&grid[2]);
     let (dg_u, dg_o) = (under(&grid[3]), over(&grid[3]));
 
-    println!("knee summary at {:.1}x capacity:", multipliers.last().unwrap());
+    println!(
+        "knee summary at {:.1}x capacity:",
+        multipliers.last().unwrap()
+    );
     println!(
         "  drop_newest: goodput {:.0} fps ({:.2}x capacity), p99 {} (vs {} below knee), drop rate {:.0}%",
         dn_o.report.serving.goodput_fps,
@@ -272,7 +302,10 @@ fn main() {
 
     // The shedding gates hold in both modes: past the knee the bounded
     // queue must actually shed, each policy in its own way.
-    assert!(dn_o.report.serving.dropped > 0, "drop_newest must shed past the knee");
+    assert!(
+        dn_o.report.serving.dropped > 0,
+        "drop_newest must shed past the knee"
+    );
     assert!(
         dl_o.report.serving.drop_rate > 0.0,
         "deadline holds its tail by dropping"
@@ -291,8 +324,7 @@ fn main() {
             "drop_newest goodput must plateau at capacity, got {dn_knee:.2}x"
         );
         assert!(
-            dn_o.report.serving.latency.p99.as_ps()
-                >= 2 * dn_u.report.serving.latency.p99.as_ps(),
+            dn_o.report.serving.latency.p99.as_ps() >= 2 * dn_u.report.serving.latency.p99.as_ps(),
             "drop_newest p99 must collapse past the knee"
         );
         let deadline_bound = slo + batch_service + base.batch_window;

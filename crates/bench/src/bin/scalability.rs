@@ -19,10 +19,19 @@ fn main() {
     print!(
         "{}",
         format_kv(&[
-            ("P_PD-opt (1-bit sensitivity)", format!("{:.2} dBm (paper: -28 dBm)", s.p_pd_opt_dbm)),
+            (
+                "P_PD-opt (1-bit sensitivity)",
+                format!("{:.2} dBm (paper: -28 dBm)", s.p_pd_opt_dbm)
+            ),
             ("power-limited N", format!("{}", s.power_limited_n)),
-            ("channel-limited N (FSR/gap)", format!("{}", s.channel_limited_n)),
-            ("achievable N = M", format!("{} (paper: 176)", s.achievable_n)),
+            (
+                "channel-limited N (FSR/gap)",
+                format!("{}", s.channel_limited_n)
+            ),
+            (
+                "achievable N = M",
+                format!("{} (paper: 176)", s.achievable_n)
+            ),
         ])
     );
 
@@ -38,15 +47,27 @@ fn main() {
             ("splitter excess", format!("{:.3} dB", loss.split_excess_db)),
             ("waveguide", format!("{:.3} dB", loss.waveguide_db)),
             ("OSM insertion", format!("{:.3} dB", loss.osm_insertion_db)),
-            ("OSM out-of-band", format!("{:.3} dB", loss.osm_out_of_band_db)),
-            ("filter insertion", format!("{:.3} dB", loss.filter_insertion_db)),
-            ("filter out-of-band", format!("{:.3} dB", loss.filter_out_of_band_db)),
+            (
+                "OSM out-of-band",
+                format!("{:.3} dB", loss.osm_out_of_band_db)
+            ),
+            (
+                "filter insertion",
+                format!("{:.3} dB", loss.filter_insertion_db)
+            ),
+            (
+                "filter out-of-band",
+                format!("{:.3} dB", loss.filter_out_of_band_db)
+            ),
             ("network penalty", format!("{:.3} dB", loss.penalty_db)),
             ("calibration", format!("{:.3} dB", loss.calibration_db)),
             ("TOTAL", format!("{:.3} dB", loss.total_db())),
             (
                 "received power",
-                format!("{:.2} dBm", received_power_dbm(&params, s.achievable_n, s.achievable_n)),
+                format!(
+                    "{:.2} dBm",
+                    received_power_dbm(&params, s.achievable_n, s.achievable_n)
+                ),
             ),
         ])
     );

@@ -65,14 +65,22 @@ fn main() {
     // prepared quantized model and executes its dequeued batches through
     // real stacked vdp_batch tiles — accuracy under load, keyed per
     // request id (invariant to fleet shape and worker count).
-    let (epochs, train_pc, test_pc, fn_requests) =
-        if smoke { (8usize, 12usize, 6usize, 12usize) } else { (10, 20, 12, 128) };
+    let (epochs, train_pc, test_pc, fn_requests) = if smoke {
+        (8usize, 12usize, 6usize, 12usize)
+    } else {
+        (10, 20, 12, 128)
+    };
     let seed = 7u64;
     let data = SyntheticDataset::new(10, 16, 0.25, seed);
     let train = data.batch(train_pc, seed.wrapping_add(1));
     let test = data.batch(test_pc, seed.wrapping_add(2));
     let mut cnn = SmallCnn::new(
-        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        SmallCnnConfig {
+            input_size: 16,
+            channels1: 8,
+            channels2: 16,
+            classes: 10,
+        },
         seed,
     );
     cnn.train(&train, epochs, 0.05);
@@ -88,7 +96,11 @@ fn main() {
     };
     println!("\nfunctional serving (stochastic engine, {fn_requests} requests):");
     let mut baseline: Option<Vec<usize>> = None;
-    for instances in if smoke { vec![1usize, 2] } else { vec![1usize, 2, 4] } {
+    for instances in if smoke {
+        vec![1usize, 2]
+    } else {
+        vec![1usize, 2, 4]
+    } {
         let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), instances, 8, fn_requests);
         let r = simulate_serving_functional(&cfg, &model, &workload);
         println!(

@@ -20,9 +20,9 @@ fn print_row(m: &CnnModel) {
     let (small, large) = m.conv_kernel_census(44);
     let frac = large as f64 / (small + large) as f64;
     let paper = PAPER.iter().find(|(name, _, _)| *name == m.name);
-    let (ps, pl) = paper
-        .map(|(_, s, l)| (s.to_string(), l.to_string()))
-        .unwrap_or(("-".into(), "-".into()));
+    let (ps, pl) = paper.map_or(("-".into(), "-".into()), |(_, s, l)| {
+        (s.to_string(), l.to_string())
+    });
     println!(
         "{:<16}{:>12}{:>12}{:>11.1}%{:>14}{:>14}",
         m.name,

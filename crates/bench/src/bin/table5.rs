@@ -70,8 +70,14 @@ fn main() {
     let mut plain_sum = 0.0;
     let mut res_sum = 0.0;
     for seed in [7u64, 21, 42] {
-        let t = capacity_trend(&AccuracyExperiment { seed, ..Default::default() });
-        println!("{:>6}{:>16.2}{:>18.2}", seed, t.plain_drop_pct, t.residual_drop_pct);
+        let t = capacity_trend(&AccuracyExperiment {
+            seed,
+            ..Default::default()
+        });
+        println!(
+            "{:>6}{:>16.2}{:>18.2}",
+            seed, t.plain_drop_pct, t.residual_drop_pct
+        );
         plain_sum += t.plain_drop_pct;
         res_sum += t.residual_drop_pct;
     }
@@ -84,10 +90,7 @@ fn main() {
     println!();
 
     println!("[3/3] layer-error propagation on the real architectures");
-    println!(
-        "{:>16}{:>18}{:>20}",
-        "model", "mean S", "VDP rel. error"
-    );
+    println!("{:>16}{:>18}{:>20}", "model", "mean S", "VDP rel. error");
     for model in all_models() {
         let r = layer_error_experiment(&model, 8, 25, 11);
         println!(

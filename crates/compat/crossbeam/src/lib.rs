@@ -46,7 +46,9 @@ pub mod queue {
         fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
             // A panic while holding the lock poisons it; the queue itself
             // is still consistent, so keep serving.
-            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
         }
     }
 

@@ -28,7 +28,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -36,7 +38,10 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            inner: self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         }
     }
 
@@ -105,14 +110,20 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            inner: self
+                .inner
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            inner: self
+                .inner
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         }
     }
 }

@@ -195,6 +195,10 @@ pub mod distributions {
 
         macro_rules! impl_uniform_int {
             ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+                // `$ty as $unsigned` is a sign-dropping cast for the
+                // signed instantiations and a no-op for the unsigned
+                // ones; the allow covers the no-op cases.
+                #[allow(trivial_numeric_casts)]
                 impl SampleUniform for $ty {
                     fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
                         // span fits the unsigned counterpart because lo < hi.
@@ -242,7 +246,6 @@ pub mod distributions {
                 lo + (hi - lo) * crate::unit_f32(rng.next_u64())
             }
         }
-
     }
 }
 

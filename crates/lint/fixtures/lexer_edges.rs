@@ -1,0 +1,50 @@
+// Fixture: lexer edge cases. Every rule keyword below appears ONLY
+// inside strings, raw strings, char literals, doc comments or nested
+// block comments — the whole file must produce ZERO findings under any
+// pseudo-path. If a rule fires here, the lexer leaked text into the
+// token stream.
+
+//! Inner doc: Mutex<StdRng> Instant::now() SystemTime HashMap unsafe .unwrap()
+
+/// Outer doc: call `.unwrap()` then `Instant::now()` on a `Mutex<StdRng>`.
+fn strings() {
+    let plain = "Mutex<StdRng> and RwLock<SmallRng> and SystemTime";
+    let escaped = "say \"unsafe\" and \\ keep going with Instant::now";
+    let raw = r"HashMap<The, Answer> unsafe";
+    let raw_hash = r#"nested "quotes" around Instant::now and .unwrap()"#;
+    let raw_two = r##"even r#"deeper"# quoting: Mutex::new(StdRng::x())"##;
+    let bytes = b"SystemTime::now unsafe";
+    let raw_bytes = br#"HashSet iteration .expect("oops")"#;
+    let _ = (plain, escaped, raw, raw_hash, raw_two, bytes, raw_bytes);
+}
+
+fn chars() {
+    // '"' must not open a phantom string that swallows the rest of the
+    // file (which mentions unsafe and Instant::now in code position
+    // inside this comment only).
+    let quote = '"';
+    let escaped_quote = '\'';
+    let backslash = '\\';
+    let newline = '\n';
+    let byte_char = b'"';
+    let _ = (quote, escaped_quote, backslash, newline, byte_char);
+}
+
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // Lifetimes must lex as lifetimes, not open char literals.
+    let _static: &'static str = "SystemTime";
+    x
+}
+
+/* Block comment: Mutex<StdRng> and .unwrap() and unsafe
+   /* nested block comment: Instant::now() SystemTime HashMap */
+   still inside the outer comment: RwLock<ThreadRng>
+*/
+fn after_comments() -> u32 {
+    42
+}
+
+/** Doc block: `Mutex<StdRng>` /* nested */ `.unwrap()` */
+fn doc_block() -> u32 {
+    7
+}

@@ -1,0 +1,24 @@
+// Fixture: seeded `no-locked-rng` violations (the exact regression
+// PR 3 removed from `SconnaEngine`). Never compiled — lexed by the
+// fixture self-test, which asserts each marked line fires.
+
+use std::sync::{Mutex, RwLock};
+
+struct LegacyEngine {
+    rng: Mutex<StdRng>, // violation: locked RNG field
+}
+
+struct SharedNoise {
+    rng: RwLock<rand::rngs::SmallRng>, // violation: RwLock'd RNG
+}
+
+fn build(seed: u64) -> Mutex<StdRng> {
+    Mutex::new(StdRng::seed_from_u64(seed)) // violation: constructor form
+}
+
+fn fine() {
+    // A mutex over plain state and an unlocked rng are both fine.
+    let _counter = Mutex::new(0u64);
+    let _rng = StdRng::seed_from_u64(7);
+    // Keywords inside text never fire: "Mutex<StdRng>" stays quiet.
+}

@@ -1,0 +1,21 @@
+// Fixture: suppression syntax. Mixes correctly-allowed findings (with
+// reasons), a reason-less marker (bad-suppression), and a stale marker
+// (unused-allow).
+
+fn allowed_trailing(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // sconna-lint: allow(no-unwrap-in-lib) -- fixture: demonstrating a justified allow
+}
+
+fn allowed_standalone() -> Instant {
+    // sconna-lint: allow(no-wallclock) -- fixture: real elapsed time wanted here
+    Instant::now()
+}
+
+fn missing_reason(xs: &[u32]) -> u32 {
+    *xs.last().unwrap() // sconna-lint: allow(no-unwrap-in-lib)
+}
+
+// sconna-lint: allow(no-locked-rng) -- fixture: stale marker, nothing below locks an RNG
+fn stale() -> u32 {
+    9
+}

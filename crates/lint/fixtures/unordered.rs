@@ -1,0 +1,21 @@
+// Fixture: seeded `no-unordered-report-iteration` violations.
+// HashMap/HashSet iteration order is randomized per process; anything
+// built from it in the report/serve crates is nondeterministic output.
+
+use std::collections::HashMap; // violation: unordered map in scope
+
+fn tally(events: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new(); // violations: two mentions
+    for e in events {
+        *counts.entry(*e).or_default() += 1;
+    }
+    counts.into_iter().collect() // order leaks into the report
+}
+
+fn fine(events: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
+    for e in events {
+        *counts.entry(*e).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,15 @@
+// Fixture: seeded `forbid-unsafe` violation. The workspace is
+// unsafe-free outside `crates/compat/` and `[workspace.lints]` sets
+// `unsafe_code = "forbid"`; this fixture pins the lint-side check so
+// the workspace rule can't be silently dropped.
+
+fn transmute_free(x: u32) -> u32 {
+    let y = unsafe { std::mem::transmute::<u32, u32>(x) }; // violation
+    y
+}
+
+fn fine(x: u32) -> u32 {
+    // "unsafe" in a string and a comment stays quiet: unsafe.
+    let _label = "unsafe";
+    x
+}

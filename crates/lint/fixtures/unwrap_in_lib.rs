@@ -1,0 +1,29 @@
+// Fixture: seeded `no-unwrap-in-lib` violations. A panic in library
+// code kills a serving worker mid-batch; either propagate the error or
+// state the invariant that makes failure impossible.
+
+fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // violation: bare unwrap
+}
+
+fn tail(xs: &[u32]) -> u32 {
+    *xs.last().expect("list is empty") // violation: expect without invariant
+}
+
+fn documented(xs: &[u32]) -> u32 {
+    *xs.first().expect("invariant: caller checked non-empty")
+}
+
+fn defaulted(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0).max(xs.len().try_into().unwrap_or(u32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let xs = vec![1u32];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+        assert_eq!(xs.last().copied().expect("present"), 1);
+    }
+}

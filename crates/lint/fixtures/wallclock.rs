@@ -1,0 +1,17 @@
+// Fixture: seeded `no-wallclock` violations. Simulated time must come
+// from `sim::time::SimTime`; wall-clock reads make runs non-replayable.
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u64 {
+    let start = Instant::now(); // violation: wall-clock read
+    let _stamp = SystemTime::now(); // violation: SystemTime use
+    start.elapsed().as_nanos() as u64
+}
+
+fn fine(deadline: Instant) {
+    // Holding an `Instant` value (no `::now` read) is not flagged,
+    // and "Instant::now" inside a string is invisible to the rule.
+    let _label = "Instant::now";
+    let _ = deadline;
+}

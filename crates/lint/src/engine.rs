@@ -1,0 +1,374 @@
+//! File walking, suppression handling and diagnostic formatting.
+//!
+//! Suppression syntax (a reason is mandatory — the tool reports
+//! reason-less markers as `bad-suppression` findings, so there can be
+//! no unexplained suppressions):
+//!
+//! ```text
+//! // sconna-lint: allow(<rule>) -- <why>        suppresses <rule> on this
+//! //                                            line and the next line
+//! // sconna-lint: allow-file(<rule>) -- <why>   suppresses <rule> in the
+//! //                                            whole file
+//! ```
+//!
+//! A marker that suppresses nothing is itself reported
+//! (`unused-allow`), so stale annotations cannot accumulate.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{check_file, Rule};
+
+/// Diagnostic rule name for malformed / reason-less suppression markers.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// Diagnostic rule name for suppression markers that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// One reportable diagnostic, bound to a workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Finding {
+    /// The human format: `path:line:col rule message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+#[derive(Debug)]
+enum Scope {
+    /// Applies to the marker's line and the immediately following line.
+    Lines {
+        from: u32,
+        to: u32,
+    },
+    File,
+}
+
+#[derive(Debug)]
+struct Suppression {
+    rule: Rule,
+    scope: Scope,
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Parses every `sconna-lint:` marker out of a file's comments.
+/// Malformed markers become `bad-suppression` findings immediately.
+///
+/// Only plain comments whose text *starts* with the marker count as
+/// directives: doc comments (`///`, `//!`, `/** */` — their text starts
+/// with `/`, `!` or `*`) and prose that merely mentions the marker are
+/// skipped, so documentation *about* the syntax never parses as a
+/// suppression.
+fn parse_suppressions(comments: &[Comment], findings: &mut Vec<RelFinding>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start();
+        if text.starts_with('/') || text.starts_with('!') || text.starts_with('*') {
+            continue;
+        }
+        let Some(rest) = text.strip_prefix("sconna-lint:") else {
+            continue;
+        };
+        let directive = rest.trim();
+        let mut bad = |why: &str| {
+            findings.push(RelFinding {
+                line: c.line,
+                col: c.col,
+                rule: BAD_SUPPRESSION.to_string(),
+                message: format!("malformed suppression `{directive}`: {why}"),
+            });
+        };
+        let (file_scoped, rest) = if let Some(r) = directive.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = directive.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            bad("expected `allow(<rule>) -- <reason>` or `allow-file(<rule>) -- <reason>`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("missing `)` after rule name");
+            continue;
+        };
+        let name = rest[..close].trim();
+        let Some(rule) = Rule::from_name(name) else {
+            bad(&format!("unknown rule `{name}`"));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix("--") else {
+            bad("a reason is required: `-- <why this is sound>`");
+            continue;
+        };
+        if reason.trim().is_empty() {
+            bad("a reason is required: `-- <why this is sound>`");
+            continue;
+        }
+        out.push(Suppression {
+            rule,
+            scope: if file_scoped {
+                Scope::File
+            } else {
+                // A trailing marker covers its own line; a standalone
+                // marker line covers the line after the comment ends.
+                Scope::Lines {
+                    from: c.line,
+                    to: c.end_line + 1,
+                }
+            },
+            line: c.line,
+            col: c.col,
+            used: false,
+        });
+    }
+    out
+}
+
+/// A finding not yet bound to a path.
+struct RelFinding {
+    line: u32,
+    col: u32,
+    rule: String,
+    message: String,
+}
+
+/// Lints one file's source under its workspace-relative path: lex, run
+/// rules, apply suppressions, report suppression hygiene.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut meta: Vec<RelFinding> = Vec::new();
+    let mut suppressions = parse_suppressions(&lexed.comments, &mut meta);
+
+    let mut kept: Vec<RelFinding> = Vec::new();
+    for f in check_file(rel, &lexed) {
+        let suppressed = suppressions.iter_mut().any(|s| {
+            let applies = s.rule.name() == f.rule_name
+                && match s.scope {
+                    Scope::Lines { from, to } => (from..=to).contains(&f.line),
+                    Scope::File => true,
+                };
+            if applies {
+                s.used = true;
+            }
+            applies
+        });
+        if !suppressed {
+            kept.push(RelFinding {
+                line: f.line,
+                col: f.col,
+                rule: f.rule_name.to_string(),
+                message: f.message,
+            });
+        }
+    }
+    for s in &suppressions {
+        // Only flag unused markers for rules in scope here: an allow for
+        // an out-of-scope rule is simply dead text worth removing.
+        if !s.used {
+            kept.push(RelFinding {
+                line: s.line,
+                col: s.col,
+                rule: UNUSED_ALLOW.to_string(),
+                message: format!(
+                    "suppression `allow({})` does not match any finding; remove it",
+                    s.rule.name()
+                ),
+            });
+        }
+    }
+    kept.extend(meta);
+
+    let mut out: Vec<Finding> = kept
+        .into_iter()
+        .map(|f| Finding {
+            path: rel.to_string(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule,
+            message: f.message,
+        })
+        .collect();
+    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    out
+}
+
+/// Recursively collects every workspace `.rs` file under `root`,
+/// skipping build output, VCS metadata and the lint fixtures (which
+/// contain seeded violations on purpose). Paths come back sorted so
+/// diagnostics are deterministic.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                if name == "fixtures" && dir.ends_with("crates/lint") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`. Findings are sorted by
+/// path, then line, then column — byte-identical across runs.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings as a JSON array (dependency-free, stable field
+/// order) for the CI artifact.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{}\n",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.rule),
+            json_escape(&f.message),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/accel/src/x.rs";
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses() {
+        let src =
+            "fn f() { x().unwrap(); } // sconna-lint: allow(no-unwrap-in-lib) -- test scaffold\n";
+        assert!(lint_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "// sconna-lint: allow(no-wallclock) -- measuring real IO here\nlet t = Instant::now();\n";
+        assert!(lint_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "fn f() { x().unwrap(); } // sconna-lint: allow(no-unwrap-in-lib)\n";
+        let f = lint_source(LIB, src);
+        // The violation stays AND the marker is flagged.
+        assert!(f.iter().any(|d| d.rule == "no-unwrap-in-lib"));
+        assert!(f.iter().any(|d| d.rule == BAD_SUPPRESSION));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_reported() {
+        let src = "// sconna-lint: allow(no-such-rule) -- whatever\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, BAD_SUPPRESSION);
+        assert!(f[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// sconna-lint: allow(no-wallclock) -- stale reason\nfn f() {}\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNUSED_ALLOW);
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = "// sconna-lint: allow-file(no-unordered-report-iteration) -- keyed get/insert only, never iterated\nuse std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        assert!(lint_source("crates/sc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_only_suppresses_named_rule() {
+        let src = "// sconna-lint: allow(no-wallclock) -- real clock wanted\nlet t = (Instant::now(), y().unwrap());\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap-in-lib");
+    }
+
+    #[test]
+    fn findings_render_and_sort_deterministically() {
+        let src = "fn f() { b().unwrap(); }\nfn g() { a().unwrap(); }\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+        assert!(f[0].render().starts_with("crates/accel/src/x.rs:1:"));
+    }
+
+    #[test]
+    fn json_output_is_wellformed_enough() {
+        let f = vec![Finding {
+            path: "a.rs".to_string(),
+            line: 1,
+            col: 2,
+            rule: "forbid-unsafe".to_string(),
+            message: "say \"no\"\nplease".to_string(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains("\"path\":\"a.rs\""));
+        assert!(j.contains("say \\\"no\\\"\\nplease"));
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+}

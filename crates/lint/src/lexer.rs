@@ -1,0 +1,536 @@
+//! A small real Rust lexer: line/column-tracked tokens with string
+//! literals, raw strings, byte strings, char literals, lifetimes and
+//! (nested) block/doc comments handled, so rules never fire on keywords
+//! that only appear inside text.
+//!
+//! This is deliberately not a full Rust grammar — rules pattern-match
+//! over a flat significant-token stream — but the *lexical* layer is
+//! faithful: everything the lexer classifies as a string, char or
+//! comment is invisible to the rules, and everything else carries an
+//! exact 1-based `line:col` for diagnostics.
+
+/// Kind of a significant (non-comment) token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Mutex`, `unsafe`, `r#try`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `<`, `:`, ...). Multi-char
+    /// operators appear as consecutive single-char tokens.
+    Punct,
+    /// String literal (`"..."`, `r#"..."#`, `b"..."`). `text` holds the
+    /// *inner* contents, un-escaped only as far as rules need (raw).
+    Str,
+    /// Char or byte-char literal (`'a'`, `'\''`, `b'x'`, `'"'`).
+    Char,
+    /// Lifetime (`'a`, `'static`). `text` excludes the quote.
+    Lifetime,
+    /// Numeric literal (`42`, `1e9`, `0x1F`, `1_000u64`, `1.5e-3`).
+    Number,
+}
+
+/// One significant token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line, doc or block). Comments are kept out of the
+/// significant stream but retained so the suppression syntax
+/// (`// sconna-lint: allow(...) -- reason`) can be parsed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/*` / `*/` framing.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (same as `line` for line comments).
+    pub end_line: u32,
+    pub col: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns count
+    /// characters, not bytes.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into significant tokens plus comments.
+///
+/// The lexer never fails: bytes it cannot classify become single-char
+/// `Punct` tokens, and unterminated strings/comments simply run to end
+/// of file. Determinism-lint rules only ever *miss* on malformed input,
+/// they cannot spuriously fire inside text.
+pub fn lex(src: &str) -> LexedFile {
+    let mut c = Cursor::new(src);
+    let mut out = LexedFile::default();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => lex_line_comment(&mut c, &mut out, line, col),
+            b'/' if c.peek(1) == Some(b'*') => lex_block_comment(&mut c, &mut out, line, col),
+            b'"' => {
+                let text = lex_cooked_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'r' if starts_raw_string(&c, 1) => {
+                c.bump(); // r
+                let text = lex_raw_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek(1) == Some(b'"') => {
+                c.bump(); // b
+                let text = lex_cooked_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek(1) == Some(b'r') && starts_raw_string(&c, 2) => {
+                c.bump(); // b
+                c.bump(); // r
+                let text = lex_raw_string(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump(); // b
+                let text = lex_char_literal(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => lex_quote(&mut c, &mut out, line, col),
+            _ if is_ident_start(b) => {
+                let text = lex_ident(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let text = lex_number(&mut c);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the bytes at `offset` (just past an `r` / `br` prefix)
+/// begin a raw string: zero or more `#` then `"`.
+fn starts_raw_string(c: &Cursor<'_>, offset: usize) -> bool {
+    let mut i = offset;
+    while c.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek(i) == Some(b'"')
+}
+
+fn lex_line_comment(c: &mut Cursor<'_>, out: &mut LexedFile, line: u32, col: u32) {
+    c.bump(); // /
+    c.bump(); // /
+    let mut text = String::new();
+    while let Some(b) = c.peek(0) {
+        if b == b'\n' {
+            break;
+        }
+        text.push(b as char);
+        c.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+        col,
+    });
+}
+
+fn lex_block_comment(c: &mut Cursor<'_>, out: &mut LexedFile, line: u32, col: u32) {
+    c.bump(); // /
+    c.bump(); // *
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(b) = c.peek(0) {
+        if b == b'/' && c.peek(1) == Some(b'*') {
+            depth += 1;
+            text.push_str("/*");
+            c.bump();
+            c.bump();
+        } else if b == b'*' && c.peek(1) == Some(b'/') {
+            depth -= 1;
+            c.bump();
+            c.bump();
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(b as char);
+            c.bump();
+        }
+    }
+    let end_line = c.line;
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line,
+        col,
+    });
+}
+
+/// Lexes a `"..."` body (opening quote still pending). Handles `\"`,
+/// `\\` and every other escape by skipping the escaped byte.
+fn lex_cooked_string(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening "
+    let mut text = String::new();
+    while let Some(b) = c.bump() {
+        match b {
+            b'"' => break,
+            b'\\' => {
+                text.push('\\');
+                if let Some(e) = c.bump() {
+                    text.push(e as char);
+                }
+            }
+            _ => text.push(b as char),
+        }
+    }
+    text
+}
+
+/// Lexes `#*"..."#*` (the `r`/`br` prefix already consumed): counts the
+/// opening hashes, then scans for `"` followed by that many hashes.
+fn lex_raw_string(c: &mut Cursor<'_>) -> String {
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening "
+    let mut text = String::new();
+    while let Some(b) = c.peek(0) {
+        if b == b'"' {
+            let mut all = true;
+            for i in 0..hashes {
+                if c.peek(1 + i) != Some(b'#') {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                c.bump(); // closing "
+                for _ in 0..hashes {
+                    c.bump();
+                }
+                break;
+            }
+        }
+        text.push(b as char);
+        c.bump();
+    }
+    text
+}
+
+/// Lexes a char literal body (opening `'` still pending): `'a'`, `'\''`,
+/// `'\n'`, `'"'`.
+fn lex_char_literal(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening '
+    let mut text = String::new();
+    while let Some(b) = c.bump() {
+        match b {
+            b'\'' => break,
+            b'\\' => {
+                text.push('\\');
+                if let Some(e) = c.bump() {
+                    text.push(e as char);
+                }
+            }
+            _ => text.push(b as char),
+        }
+    }
+    text
+}
+
+/// Disambiguates `'` between char literals and lifetimes.
+///
+/// After the quote: a backslash means a char escape; a single character
+/// followed by a closing `'` is a char literal (this is what keeps
+/// `'"'` from opening a phantom string); anything else that starts like
+/// an identifier is a lifetime.
+fn lex_quote(c: &mut Cursor<'_>, out: &mut LexedFile, line: u32, col: u32) {
+    let next = c.peek(1);
+    let after = c.peek(2);
+    let is_char = match next {
+        Some(b'\\') => true,
+        Some(n) if !is_ident_start(n) => true, // e.g. '"' or '.'
+        Some(_) => after == Some(b'\''),       // 'a' yes, 'abc / 'static no
+        None => true,
+    };
+    if is_char {
+        let text = lex_char_literal(c);
+        out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        });
+    } else {
+        c.bump(); // '
+        let text = lex_ident(c);
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+            col,
+        });
+    }
+}
+
+fn lex_ident(c: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    // Raw identifiers (`r#try`) reach here only via the `r` path when
+    // not followed by a quote; starts_raw_string() already rejected
+    // them, so `r#try` lexes as ident `r`, punct `#`, ident `try` —
+    // close enough for pattern rules.
+    while let Some(b) = c.peek(0) {
+        if !is_ident_continue(b) {
+            break;
+        }
+        text.push(b as char);
+        c.bump();
+    }
+    text
+}
+
+fn lex_number(c: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            text.push(b as char);
+            c.bump();
+            // Exponent sign: `1e-3`, `2.5E+10`.
+            if (b == b'e' || b == b'E')
+                && matches!(c.peek(0), Some(b'+' | b'-'))
+                && c.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                let sign = c.peek(0);
+                if let Some(s) = sign {
+                    text.push(s as char);
+                }
+                c.bump();
+            }
+        } else if b == b'.' && c.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` continues the number; `0..n` and `1.method()` stop.
+            text.push('.');
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_positions() {
+        let f = lex("let x = 1;\nlet y = x;\n");
+        let x = f.tokens.iter().find(|t| t.text == "y").expect("token y");
+        assert_eq!((x.line, x.col), (2, 5));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        assert_eq!(
+            idents(r#"let s = "Mutex<StdRng> unsafe";"#),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = "let s = r#\"contains \"Instant::now\" text\"#; let t = 1;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(
+            idents("let s = b\"unsafe\"; let r = br#\"SystemTime\"#;"),
+            vec!["let", "s", "let", "r"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* outer /* inner Mutex<StdRng> */ still comment */ let a = 1;";
+        assert_eq!(idents(src), vec!["let", "a"]);
+        let f = lex(src);
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn char_literal_with_double_quote_does_not_open_string() {
+        // If '"' were mis-lexed as a lifetime + string start, `unsafe`
+        // would vanish into a phantom string literal.
+        let src = "let q = '\"'; let k = unsafe_marker;";
+        assert_eq!(idents(src), vec!["let", "q", "let", "k", "unsafe_marker"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let s = 2;";
+        assert_eq!(idents(src), vec!["let", "q", "let", "s"]);
+        let f = lex(src);
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "\\'"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// call `.unwrap()` here\n//! and `Instant::now`\n/** or /* nested */ this */\nfn f() {}";
+        let f = lex(src);
+        assert_eq!(f.comments.len(), 3);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let f = lex("let a = 1e-3; for i in 0..10 { let b = 0x1F_u64; }");
+        let nums: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1e-3", "0", "10", "0x1F_u64"]);
+    }
+
+    #[test]
+    fn multibyte_utf8_counts_columns_by_char() {
+        // "é" is two bytes but one column.
+        let f = lex("let é = 1; let x = 2;");
+        let x = f.tokens.iter().find(|t| t.text == "x").expect("token x");
+        assert_eq!((x.line, x.col), (1, 16));
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof_without_panic() {
+        let f = lex("let s = \"never closed");
+        assert_eq!(f.tokens.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+}

@@ -1,0 +1,38 @@
+//! `sconna-lint` — a dependency-free determinism & concurrency
+//! static-analysis pass for this workspace.
+//!
+//! The repo's core claim is that inference results and serving reports
+//! are **bit-identical** across thread counts, batch packings and
+//! arrival orderings. That property rests on a handful of coding
+//! invariants that `cargo test` can only probe dynamically (and
+//! flakily, since a nondeterminism bug may need the right interleaving
+//! to show). This crate checks them *mechanically*, at lint time:
+//!
+//! | rule | invariant it protects |
+//! |------|----------------------|
+//! | `no-locked-rng` | no `Mutex`/`RwLock` around an RNG — stream position must not depend on scheduling (the PR 3 regression) |
+//! | `no-wallclock` | no `Instant::now`/`SystemTime` outside `crates/bench/` — simulated time comes from `sim::time` |
+//! | `no-unordered-report-iteration` | no `HashMap`/`HashSet` in the report/serve crates — iteration order leaks into output |
+//! | `no-unwrap-in-lib` | no `.unwrap()`/undocumented `.expect` in library code — a panic kills a serving worker |
+//! | `forbid-unsafe` | the workspace stays `unsafe`-free outside `crates/compat/` |
+//!
+//! Architecture: [`lexer`] produces line/column-tracked tokens with
+//! strings, raw strings, char literals and nested comments handled (so
+//! rules never fire inside text); [`rules`] pattern-matches the token
+//! stream with per-path scoping; [`engine`] walks the workspace,
+//! applies the `// sconna-lint: allow(<rule>) -- <why>` suppression
+//! syntax (reason mandatory, unused markers flagged) and renders
+//! deterministic `path:line:col rule message` diagnostics plus a
+//! `--json` form for CI artifacts.
+//!
+//! Run it with `cargo run --release -p sconna-lint`; it exits nonzero
+//! on any finding. The fixture suite under `fixtures/` seeds one
+//! violation per rule and the integration tests prove each rule fires
+//! on it — and that the real workspace is clean.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, to_json, Finding};
+pub use rules::{Rule, ALL_RULES};

@@ -1,0 +1,134 @@
+//! CLI for `sconna-lint`: lints the workspace, prints deterministic
+//! `path:line:col rule message` diagnostics (or `--json`), exits
+//! nonzero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sconna_lint::engine::{lint_workspace, to_json};
+
+const USAGE: &str = "\
+sconna-lint — determinism & concurrency static analysis for this workspace
+
+USAGE:
+    cargo run --release -p sconna-lint [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>       workspace root to lint (default: auto-detected by
+                       walking up from the current directory to the
+                       [workspace] Cargo.toml)
+    --json             print findings as a JSON array on stdout instead
+                       of human-readable lines
+    --json-out <FILE>  additionally write the JSON array to FILE (the CI
+                       artifact), keeping human output on stdout
+    --list-rules       print the rule names and exit
+    -h, --help         print this help
+
+Exit status is 0 when the workspace is clean, 1 on any finding, 2 on
+usage or I/O errors. Suppress a finding with a mandatory reason:
+    // sconna-lint: allow(<rule>) -- <why this is sound>
+    // sconna-lint: allow-file(<rule>) -- <why this is sound>
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        json_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--json-out" => {
+                let path = args.next().ok_or("--json-out requires a file path")?;
+                opts.json_out = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = args.next().ok_or("--root requires a directory path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--list-rules" => {
+                for rule in sconna_lint::ALL_RULES {
+                    println!("{}", rule.name());
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no [workspace] Cargo.toml found above the current directory".to_string());
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(opts) = parse_args()? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let root = match opts.root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    let findings = lint_workspace(&root)
+        .map_err(|e| format!("lint walk failed under {}: {e}", root.display()))?;
+
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, to_json(&findings))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if opts.json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("sconna-lint: clean");
+        } else {
+            eprintln!("sconna-lint: {} finding(s)", findings.len());
+        }
+    }
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sconna-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture self-test: every rule is proven to fire on its seeded
+//! violation file (with exact lines), the lexer edge-case fixture is
+//! proven silent, and the suppression fixture exercises the whole
+//! allow/bad-suppression/unused-allow surface.
+//!
+//! Fixtures live under `fixtures/` (excluded from the workspace walk —
+//! they contain violations on purpose) and are linted under pseudo
+//! workspace paths chosen to put each rule in scope.
+
+use sconna_lint::engine::lint_source;
+use sconna_lint::Finding;
+
+/// A pseudo-path where every rule is in scope (library source of a
+/// determinism-sensitive crate).
+const SCOPED: &str = "crates/accel/src/fixture.rs";
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn locked_rng_fixture_fires() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/locked_rng.rs"));
+    // Field form, RwLock form, return-type form, constructor form.
+    assert_eq!(lines_of(&findings, "no-locked-rng"), vec![8, 12, 15, 16]);
+    assert_eq!(findings.len(), 4, "no other rule should fire: {findings:?}");
+}
+
+#[test]
+fn locked_rng_fixture_is_exempt_in_the_legacy_bench_baseline() {
+    let findings = lint_source(
+        "crates/bench/src/bin/inference.rs",
+        include_str!("../fixtures/locked_rng.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "legacy baseline is carved out: {findings:?}"
+    );
+}
+
+#[test]
+fn wallclock_fixture_fires() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/wallclock.rs"));
+    // `SystemTime` in the use-decl, `Instant::now`, `SystemTime::now`.
+    assert_eq!(lines_of(&findings, "no-wallclock"), vec![4, 7, 8]);
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn wallclock_fixture_is_exempt_in_bench_and_criterion() {
+    for rel in [
+        "crates/bench/src/bin/serving.rs",
+        "crates/compat/criterion/src/lib.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/wallclock.rs"));
+        assert!(findings.is_empty(), "{rel} is carved out: {findings:?}");
+    }
+}
+
+#[test]
+fn unordered_fixture_fires() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/unordered.rs"));
+    // The use-decl plus both mentions on the declaration line.
+    assert_eq!(
+        lines_of(&findings, "no-unordered-report-iteration"),
+        vec![5, 8, 8]
+    );
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn unordered_fixture_is_exempt_outside_report_crates() {
+    let findings = lint_source(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/unordered.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "tensor is not report-scoped: {findings:?}"
+    );
+}
+
+#[test]
+fn unwrap_fixture_fires() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/unwrap_in_lib.rs"));
+    // Bare unwrap + invariant-less expect; the documented expect, the
+    // unwrap_or forms and the #[cfg(test)] module stay quiet.
+    assert_eq!(lines_of(&findings, "no-unwrap-in-lib"), vec![6, 10]);
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn unwrap_fixture_is_exempt_in_bins_tests_and_examples() {
+    for rel in [
+        "crates/bench/src/bin/overload.rs",
+        "tests/t.rs",
+        "examples/e.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/unwrap_in_lib.rs"));
+        assert!(findings.is_empty(), "{rel} may unwrap: {findings:?}");
+    }
+}
+
+#[test]
+fn unsafe_fixture_fires() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/unsafe_code.rs"));
+    assert_eq!(lines_of(&findings, "forbid-unsafe"), vec![7]);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
+fn unsafe_fixture_is_exempt_in_compat() {
+    let findings = lint_source(
+        "crates/compat/parking_lot/src/lib.rs",
+        include_str!("../fixtures/unsafe_code.rs"),
+    );
+    assert!(findings.is_empty(), "compat may use unsafe: {findings:?}");
+}
+
+#[test]
+fn lexer_edges_fixture_is_silent() {
+    // Every rule keyword in this fixture sits inside a string, raw
+    // string, char literal, doc comment or nested block comment; a
+    // single finding means the lexer leaked text into the token stream.
+    let findings = lint_source(SCOPED, include_str!("../fixtures/lexer_edges.rs"));
+    assert!(
+        findings.is_empty(),
+        "lexer leaked text into tokens: {findings:?}"
+    );
+}
+
+#[test]
+fn suppressions_fixture_mixes_allowed_bad_and_stale() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/suppressions.rs"));
+    // The two justified allows suppress their findings entirely.
+    assert!(lines_of(&findings, "no-wallclock").is_empty());
+    // The reason-less marker leaves its violation standing and is
+    // itself reported.
+    assert_eq!(lines_of(&findings, "no-unwrap-in-lib"), vec![15]);
+    assert_eq!(lines_of(&findings, "bad-suppression"), vec![15]);
+    // The stale marker is flagged so annotations can't rot.
+    assert_eq!(lines_of(&findings, "unused-allow"), vec![18]);
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn diagnostics_render_sorted_and_stable() {
+    let findings = lint_source(SCOPED, include_str!("../fixtures/wallclock.rs"));
+    let rendered: Vec<String> = findings.iter().map(Finding::render).collect();
+    let mut sorted = rendered.clone();
+    sorted.sort();
+    assert_eq!(rendered, sorted);
+    assert!(rendered[0].starts_with("crates/accel/src/fixture.rs:4:"));
+}

@@ -53,7 +53,11 @@ impl Mrr {
     /// (folds the comb of resonances spaced by the FSR).
     pub fn detuning_m(&self, lambda_m: f64) -> f64 {
         let d = (lambda_m - self.resonance_m) % self.fsr_m;
-        let d = if d > self.fsr_m / 2.0 { d - self.fsr_m } else { d };
+        let d = if d > self.fsr_m / 2.0 {
+            d - self.fsr_m
+        } else {
+            d
+        };
         if d < -self.fsr_m / 2.0 {
             d + self.fsr_m
         } else {

@@ -333,12 +333,12 @@ mod tests {
         // Fig. 6(c): two pseudo-random streams at 10 Gb/s; the sampled
         // drop-port decisions must equal the bit-wise AND.
         let g = gate();
-        let i = PackedBitstream::from_bits(
-            [true, true, false, true, false, false, true, true, false, true],
-        );
-        let w = PackedBitstream::from_bits(
-            [true, false, true, true, false, true, true, false, false, true],
-        );
+        let i = PackedBitstream::from_bits([
+            true, true, false, true, false, false, true, true, false, true,
+        ]);
+        let w = PackedBitstream::from_bits([
+            true, false, true, true, false, true, true, false, false, true,
+        ]);
         let res = transient(&g, &i, &w, 10e9, 2e-12, 32);
         let expected: Vec<bool> = i.iter().zip(w.iter()).map(|(a, b)| a && b).collect();
         assert_eq!(res.decisions, expected);

@@ -331,8 +331,7 @@ mod tests {
         // (counts above ~10 % of full scale; below that the VDP result is
         // dominated by psum accumulation anyway).
         let adc = AdcModel::sconna_default();
-        let mut rng = StdRng::seed_from_u64(0x5C0
-            ^ 0x1234);
+        let mut rng = StdRng::seed_from_u64(0x5C0 ^ 0x1234);
         let mape = adc.measured_mape(4506, 45056, 20000, &mut rng);
         assert!(
             (mape - 1.3).abs() < 0.25,
@@ -368,8 +367,14 @@ mod tests {
         }
         let pos_mape = 100.0 * pos_err / samples as f64;
         let neg_mape = 100.0 * neg_err / samples as f64;
-        assert!((pos_mape - 1.3).abs() < 0.25, "pos rail MAPE {pos_mape:.3} %");
-        assert!((neg_mape - 1.3).abs() < 0.25, "neg rail MAPE {neg_mape:.3} %");
+        assert!(
+            (pos_mape - 1.3).abs() < 0.25,
+            "pos rail MAPE {pos_mape:.3} %"
+        );
+        assert!(
+            (neg_mape - 1.3).abs() < 0.25,
+            "neg rail MAPE {neg_mape:.3} %"
+        );
     }
 
     #[test]

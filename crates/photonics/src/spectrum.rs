@@ -46,7 +46,11 @@ impl DwdmGrid {
     /// # Panics
     /// Panics if `i >= channels`.
     pub fn wavelength_m(&self, i: usize) -> f64 {
-        assert!(i < self.channels, "channel {i} out of range {}", self.channels);
+        assert!(
+            i < self.channels,
+            "channel {i} out of range {}",
+            self.channels
+        );
         self.start_m + i as f64 * self.spacing_m
     }
 

@@ -206,10 +206,7 @@ mod tests {
         let exact = exact_vdp_scaled(&inputs, &weights, p);
         // Per-element error ≤ B counts; 64 elements with random signs
         // partially cancel, but the hard bound is 64 * 8.
-        assert!(
-            (sc - exact).abs() <= 64.0 * 8.0,
-            "sc={sc} exact={exact}"
-        );
+        assert!((sc - exact).abs() <= 64.0 * 8.0, "sc={sc} exact={exact}");
     }
 
     #[test]

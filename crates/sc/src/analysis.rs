@@ -96,9 +96,7 @@ pub fn empirical_vdp_relative_error<R: Rng + ?Sized>(
     let mut ref_sq = 0.0f64;
     for _ in 0..trials {
         let inputs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..=qmax)).collect();
-        let weights: Vec<i32> = (0..n)
-            .map(|_| rng.gen_range(lo..=qmax as i32))
-            .collect();
+        let weights: Vec<i32> = (0..n).map(|_| rng.gen_range(lo..=qmax as i32)).collect();
         let sc = crate::accumulate::stochastic_vdp(&inputs, &weights, precision) as f64;
         let exact: f64 = inputs
             .iter()

@@ -29,7 +29,10 @@ impl Bipolar {
     /// # Panics
     /// Panics if `v` is outside `[−1, 1]` or not finite.
     pub fn quantize(v: f64, precision: Precision) -> Self {
-        assert!(v.is_finite() && (-1.0..=1.0).contains(&v), "bipolar value {v}");
+        assert!(
+            v.is_finite() && (-1.0..=1.0).contains(&v),
+            "bipolar value {v}"
+        );
         let l = precision.stream_len() as f64;
         let ones = ((v + 1.0) / 2.0 * l).round() as u32;
         Self { ones, precision }
@@ -82,7 +85,11 @@ pub fn bipolar_multiply_count(a: Bipolar, b: Bipolar) -> u32 {
 ///
 /// # Panics
 /// Panics if the streams differ in length.
-pub fn scaled_add(a: &PackedBitstream, b: &PackedBitstream, precision: Precision) -> PackedBitstream {
+pub fn scaled_add(
+    a: &PackedBitstream,
+    b: &PackedBitstream,
+    precision: Precision,
+) -> PackedBitstream {
     assert_eq!(a.len(), b.len(), "stream length mismatch");
     assert_eq!(a.len(), precision.stream_len(), "stream/precision mismatch");
     let half = precision.stream_len() as u32 / 2;
@@ -132,8 +139,14 @@ mod tests {
         let p = Precision::B8;
         for a1 in (0..=256u32).step_by(16) {
             for b1 in (0..=256u32).step_by(16) {
-                let a = Bipolar { ones: a1, precision: p };
-                let b = Bipolar { ones: b1, precision: p };
+                let a = Bipolar {
+                    ones: a1,
+                    precision: p,
+                };
+                let b = Bipolar {
+                    ones: b1,
+                    precision: p,
+                };
                 let stream = bipolar_multiply(&a.stream_lds(), &b.stream_thermometer());
                 assert_eq!(
                     stream.count_ones() as u32,

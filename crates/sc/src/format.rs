@@ -23,7 +23,10 @@ impl Precision {
     /// are outside any regime the paper considers and would make LUTs
     /// enormous).
     pub fn new(bits: u8) -> Self {
-        assert!((1..=16).contains(&bits), "precision must be in 1..=16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "precision must be in 1..=16, got {bits}"
+        );
         Self { bits }
     }
 
@@ -81,7 +84,10 @@ impl Unipolar {
             "numerator {numerator} exceeds stream length {}",
             precision.stream_len()
         );
-        Self { numerator, precision }
+        Self {
+            numerator,
+            precision,
+        }
     }
 
     /// Real value in `[0, 1]`.
@@ -94,7 +100,10 @@ impl Unipolar {
     pub fn quantize(v: f64, precision: Precision) -> Self {
         let l = precision.stream_len() as f64;
         let n = (v * l).round().clamp(0.0, l) as u32;
-        Self { numerator: n, precision }
+        Self {
+            numerator: n,
+            precision,
+        }
     }
 }
 

@@ -181,6 +181,7 @@ impl OsmProductLut {
     /// so there is no reason to regenerate them. The lock guards
     /// construction only — the hot path holds a plain `Arc`.
     pub fn shared(precision: Precision) -> Option<std::sync::Arc<Self>> {
+        // sconna-lint: allow-file(no-unordered-report-iteration) -- cache is keyed get/insert only (entry API below), never iterated, so its order cannot reach any report
         use std::collections::HashMap;
         use std::sync::{Arc, Mutex, OnceLock};
         static CACHE: OnceLock<Mutex<HashMap<u8, Arc<OsmProductLut>>>> = OnceLock::new();
@@ -188,7 +189,12 @@ impl OsmProductLut {
             return None;
         }
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().expect("LUT cache poisoned");
+        // A poisoned cache still holds only fully-built Arc entries
+        // (the entry API inserts after `generate` returns), so recover
+        // the guard instead of panicking every later engine build.
+        let mut map = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Some(
             map.entry(precision.bits())
                 .or_insert_with(|| Arc::new(Self::generate(precision)))
@@ -257,7 +263,10 @@ impl Serializer {
         stream: &'a PackedBitstream,
     ) -> impl Iterator<Item = (f64, bool)> + 'a {
         let period = self.bit_period_ps();
-        stream.iter().enumerate().map(move |(t, b)| (t as f64 * period, b))
+        stream
+            .iter()
+            .enumerate()
+            .map(move |(t, b)| (t as f64 * period, b))
     }
 }
 

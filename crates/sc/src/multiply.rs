@@ -282,7 +282,10 @@ mod tests {
     #[test]
     fn debiased_alternates_by_index() {
         let p = Precision::B8;
-        assert_eq!(osm_product_debiased(100, 100, p, 0), lds_product(100, 100, p));
+        assert_eq!(
+            osm_product_debiased(100, 100, p, 0),
+            lds_product(100, 100, p)
+        );
         assert_eq!(
             osm_product_debiased(100, 100, p, 1),
             lds_product_floor(100, 100, p)

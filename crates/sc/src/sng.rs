@@ -45,7 +45,10 @@ pub struct LdsSng;
 impl StochasticNumberGenerator for LdsSng {
     fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
         let l = precision.stream_len();
-        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        assert!(
+            numerator as usize <= l,
+            "numerator {numerator} > stream length {l}"
+        );
         let b = precision.bits();
         PackedBitstream::from_bits((0..l).map(|t| bit_reverse(t as u32, b) < numerator))
     }
@@ -67,7 +70,10 @@ pub struct ThermometerSng;
 impl StochasticNumberGenerator for ThermometerSng {
     fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
         let l = precision.stream_len();
-        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        assert!(
+            numerator as usize <= l,
+            "numerator {numerator} > stream length {l}"
+        );
         PackedBitstream::from_bits((0..l).map(|t| (t as u32) < numerator))
     }
 
@@ -127,11 +133,10 @@ impl LfsrSng {
     }
 
     fn taps(width: u8) -> &'static [u8] {
-        LFSR_TAPS
-            .iter()
-            .find(|(w, _)| *w == width)
-            .map(|(_, t)| *t)
-            .unwrap_or_else(|| panic!("no LFSR taps tabulated for width {width}"))
+        LFSR_TAPS.iter().find(|(w, _)| *w == width).map_or_else(
+            || panic!("no LFSR taps tabulated for width {width}"),
+            |(_, t)| *t,
+        )
     }
 
     /// Advances a Fibonacci LFSR of `width` bits by one step.
@@ -166,7 +171,10 @@ impl LfsrSng {
 impl StochasticNumberGenerator for LfsrSng {
     fn generate(&self, numerator: u32, precision: Precision) -> PackedBitstream {
         let l = precision.stream_len();
-        assert!(numerator as usize <= l, "numerator {numerator} > stream length {l}");
+        assert!(
+            numerator as usize <= l,
+            "numerator {numerator} > stream length {l}"
+        );
         let seq = self.sequence(precision.bits());
         PackedBitstream::from_bits(seq.iter().map(|&s| s < numerator))
     }
@@ -222,7 +230,10 @@ mod tests {
             let mut seen = vec![false; period];
             for &s in &seq[..period - 1] {
                 assert!(s != 0, "LFSR reached zero state at width {width}");
-                assert!(!seen[s as usize], "LFSR repeated state early at width {width}");
+                assert!(
+                    !seen[s as usize],
+                    "LFSR repeated state early at width {width}"
+                );
                 seen[s as usize] = true;
             }
         }

@@ -80,7 +80,10 @@ impl EnergyLedger {
     /// Panics if the class was already registered with a different spec.
     pub fn register(&mut self, name: &str, spec: ComponentSpec, instances: u64) {
         if let Some(prev) = self.specs.get(name) {
-            assert_eq!(*prev, spec, "component {name} re-registered with different spec");
+            assert_eq!(
+                *prev, spec,
+                "component {name} re-registered with different spec"
+            );
         }
         self.specs.insert(name.to_string(), spec);
         self.usage.entry(name.to_string()).or_default().instances += instances;
@@ -92,7 +95,10 @@ impl EnergyLedger {
     /// Panics if the class is unknown.
     pub fn record_ops(&mut self, name: &str, ops: u64) {
         assert!(self.specs.contains_key(name), "unknown component {name}");
-        self.usage.get_mut(name).expect("registered").ops += ops;
+        self.usage
+            .get_mut(name)
+            .expect("invariant: specs and usage are inserted together in register_components")
+            .ops += ops;
     }
 
     /// The spec of a class, if registered.
@@ -216,12 +222,7 @@ mod tests {
 
     #[test]
     fn from_power_and_latency_splits_energy() {
-        let s = ComponentSpec::from_power_and_latency(
-            0.03,
-            0.5,
-            0.034,
-            SimTime::from_ps(780),
-        );
+        let s = ComponentSpec::from_power_and_latency(0.03, 0.5, 0.034, SimTime::from_ps(780));
         assert!((s.static_power_w - 0.015).abs() < 1e-12);
         assert!((s.energy_per_op_j - 0.015 * 780e-12).abs() < 1e-18);
     }

@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn double_buffer_hides_fast_fills() {
-        let db = DoubleBuffer { half_capacity_bytes: 4096 };
+        let db = DoubleBuffer {
+            half_capacity_bytes: 4096,
+        };
         assert_eq!(
             db.stall(SimTime::from_ns(5), SimTime::from_ns(10)),
             SimTime::ZERO

@@ -13,9 +13,7 @@ use std::sync::Mutex;
 
 /// Number of worker threads to use (logical CPUs, at least 1).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Applies `f` to every item on a pool of `workers` threads, preserving
@@ -55,11 +53,11 @@ where
                 while let Some(i) = queue.pop() {
                     let item = items[i]
                         .lock()
-                        .expect("item lock")
+                        .expect("invariant: poisoned only if a sibling worker panicked, which scope re-raises")
                         .take()
-                        .expect("item taken twice");
+                        .expect("invariant: the index queue yields each slot exactly once");
                     let r = f(item);
-                    *results[i].lock().expect("result lock") = Some(r);
+                    *results[i].lock().expect("invariant: poisoned only if a sibling worker panicked, which scope re-raises") = Some(r);
                 }
             });
         }
@@ -67,7 +65,11 @@ where
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("worker completed"))
+        .map(|m| {
+            m.into_inner()
+                .expect("invariant: all workers joined un-poisoned at scope exit")
+                .expect("invariant: every queued index was processed before scope exit")
+        })
         .collect()
 }
 
@@ -160,7 +162,7 @@ mod tests {
         // ("a scoped thread panicked"), not the worker's.
         let msg = panic
             .downcast_ref::<&str>()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .or_else(|| panic.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(

@@ -152,7 +152,12 @@ impl LatencySamples {
     /// # Panics
     /// Panics if no samples were recorded.
     pub fn max(&self) -> SimTime {
-        self.samples.iter().copied().max().expect("max of empty sample set")
+        assert!(!self.samples.is_empty(), "max of empty sample set");
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .expect("invariant: non-empty asserted above")
     }
 
     /// The full report summary (one sort for all percentiles).
@@ -250,10 +255,7 @@ impl QueueDepthSamples {
         }
         let mut weighted: u128 = 0;
         for (i, &(at, depth)) in self.samples.iter().enumerate() {
-            let until = self
-                .samples
-                .get(i + 1)
-                .map_or(end, |&(next, _)| next);
+            let until = self.samples.get(i + 1).map_or(end, |&(next, _)| next);
             weighted += depth as u128 * (until - at).as_ps() as u128;
         }
         weighted as f64 / end.as_ps() as f64
@@ -262,7 +264,10 @@ impl QueueDepthSamples {
 
 /// Nearest-rank lookup on an already-sorted, non-empty sample slice.
 fn nearest_rank(sorted: &[SimTime], p: f64) -> SimTime {
-    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
+    assert!(
+        p > 0.0 && p <= 100.0,
+        "percentile must be in (0, 100], got {p}"
+    );
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }

@@ -66,7 +66,9 @@ impl SimTime {
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect(
+            "invariant: simulated time must not overflow u64 picoseconds (documented panic)",
+        ))
     }
 }
 
@@ -79,7 +81,9 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(self.0.checked_sub(rhs.0).expect(
+            "invariant: simulated time differences must not underflow below zero (documented panic)",
+        ))
     }
 }
 

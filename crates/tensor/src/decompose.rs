@@ -78,8 +78,7 @@ pub fn gather_input_vector(
                     .checked_sub(padding)
                     .zip(ix.checked_sub(padding))
                     .filter(|&(y, x)| y < h && x < w)
-                    .map(|(y, x)| input.at3(c, y, x))
-                    .unwrap_or(0);
+                    .map_or(0, |(y, x)| input.at3(c, y, x));
                 out.push(v);
             }
         }
@@ -194,9 +193,18 @@ mod tests {
             padding: 1,
             groups: 1,
             requant: Requant::new(
-                ActivationQuant { scale: 1.0, bits: 8 },
-                WeightQuant { scale: 1.0, bits: 8 },
-                ActivationQuant { scale: 1e6, bits: 8 }, // wide scale: no clipping
+                ActivationQuant {
+                    scale: 1.0,
+                    bits: 8,
+                },
+                WeightQuant {
+                    scale: 1.0,
+                    bits: 8,
+                },
+                ActivationQuant {
+                    scale: 1e6,
+                    bits: 8,
+                }, // wide scale: no clipping
             ),
         };
         let input = Tensor::from_fn(&[3, 8, 8], |i| (i as u32 * 5) % 256);
@@ -206,7 +214,15 @@ mod tests {
             for oy in 0..h_out {
                 for ox in 0..w_out {
                     let acc = conv_output_via_decomposition(
-                        &input, &conv.weights, k, oy, ox, 2, 1, 16, &ExactEngine,
+                        &input,
+                        &conv.weights,
+                        k,
+                        oy,
+                        ox,
+                        2,
+                        1,
+                        16,
+                        &ExactEngine,
                     );
                     let expected = conv.requant.apply(acc);
                     assert_eq!(out.at3(k, oy, ox), expected, "k={k} oy={oy} ox={ox}");

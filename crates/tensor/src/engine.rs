@@ -289,7 +289,12 @@ pub trait VdpEngine: Sync {
     /// # Panics
     /// Panics if the inner dimensions differ or `keys` is not one key per
     /// patch.
-    fn vdp_batch(&self, patches: &PatchMatrix, weights: &WeightMatrix<'_>, keys: &[u64]) -> Vec<f64> {
+    fn vdp_batch(
+        &self,
+        patches: &PatchMatrix,
+        weights: &WeightMatrix<'_>,
+        keys: &[u64],
+    ) -> Vec<f64> {
         assert_eq!(
             patches.cols(),
             weights.cols(),
@@ -421,7 +426,12 @@ impl VdpEngine for ExactEngine {
     /// This unprepared entry point re-derives the i16 weight form per
     /// call; [`VdpEngine::vdp_batch_prepared`] hoists that into a
     /// once-per-layer [`PreparedWeights`] handle.
-    fn vdp_batch(&self, patches: &PatchMatrix, weights: &WeightMatrix<'_>, keys: &[u64]) -> Vec<f64> {
+    fn vdp_batch(
+        &self,
+        patches: &PatchMatrix,
+        weights: &WeightMatrix<'_>,
+        keys: &[u64],
+    ) -> Vec<f64> {
         assert_eq!(
             patches.cols(),
             weights.cols(),
@@ -640,8 +650,18 @@ mod tests {
             vec![u32::MAX, 70_000, 3, 0, 255, 1, 9, 40_000, 2, 255, 0, 77],
         );
         let weights: Vec<i32> = vec![
-            i32::MAX, -40_000, 5, -1, 2, 7, //
-            -3, 90_000, i32::MIN + 1, 4, -255, 0,
+            i32::MAX,
+            -40_000,
+            5,
+            -1,
+            2,
+            7, //
+            -3,
+            90_000,
+            i32::MIN + 1,
+            4,
+            -255,
+            0,
         ];
         let wm = WeightMatrix::new(&weights, 2, cols);
         let got = ExactEngine.vdp_batch(&patches, &wm, &[0, 1]);
@@ -692,7 +712,11 @@ mod tests {
         let weights = vec![i32::MAX, -70_000, 3, 1, 9, 40_000, i32::MIN + 1, 2];
         let wm = WeightMatrix::new(&weights, 2, cols);
         let prepared = ExactEngine.prepare_weights(&wm);
-        assert!(prepared.payload::<ExactPrepared>().expect("payload").w16.is_none());
+        assert!(prepared
+            .payload::<ExactPrepared>()
+            .expect("payload")
+            .w16
+            .is_none());
         let patches = PatchMatrix::from_vec(2, cols, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(
             ExactEngine.vdp_batch_prepared(&patches, &prepared, &[0, 1]),
@@ -708,7 +732,11 @@ mod tests {
         let weights = vec![32_767i32; s];
         let wm = WeightMatrix::new(&weights, 1, s);
         let prepared = ExactEngine.prepare_weights(&wm);
-        assert!(prepared.payload::<ExactPrepared>().expect("payload").w16.is_some());
+        assert!(prepared
+            .payload::<ExactPrepared>()
+            .expect("payload")
+            .w16
+            .is_some());
         let patches = PatchMatrix::from_vec(1, s, vec![32_767u32; s]);
         let got = ExactEngine.vdp_batch_prepared(&patches, &prepared, &[0]);
         assert_eq!(got[0], s as f64 * 32_767.0 * 32_767.0);

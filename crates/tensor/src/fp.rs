@@ -18,12 +18,7 @@ use crate::tensor::Tensor;
 /// Gathers the stride-1 zero-padded im2col patch matrix: one row of
 /// length `C·K·K` (in `(c, ky, kx)` order) per output position, rows in
 /// `(oy, ox)` row-major order. Returns `(col, h_out, w_out)`.
-fn im2col(
-    input: &Tensor<f32>,
-    kh: usize,
-    kw: usize,
-    pad: usize,
-) -> (Vec<f32>, usize, usize) {
+fn im2col(input: &Tensor<f32>, kh: usize, kw: usize, pad: usize) -> (Vec<f32>, usize, usize) {
     let [c_in, h, w] = *input.dims() else {
         panic!("conv input must be rank 3, got {:?}", input.dims());
     };
@@ -104,9 +99,15 @@ pub fn conv_backward(
     grad_out: &Tensor<f32>,
     pad: usize,
 ) -> (Tensor<f32>, Tensor<f32>, Vec<f32>) {
-    let [c_in, h, w] = *input.dims() else { panic!("rank") };
-    let [l, _, kh, kw] = *weights.dims() else { panic!("rank") };
-    let [lo, h_out, w_out] = *grad_out.dims() else { panic!("rank") };
+    let [c_in, h, w] = *input.dims() else {
+        panic!("rank")
+    };
+    let [l, _, kh, kw] = *weights.dims() else {
+        panic!("rank")
+    };
+    let [lo, h_out, w_out] = *grad_out.dims() else {
+        panic!("rank")
+    };
     assert_eq!(l, lo, "kernel count mismatch");
 
     let (col, ch_out, cw_out) = im2col(input, kh, kw, pad);
@@ -235,7 +236,9 @@ pub fn maxpool2_backward(
 
 /// Fully-connected forward: `y = W x + b` with `W: [out, in]`.
 pub fn fc_forward(x: &[f32], weights: &Tensor<f32>, bias: &[f32]) -> Vec<f32> {
-    let [out_f, in_f] = *weights.dims() else { panic!("rank") };
+    let [out_f, in_f] = *weights.dims() else {
+        panic!("rank")
+    };
     assert_eq!(x.len(), in_f, "fc input length mismatch");
     assert_eq!(bias.len(), out_f, "fc bias length mismatch");
     (0..out_f)
@@ -252,7 +255,9 @@ pub fn fc_backward(
     weights: &Tensor<f32>,
     grad_out: &[f32],
 ) -> (Vec<f32>, Tensor<f32>, Vec<f32>) {
-    let [out_f, in_f] = *weights.dims() else { panic!("rank") };
+    let [out_f, in_f] = *weights.dims() else {
+        panic!("rank")
+    };
     let mut grad_x = vec![0.0f32; in_f];
     let mut grad_w = Tensor::<f32>::zeros(&[out_f, in_f]);
     for o in 0..out_f {

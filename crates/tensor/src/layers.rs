@@ -151,9 +151,11 @@ impl QConv2d {
         base_key: u64,
         workers: usize,
     ) -> Tensor<u32> {
-        self.forward_blocks(&[input], engine, None, &[base_key], workers, |acc, rq| rq.apply(acc))
-            .pop()
-            .expect("one output per input")
+        self.forward_blocks(&[input], engine, None, &[base_key], workers, |acc, rq| {
+            rq.apply(acc)
+        })
+        .pop()
+        .expect("invariant: forward_blocks yields one output per input")
     }
 
     /// A lower-weight-precision copy of this layer: weight codes are
@@ -211,11 +213,16 @@ impl QConv2d {
         base_key: u64,
         workers: usize,
     ) -> Tensor<u32> {
-        self.forward_blocks(&[input], engine, Some(prepared), &[base_key], workers, |acc, rq| {
-            rq.apply(acc)
-        })
+        self.forward_blocks(
+            &[input],
+            engine,
+            Some(prepared),
+            &[base_key],
+            workers,
+            |acc, rq| rq.apply(acc),
+        )
         .pop()
-        .expect("one output per input")
+        .expect("invariant: forward_blocks yields one output per input")
     }
 
     /// Runs the convolution over a whole serving batch at once: the
@@ -239,13 +246,19 @@ impl QConv2d {
         base_keys: &[u64],
         workers: usize,
     ) -> Vec<Tensor<u32>> {
-        self.forward_blocks(inputs, engine, prepared, base_keys, workers, |acc, rq| rq.apply(acc))
+        self.forward_blocks(inputs, engine, prepared, base_keys, workers, |acc, rq| {
+            rq.apply(acc)
+        })
     }
 
     /// Runs the convolution but keeps **signed pre-activation codes**
     /// (same scale as [`QConv2d::forward`], no ReLU clamp) — what a
     /// residual branch produces before the skip addition.
-    pub fn forward_preactivation(&self, input: &Tensor<u32>, engine: &dyn VdpEngine) -> Tensor<i32> {
+    pub fn forward_preactivation(
+        &self,
+        input: &Tensor<u32>,
+        engine: &dyn VdpEngine,
+    ) -> Tensor<i32> {
         self.forward_preactivation_keyed(input, engine, self.layer_key(), 1)
     }
 
@@ -262,7 +275,7 @@ impl QConv2d {
             rq.apply_signed(acc)
         })
         .pop()
-        .expect("one output per input")
+        .expect("invariant: forward_blocks yields one output per input")
     }
 
     /// Pre-batching reference path: per-pixel patch gather and one
@@ -279,17 +292,14 @@ impl QConv2d {
             for ox in 0..geo.w_out {
                 for g in 0..self.groups {
                     self.gather_patch(input, &geo, g, oy, ox, &mut patch);
-                    let pkey = combine_keys(
-                        base_key,
-                        ((g * geo.h_out + oy) * geo.w_out + ox) as u64,
-                    );
+                    let pkey =
+                        combine_keys(base_key, ((g * geo.h_out + oy) * geo.w_out + ox) as u64);
                     for kg in 0..geo.kernels_per_group {
                         let k = g * geo.kernels_per_group + kg;
                         let wrow =
                             &self.weights.as_slice()[k * geo.patch_len..(k + 1) * geo.patch_len];
-                        let acc =
-                            engine.vdp_keyed(&patch, wrow, combine_keys(pkey, kg as u64))
-                                + self.bias[k];
+                        let acc = engine.vdp_keyed(&patch, wrow, combine_keys(pkey, kg as u64))
+                            + self.bias[k];
                         out.set3(k, oy, ox, self.requant.apply(acc));
                     }
                 }
@@ -314,7 +324,12 @@ impl QConv2d {
             self.name,
             self.groups
         );
-        assert_eq!(l % self.groups, 0, "{}: kernels not divisible by groups", self.name);
+        assert_eq!(
+            l % self.groups,
+            0,
+            "{}: kernels not divisible by groups",
+            self.name
+        );
         assert_eq!(self.bias.len(), l, "{}: bias length mismatch", self.name);
         assert!(
             h + 2 * self.padding >= kh && w + 2 * self.padding >= kw,
@@ -356,8 +371,7 @@ impl QConv2d {
                 for kx in 0..geo.k {
                     let ix = ox * self.stride + kx;
                     patch[idx] = in_bounds(iy, ix, self.padding, geo.h, geo.w)
-                        .map(|(y, x)| input.at3(ic, y, x))
-                        .unwrap_or(0);
+                        .map_or(0, |(y, x)| input.at3(ic, y, x));
                     idx += 1;
                 }
             }
@@ -441,7 +455,12 @@ impl QConv2d {
             );
         }
         if let Some(ps) = prepared {
-            assert_eq!(ps.len(), self.groups, "{}: one prepared handle per group", self.name);
+            assert_eq!(
+                ps.len(),
+                self.groups,
+                "{}: one prepared handle per group",
+                self.name
+            );
             for p in ps {
                 assert_eq!(
                     (p.rows(), p.cols()),
@@ -535,7 +554,11 @@ impl QConv2d {
                 None => {
                     let wslice = &self.weights.as_slice()
                         [g * kpg * geo.patch_len..(g + 1) * kpg * geo.patch_len];
-                    engine.vdp_batch(&patches, &WeightMatrix::new(wslice, kpg, geo.patch_len), &keys)
+                    engine.vdp_batch(
+                        &patches,
+                        &WeightMatrix::new(wslice, kpg, geo.patch_len),
+                        &keys,
+                    )
                 }
             };
             for b in 0..inputs.len() {
@@ -699,7 +722,7 @@ impl QFc {
     ) -> Vec<f32> {
         self.forward_logits_batch_keyed(&[input], engine, None, &[base_key])
             .pop()
-            .expect("one logit row per input")
+            .expect("invariant: forward_logits_batch_keyed yields one row per input")
     }
 
     /// A lower-weight-precision copy of the classifier: weight codes are
@@ -745,7 +768,12 @@ impl QFc {
         let [out_f, in_f] = *self.weights.dims() else {
             panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
         };
-        assert_eq!(self.bias.len(), out_f, "{}: bias length mismatch", self.name);
+        assert_eq!(
+            self.bias.len(),
+            out_f,
+            "{}: bias length mismatch",
+            self.name
+        );
         assert_eq!(base_keys.len(), inputs.len(), "one base key per image");
         let mut data = Vec::with_capacity(inputs.len() * in_f);
         for input in inputs {
@@ -782,7 +810,7 @@ pub fn argmax(logits: &[f32]) -> usize {
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("non-empty")
+        .expect("invariant: networks classify into at least one class")
 }
 
 /// Indices of the top-k logits in descending order.
@@ -801,9 +829,18 @@ mod tests {
 
     fn unit_requant() -> Requant {
         Requant::new(
-            ActivationQuant { scale: 1.0, bits: 8 },
-            WeightQuant { scale: 1.0, bits: 8 },
-            ActivationQuant { scale: 1.0, bits: 8 },
+            ActivationQuant {
+                scale: 1.0,
+                bits: 8,
+            },
+            WeightQuant {
+                scale: 1.0,
+                bits: 8,
+            },
+            ActivationQuant {
+                scale: 1.0,
+                bits: 8,
+            },
         )
     }
 
@@ -931,7 +968,11 @@ mod tests {
 
     #[test]
     fn maxpool_basic() {
-        let pool = MaxPool2d { kernel: 2, stride: 2, padding: 0 };
+        let pool = MaxPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
         let input = Tensor::<u32>::from_vec(&[1, 4, 4], (0..16).collect());
         let out = pool.forward(&input);
         assert_eq!(out.dims(), &[1, 2, 2]);
@@ -941,7 +982,11 @@ mod tests {
     #[test]
     fn maxpool_overlapping_window() {
         // 3x3 window, stride 2, padding 1 — GoogleNet/ResNet style.
-        let pool = MaxPool2d { kernel: 3, stride: 2, padding: 1 };
+        let pool = MaxPool2d {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let input = Tensor::<u32>::from_fn(&[1, 4, 4], |i| i as u32);
         let out = pool.forward(&input);
         assert_eq!(out.dims(), &[1, 2, 2]);

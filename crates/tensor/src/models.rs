@@ -76,7 +76,11 @@ impl CnnModel {
 
     /// Largest VDP vector length in the model.
     pub fn max_vector_len(&self) -> usize {
-        self.workloads.iter().map(|w| w.vector_len).max().unwrap_or(0)
+        self.workloads
+            .iter()
+            .map(|w| w.vector_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Kernel census against a size threshold: `(at_or_below, above)` —
@@ -153,9 +157,24 @@ impl Builder {
     }
 
     /// Grouped convolution (`groups == channels` is depthwise).
-    fn conv_grouped(&mut self, layer: &str, out_c: usize, k: usize, s: usize, p: usize, groups: usize) {
-        assert!(self.c.is_multiple_of(groups), "{layer}: channels {} not divisible by groups {groups}", self.c);
-        assert!(out_c.is_multiple_of(groups), "{layer}: kernels {out_c} not divisible by groups {groups}");
+    fn conv_grouped(
+        &mut self,
+        layer: &str,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        groups: usize,
+    ) {
+        assert!(
+            self.c.is_multiple_of(groups),
+            "{layer}: channels {} not divisible by groups {groups}",
+            self.c
+        );
+        assert!(
+            out_c.is_multiple_of(groups),
+            "{layer}: kernels {out_c} not divisible by groups {groups}"
+        );
         let (h, w) = Self::out_hw(self.h, self.w, k, s, p);
         self.workloads.push(VdpWorkload {
             layer: layer.to_string(),
@@ -336,7 +355,8 @@ pub fn shufflenet_v2() -> CnnModel {
     b.pool(3, 2, 1);
 
     // (stage name, output channels, units)
-    let stages: [(&str, usize, usize); 3] = [("stage2", 116, 4), ("stage3", 232, 8), ("stage4", 464, 4)];
+    let stages: [(&str, usize, usize); 3] =
+        [("stage2", 116, 4), ("stage3", 232, 8), ("stage4", 464, 4)];
     for (stage, out_c, units) in stages {
         let half = out_c / 2;
         for unit in 0..units {
@@ -551,11 +571,9 @@ mod tests {
                 .find(|w| w.ops_per_kernel > 1)
                 .unwrap();
             assert_eq!(
-                last_conv.ops_per_kernel,
-                49,
+                last_conv.ops_per_kernel, 49,
                 "{}: last conv at {} positions",
-                m.name,
-                last_conv.ops_per_kernel
+                m.name, last_conv.ops_per_kernel
             );
         }
     }
@@ -619,10 +637,7 @@ mod tests {
     #[test]
     fn census_models_are_the_table_ii_set() {
         let names: Vec<String> = census_models().into_iter().map(|m| m.name).collect();
-        assert_eq!(
-            names,
-            vec!["ResNet50", "GoogleNet", "VGG16", "DenseNet121"]
-        );
+        assert_eq!(names, vec!["ResNet50", "GoogleNet", "VGG16", "DenseNet121"]);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl QuantizedNetwork {
                         engine,
                         combine_keys(image_key, conv.layer_key()),
                         1,
-                    )
+                    );
                 }
                 QLayer::MaxPool(pool) => act = pool.forward(&act),
                 QLayer::GlobalAvgPool => act = GlobalAvgPool.forward(&act),
@@ -181,8 +181,8 @@ impl QuantizedNetwork {
             .map(|layer| match layer {
                 QLayer::Conv(conv) => {
                     let narrowed = conv.with_weight_bits(bits);
-                    let w_ratio = narrowed.requant.multiplier as f64
-                        / conv.requant.multiplier as f64;
+                    let w_ratio =
+                        narrowed.requant.multiplier as f64 / conv.requant.multiplier as f64;
                     let out_ratio = act_ratio(conv.requant.bits);
                     let next = QConv2d {
                         // Accumulator units shrink by the input and
@@ -233,11 +233,7 @@ impl QuantizedNetwork {
     }
 
     /// Top-1 accuracy over a labelled set.
-    pub fn accuracy(
-        &self,
-        samples: &[crate::dataset::Sample],
-        engine: &dyn VdpEngine,
-    ) -> f64 {
+    pub fn accuracy(&self, samples: &[crate::dataset::Sample], engine: &dyn VdpEngine) -> f64 {
         self.evaluate(samples, 1, engine, 1).0
     }
 
@@ -313,7 +309,11 @@ impl<'a> PreparedNetwork<'a> {
                 QLayer::Fc(fc) => PreparedLayer::Fc(fc.prepare(engine)),
             })
             .collect();
-        Self { net, engine, layers }
+        Self {
+            net,
+            engine,
+            layers,
+        }
     }
 
     /// The underlying network.
@@ -331,7 +331,7 @@ impl<'a> PreparedNetwork<'a> {
     pub fn forward_keyed(&self, image: &Tensor<f32>, image_key: u64) -> Vec<f32> {
         self.forward_batch(&[image], &[image_key], 1)
             .pop()
-            .expect("one logit row per image")
+            .expect("invariant: forward_batch yields one logit row per image")
     }
 
     /// Runs a whole serving batch through the network with **stacked
@@ -448,8 +448,14 @@ mod tests {
     use crate::quant::{Requant, WeightQuant};
 
     fn tiny_network() -> QuantizedNetwork {
-        let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
-        let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+        let aq = ActivationQuant {
+            scale: 1.0 / 255.0,
+            bits: 8,
+        };
+        let wq = WeightQuant {
+            scale: 1.0 / 127.0,
+            bits: 8,
+        };
         QuantizedNetwork {
             input_quant: aq,
             layers: vec![
@@ -462,7 +468,11 @@ mod tests {
                     groups: 1,
                     requant: Requant::new(aq, wq, aq),
                 }),
-                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::MaxPool(MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
                 QLayer::GlobalAvgPool,
                 QLayer::Fc(QFc {
                     name: "fc".into(),
@@ -537,7 +547,11 @@ mod tests {
             .map(|(im, &k)| prepared.forward_keyed(im, k))
             .collect();
         for workers in [1usize, 2, 8] {
-            assert_eq!(prepared.forward_batch(&refs, &keys, workers), singles, "{workers} workers");
+            assert_eq!(
+                prepared.forward_batch(&refs, &keys, workers),
+                singles,
+                "{workers} workers"
+            );
         }
         // Predictions come straight off the batch logits.
         let preds = prepared.predict_batch(&refs, &keys, 2);
@@ -569,18 +583,12 @@ mod tests {
         for bits in [2u8, 4, 6] {
             let degraded = net.with_weight_bits(bits);
             let qmax = (1i32 << (bits - 1)) - 1;
-            let (QLayer::Conv(orig), QLayer::Conv(deg)) =
-                (&net.layers[0], &degraded.layers[0])
+            let (QLayer::Conv(orig), QLayer::Conv(deg)) = (&net.layers[0], &degraded.layers[0])
             else {
                 panic!("conv first");
             };
             let ratio = deg.requant.multiplier as f64 / orig.requant.multiplier as f64;
-            for (&o, &d) in orig
-                .weights
-                .as_slice()
-                .iter()
-                .zip(deg.weights.as_slice())
-            {
+            for (&o, &d) in orig.weights.as_slice().iter().zip(deg.weights.as_slice()) {
                 assert!(d.abs() <= qmax, "{bits}-bit code {d} out of range");
                 // Real weight o·s vs d·(s·ratio): within half a new step.
                 assert!(
@@ -638,7 +646,9 @@ mod tests {
             assert_eq!(deg.predict(&bright, &ExactEngine), 0);
             // Degrading is idempotent at the same precision.
             let twice = deg.degraded(bits);
-            let QLayer::Conv(c2) = &twice.layers[0] else { panic!("conv") };
+            let QLayer::Conv(c2) = &twice.layers[0] else {
+                panic!("conv")
+            };
             assert_eq!(c.weights.as_slice(), c2.weights.as_slice());
             assert_eq!(c.requant.multiplier, c2.requant.multiplier);
         }

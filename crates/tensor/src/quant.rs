@@ -194,9 +194,18 @@ mod tests {
 
     #[test]
     fn requant_scales_accumulator() {
-        let input = ActivationQuant { scale: 0.1, bits: 8 };
-        let weights = WeightQuant { scale: 0.01, bits: 8 };
-        let output = ActivationQuant { scale: 0.05, bits: 8 };
+        let input = ActivationQuant {
+            scale: 0.1,
+            bits: 8,
+        };
+        let weights = WeightQuant {
+            scale: 0.01,
+            bits: 8,
+        };
+        let output = ActivationQuant {
+            scale: 0.05,
+            bits: 8,
+        };
         let r = Requant::new(input, weights, output);
         // acc = 1000 integer units ≙ 1000·0.1·0.01 = 1.0 real → 20 codes.
         assert_eq!(r.apply(1000.0), 20);
@@ -206,9 +215,18 @@ mod tests {
 
     #[test]
     fn requant_saturates() {
-        let input = ActivationQuant { scale: 1.0, bits: 8 };
-        let weights = WeightQuant { scale: 1.0, bits: 8 };
-        let output = ActivationQuant { scale: 1.0, bits: 8 };
+        let input = ActivationQuant {
+            scale: 1.0,
+            bits: 8,
+        };
+        let weights = WeightQuant {
+            scale: 1.0,
+            bits: 8,
+        };
+        let output = ActivationQuant {
+            scale: 1.0,
+            bits: 8,
+        };
         let r = Requant::new(input, weights, output);
         assert_eq!(r.apply(1e9), 255);
     }

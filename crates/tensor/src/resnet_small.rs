@@ -185,8 +185,7 @@ impl SmallResNet {
         assert!(!samples.is_empty(), "cannot train on an empty set");
         let mut last = 0.0;
         for _ in 0..epochs {
-            last = samples.iter().map(|s| self.sgd_step(s, lr)).sum::<f32>()
-                / samples.len() as f32;
+            last = samples.iter().map(|s| self.sgd_step(s, lr)).sum::<f32>() / samples.len() as f32;
         }
         last
     }
@@ -243,7 +242,11 @@ impl SmallResNet {
             skip_rescale: act0_q.scale / act2_q.scale,
             conv1: conv("block.conv1", &self.w1, &self.b1, wq1, act0_q, act1_q),
             conv2: conv("block.conv2", &self.w2, &self.b2, wq2, act1_q, act2_q),
-            pool: MaxPool2d { kernel: 2, stride: 2, padding: 0 },
+            pool: MaxPool2d {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            },
             fc: QFc {
                 name: "fc".into(),
                 weights: wqf.quantize_tensor(&self.wf),

@@ -73,7 +73,10 @@ impl SmallCnn {
     /// # Panics
     /// Panics if the input size is not divisible by 4.
     pub fn new(cfg: SmallCnnConfig, seed: u64) -> Self {
-        assert!(cfg.input_size.is_multiple_of(4), "input size must be divisible by 4");
+        assert!(
+            cfg.input_size.is_multiple_of(4),
+            "input size must be divisible by 4"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let init = |dims: &[usize], fan_in: usize, rng: &mut StdRng| {
             let s = (2.0 / fan_in as f32).sqrt();
@@ -81,7 +84,11 @@ impl SmallCnn {
         };
         let fc_in = cfg.channels2 * (cfg.input_size / 4) * (cfg.input_size / 4);
         let w1 = init(&[cfg.channels1, 1, 3, 3], 9, &mut rng);
-        let w2 = init(&[cfg.channels2, cfg.channels1, 3, 3], 9 * cfg.channels1, &mut rng);
+        let w2 = init(
+            &[cfg.channels2, cfg.channels1, 3, 3],
+            9 * cfg.channels1,
+            &mut rng,
+        );
         let wf = init(&[cfg.classes, fc_in], fc_in, &mut rng);
         Self {
             cfg,
@@ -167,11 +174,7 @@ impl SmallCnn {
         assert!(!samples.is_empty(), "cannot train on an empty set");
         let mut last = 0.0;
         for _ in 0..epochs {
-            last = samples
-                .iter()
-                .map(|s| self.sgd_step(s, lr))
-                .sum::<f32>()
-                / samples.len() as f32;
+            last = samples.iter().map(|s| self.sgd_step(s, lr)).sum::<f32>() / samples.len() as f32;
         }
         last
     }
@@ -213,7 +216,11 @@ impl SmallCnn {
                     groups: 1,
                     requant: Requant::new(input_q, wq1, act1_q),
                 }),
-                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::MaxPool(MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
                 QLayer::Conv(QConv2d {
                     name: "conv2".into(),
                     weights: wq2.quantize_tensor(&self.w2),
@@ -227,7 +234,11 @@ impl SmallCnn {
                     groups: 1,
                     requant: Requant::new(act1_q, wq2, act2_q),
                 }),
-                QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+                QLayer::MaxPool(MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
                 QLayer::Fc(QFc {
                     name: "fc".into(),
                     weights: wqf.quantize_tensor(&self.wf),

@@ -90,7 +90,11 @@ impl<T: Copy + Default> Tensor<T> {
     pub fn at3(&self, c: usize, h: usize, w: usize) -> T {
         debug_assert_eq!(self.dims.len(), 3, "at3 on rank-{} tensor", self.dims.len());
         let (ch, hh, ww) = (self.dims[0], self.dims[1], self.dims[2]);
-        assert!(c < ch && h < hh && w < ww, "index ({c},{h},{w}) out of {:?}", self.dims);
+        assert!(
+            c < ch && h < hh && w < ww,
+            "index ({c},{h},{w}) out of {:?}",
+            self.dims
+        );
         self.data[(c * hh + h) * ww + w]
     }
 
@@ -99,7 +103,11 @@ impl<T: Copy + Default> Tensor<T> {
     pub fn set3(&mut self, c: usize, h: usize, w: usize, v: T) {
         debug_assert_eq!(self.dims.len(), 3);
         let (ch, hh, ww) = (self.dims[0], self.dims[1], self.dims[2]);
-        assert!(c < ch && h < hh && w < ww, "index ({c},{h},{w}) out of {:?}", self.dims);
+        assert!(
+            c < ch && h < hh && w < ww,
+            "index ({c},{h},{w}) out of {:?}",
+            self.dims
+        );
         self.data[(c * hh + h) * ww + w] = v;
     }
 
@@ -143,7 +151,13 @@ impl<T: Copy + Default> Tensor<T> {
     /// Panics if the element counts differ.
     pub fn reshape(&mut self, dims: &[usize]) {
         let len = checked_len(dims);
-        assert_eq!(len, self.data.len(), "reshape {:?} -> {:?}", self.dims, dims);
+        assert_eq!(
+            len,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.dims,
+            dims
+        );
         self.dims = dims.to_vec();
     }
 }
@@ -157,10 +171,12 @@ impl Tensor<f32> {
 
 fn checked_len(dims: &[usize]) -> usize {
     assert!(!dims.is_empty(), "tensor rank must be at least 1");
-    dims.iter().map(|&d| {
-        assert!(d > 0, "zero-sized dimension in {dims:?}");
-        d
-    }).product()
+    dims.iter()
+        .map(|&d| {
+            assert!(d > 0, "zero-sized dimension in {dims:?}");
+            d
+        })
+        .product()
 }
 
 impl<T: Copy + Default + fmt::Debug> fmt::Debug for Tensor<T> {

@@ -53,7 +53,11 @@ fn main() {
     let engine = SconnaEngine::paper_default(42);
     let sc_acc = qnet.accuracy(&test, &engine);
     let sc_top5 = qnet.top_k_accuracy(&test, 5, &engine);
-    println!("SCONNA Top-1: {:.1}%  Top-5: {:.1}%", 100.0 * sc_acc, 100.0 * sc_top5);
+    println!(
+        "SCONNA Top-1: {:.1}%  Top-5: {:.1}%",
+        100.0 * sc_acc,
+        100.0 * sc_top5
+    );
     println!(
         "Top-1 drop vs exact int8: {:.2} percentage points (paper: <=1.5 for small CNNs)",
         100.0 * (exact_acc - sc_acc)

@@ -18,9 +18,7 @@
 //! Run with: `cargo run --release --example overload`
 
 use sconna::accel::report::format_overload_sweep;
-use sconna::accel::serve::{
-    overload_sweep, AdmissionPolicy, FunctionalWorkload, ServingConfig,
-};
+use sconna::accel::serve::{overload_sweep, AdmissionPolicy, FunctionalWorkload, ServingConfig};
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::photonics::pca::AdcModel;
 use sconna::sc::Precision;
@@ -53,7 +51,12 @@ fn main() {
     let train = data.batch(20, seed.wrapping_add(1));
     let test = data.batch(12, seed.wrapping_add(2));
     let mut cnn = SmallCnn::new(
-        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        SmallCnnConfig {
+            input_size: 16,
+            channels1: 8,
+            channels2: 16,
+            classes: 10,
+        },
         seed,
     );
     cnn.train(&train, 10, 0.05);
@@ -83,7 +86,10 @@ fn main() {
     let dn = overload_sweep(&cfg_dn, &model, &workload, &rates, 2);
     println!("DropNewest (bounded queue, reject arrivals when full):");
     print!("{}", format_overload_sweep(&dn));
-    assert_eq!(dn[0].report.serving.dropped, 0, "below the knee nothing sheds");
+    assert_eq!(
+        dn[0].report.serving.dropped, 0,
+        "below the knee nothing sheds"
+    );
     let plateau = dn[2].report.serving.goodput_fps / capacity;
     assert!(
         (0.7..=1.1).contains(&plateau),
@@ -95,10 +101,7 @@ fn main() {
     );
     println!(
         "  -> knee at ~{:.0} fps: goodput {:.2}x capacity at 3x load, p99 {} (vs {})\n",
-        capacity,
-        plateau,
-        dn[2].report.serving.latency.p99,
-        dn[0].report.serving.latency.p99
+        capacity, plateau, dn[2].report.serving.latency.p99, dn[0].report.serving.latency.p99
     );
 
     // 3. Deadline keeps the tail bounded.
@@ -127,7 +130,9 @@ fn main() {
 
     // 4. Degrade trades accuracy instead of availability.
     let cfg_dg = ServingConfig {
-        admission: AdmissionPolicy::Degrade { fallback_bits: FALLBACK_BITS },
+        admission: AdmissionPolicy::Degrade {
+            fallback_bits: FALLBACK_BITS,
+        },
         ..base.clone()
     };
     let dg = overload_sweep(&cfg_dg, &model, &workload, &rates, 2);

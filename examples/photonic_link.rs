@@ -55,7 +55,9 @@ fn main() {
     println!(
         "  static OMA: {:.2} dBm; supported bitrate at -28 dBm floor: {:.1} Gb/s",
         watts_to_dbm(gate.static_oma_w()),
-        gate.supported_bitrate_hz(dbm_to_watts(-28.0)).unwrap_or(0.0) / 1e9
+        gate.supported_bitrate_hz(dbm_to_watts(-28.0))
+            .unwrap_or(0.0)
+            / 1e9
     );
 
     // --- the PCA integrating the product stream ---------------------------

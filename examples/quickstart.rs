@@ -34,7 +34,7 @@ fn main() {
         .sum();
     println!();
     println!("VDPE dot product (176 points):");
-    println!("  stochastic: {} (ones-count units)", sc_result);
+    println!("  stochastic: {sc_result} (ones-count units)");
     println!("  exact/256 : {:.1}", exact as f64 / 256.0);
 
     // --- 3. how big can a VDPC be? --------------------------------------
@@ -67,8 +67,5 @@ fn main() {
     let engine = SconnaEngine::paper_default(1);
     let est = engine.vdp(&inputs, &weights);
     println!();
-    println!(
-        "SconnaEngine VDP estimate (with ADC noise): {:.0} vs exact {}",
-        est, exact
-    );
+    println!("SconnaEngine VDP estimate (with ADC noise): {est:.0} vs exact {exact}");
 }

@@ -6,15 +6,16 @@
 
 use sconna::photonics::link::LinkParameters;
 use sconna::photonics::photodetector::Photodetector;
-use sconna::photonics::scalability::{
-    max_analog_n, sconna_scalability, AnalogOrganization,
-};
+use sconna::photonics::scalability::{max_analog_n, sconna_scalability, AnalogOrganization};
 use sconna::sim::parallel::parallel_map;
 
 fn main() {
     // --- SCONNA: sweep laser power and waveguide loss in parallel -------
     println!("SCONNA achievable N = M vs laser power and waveguide loss:");
-    println!("{:>14} | {:>10} {:>10} {:>10}", "", "0.1 dB/mm", "0.3 dB/mm", "0.5 dB/mm");
+    println!(
+        "{:>14} | {:>10} {:>10} {:>10}",
+        "", "0.1 dB/mm", "0.3 dB/mm", "0.5 dB/mm"
+    );
     let grid: Vec<(f64, f64)> = [6.0f64, 8.0, 10.0, 12.0]
         .iter()
         .flat_map(|&p| [0.1f64, 0.3, 0.5].iter().map(move |&w| (p, w)))
@@ -25,8 +26,7 @@ fn main() {
             il_wg_db_per_mm: wg_loss,
             ..LinkParameters::default()
         };
-        sconna_scalability(&params, &Photodetector::default(), 30e9, 8, 50e-9, 0.25e-9)
-            .achievable_n
+        sconna_scalability(&params, &Photodetector::default(), 30e9, 8, 50e-9, 0.25e-9).achievable_n
     });
     for (row, chunk) in results.chunks(3).enumerate() {
         let laser = [6.0, 8.0, 10.0, 12.0][row];

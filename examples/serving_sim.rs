@@ -98,13 +98,20 @@ fn main() {
     let train = data.batch(20, seed.wrapping_add(1));
     let test = data.batch(12, seed.wrapping_add(2));
     let mut cnn = SmallCnn::new(
-        SmallCnnConfig { input_size: 16, channels1: 8, channels2: 16, classes: 10 },
+        SmallCnnConfig {
+            input_size: 16,
+            channels1: 8,
+            channels2: 16,
+            classes: 10,
+        },
         seed,
     );
     cnn.train(&train, 10, 0.05);
     let qnet = cnn.quantize(&train, 8);
     let engine = SconnaEngine::paper_default(seed);
-    let (offline_top1, _) = qnet.prepare(&ExactEngine).evaluate(&test, 5, default_workers());
+    let (offline_top1, _) = qnet
+        .prepare(&ExactEngine)
+        .evaluate(&test, 5, default_workers());
 
     let fn_requests = 96;
     let fn_cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, fn_requests);
@@ -118,13 +125,13 @@ fn main() {
             engine: &engine,
             workers,
         };
-        runs.push((workers, simulate_serving_functional(&fn_cfg, &model, &workload)));
+        runs.push((
+            workers,
+            simulate_serving_functional(&fn_cfg, &model, &workload),
+        ));
     }
     let (_, first) = &runs[0];
-    println!(
-        "{} requests on a 2-instance SCONNA fleet (stochastic engine, batch 8):",
-        fn_requests
-    );
+    println!("{fn_requests} requests on a 2-instance SCONNA fleet (stochastic engine, batch 8):");
     println!(
         "  top-1 accuracy under load: {:.1}%  ({} / {} correct; exact-engine offline top-1 {:.1}%)",
         100.0 * first.accuracy_under_load,
@@ -146,7 +153,9 @@ fn main() {
     // keyed by id, not by schedule.
     let poisson = simulate_serving_functional(
         &ServingConfig {
-            arrivals: ArrivalProcess::Poisson { rate_fps: first.serving.fps * 0.5 },
+            arrivals: ArrivalProcess::Poisson {
+                rate_fps: first.serving.fps * 0.5,
+            },
             seed: 11,
             ..fn_cfg.clone()
         },
@@ -161,5 +170,5 @@ fn main() {
         },
     );
     assert_eq!(poisson.predictions, first.predictions);
-    println!("  Poisson arrivals at 50% load: same {} predictions, same accuracy", fn_requests);
+    println!("  Poisson arrivals at 50% load: same {fn_requests} predictions, same accuracy");
 }

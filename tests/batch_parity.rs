@@ -17,9 +17,18 @@ use sconna::tensor::Tensor;
 
 fn unit_requant() -> Requant {
     Requant::new(
-        ActivationQuant { scale: 1.0, bits: 8 },
-        WeightQuant { scale: 1.0, bits: 8 },
-        ActivationQuant { scale: 1.0, bits: 8 },
+        ActivationQuant {
+            scale: 1.0,
+            bits: 8,
+        },
+        WeightQuant {
+            scale: 1.0,
+            bits: 8,
+        },
+        ActivationQuant {
+            scale: 1.0,
+            bits: 8,
+        },
     )
 }
 
@@ -27,7 +36,12 @@ fn unit_requant() -> Requant {
 /// the single-vector call under the combined key, bit for bit — and the
 /// weight-stationary `vdp_batch_prepared` path reproduces the same tile
 /// exactly.
-fn assert_batch_parity(engine: &dyn VdpEngine, patches: &PatchMatrix, wm: &WeightMatrix<'_>, keys: &[u64]) {
+fn assert_batch_parity(
+    engine: &dyn VdpEngine,
+    patches: &PatchMatrix,
+    wm: &WeightMatrix<'_>,
+    keys: &[u64],
+) {
     let got = engine.vdp_batch(patches, wm, keys);
     assert_eq!(got.len(), patches.rows() * wm.rows());
     for p in 0..patches.rows() {

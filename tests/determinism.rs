@@ -26,14 +26,22 @@ fn parallel_simulation_matches_serial() {
     let models = vec![googlenet(), shufflenet_v2()];
     let serial: Vec<u64> = models
         .iter()
-        .map(|m| simulate_inference(&AcceleratorConfig::sconna(), m).makespan.as_ps())
+        .map(|m| {
+            simulate_inference(&AcceleratorConfig::sconna(), m)
+                .makespan
+                .as_ps()
+        })
         .collect();
     let parallel: Vec<u64> = parallel_map(models.clone(), |m| {
-        simulate_inference(&AcceleratorConfig::sconna(), &m).makespan.as_ps()
+        simulate_inference(&AcceleratorConfig::sconna(), &m)
+            .makespan
+            .as_ps()
     });
     assert_eq!(serial, parallel);
     let single_worker: Vec<u64> = parallel_map_with(models, 1, |m| {
-        simulate_inference(&AcceleratorConfig::sconna(), &m).makespan.as_ps()
+        simulate_inference(&AcceleratorConfig::sconna(), &m)
+            .makespan
+            .as_ps()
     });
     assert_eq!(serial, single_worker);
 }
@@ -63,7 +71,9 @@ fn engine_stream_of_vdps_is_seed_deterministic() {
     let weights: Vec<i32> = (0..352).map(|k| (k * 13) % 255 - 127).collect();
     let run = |seed: u64| -> Vec<u64> {
         let e = SconnaEngine::paper_default(seed);
-        (0..10).map(|_| e.vdp(&inputs, &weights).to_bits()).collect()
+        (0..10)
+            .map(|_| e.vdp(&inputs, &weights).to_bits())
+            .collect()
     };
     assert_eq!(run(5), run(5));
 }

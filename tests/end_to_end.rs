@@ -74,15 +74,18 @@ fn fig9_ordering_holds_per_model() {
         let s = simulate_inference(&AcceleratorConfig::sconna(), &model);
         let m = simulate_inference(&AcceleratorConfig::mam(), &model);
         let a = simulate_inference(&AcceleratorConfig::amm(), &model);
-        assert!(s.fps > m.fps && m.fps > a.fps, "{}: FPS ordering", model.name);
+        assert!(
+            s.fps > m.fps && m.fps > a.fps,
+            "{}: FPS ordering",
+            model.name
+        );
         assert!(
             s.fps_per_w > m.fps_per_w && m.fps_per_w > a.fps_per_w,
             "{}: FPS/W ordering",
             model.name
         );
         assert!(
-            s.fps_per_w_per_mm2 > m.fps_per_w_per_mm2
-                && m.fps_per_w_per_mm2 > a.fps_per_w_per_mm2,
+            s.fps_per_w_per_mm2 > m.fps_per_w_per_mm2 && m.fps_per_w_per_mm2 > a.fps_per_w_per_mm2,
             "{}: FPS/W/mm2 ordering",
             model.name
         );

@@ -9,11 +9,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sconna::accel::serve::{
-    simulate_serving_functional, AdmissionPolicy, ArrivalProcess, FunctionalWorkload,
-    ServingConfig,
+    simulate_serving_functional, AdmissionPolicy, ArrivalProcess, FunctionalWorkload, ServingConfig,
 };
-use sconna::sim::time::SimTime;
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
+use sconna::sim::time::SimTime;
 use sconna::tensor::dataset::Sample;
 use sconna::tensor::engine::{ExactEngine, VdpEngine};
 use sconna::tensor::layers::{MaxPool2d, QConv2d, QFc};
@@ -25,8 +24,14 @@ use sconna::tensor::Tensor;
 /// A hand-built quantized CNN (weights from a hash, no training) plus a
 /// labelled request population.
 fn tiny_workload(seed: u64, classes: usize) -> (QuantizedNetwork, Vec<Sample>) {
-    let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
-    let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+    let aq = ActivationQuant {
+        scale: 1.0 / 255.0,
+        bits: 8,
+    };
+    let wq = WeightQuant {
+        scale: 1.0 / 127.0,
+        bits: 8,
+    };
     let net = QuantizedNetwork {
         input_quant: aq,
         layers: vec![
@@ -41,7 +46,11 @@ fn tiny_workload(seed: u64, classes: usize) -> (QuantizedNetwork, Vec<Sample>) {
                 groups: 1,
                 requant: Requant::new(aq, wq, aq),
             }),
-            QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+            QLayer::MaxPool(MaxPool2d {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            }),
             QLayer::GlobalAvgPool,
             QLayer::Fc(QFc {
                 name: format!("fc-{seed}"),
@@ -221,7 +230,9 @@ fn overload_reports_are_worker_and_arrival_order_invariant() {
     let policies = [
         AdmissionPolicy::DropNewest,
         AdmissionPolicy::DropOldest,
-        AdmissionPolicy::Deadline { slo: SimTime::from_ns(120_000) },
+        AdmissionPolicy::Deadline {
+            slo: SimTime::from_ns(120_000),
+        },
         AdmissionPolicy::Degrade { fallback_bits: 4 },
     ];
     for admission in policies {
@@ -239,8 +250,7 @@ fn overload_reports_are_worker_and_arrival_order_invariant() {
             engine: &engine,
             workers,
         };
-        let baseline =
-            simulate_serving_functional(&cfg(times.clone()), &model, &workload(1));
+        let baseline = simulate_serving_functional(&cfg(times.clone()), &model, &workload(1));
         // The overload config actually sheds — otherwise this pins nothing.
         assert!(
             baseline.serving.dropped + baseline.serving.degraded > 0,
@@ -248,16 +258,14 @@ fn overload_reports_are_worker_and_arrival_order_invariant() {
         );
         let debug = format!("{baseline:?}");
         for workers in [2usize, 8] {
-            let run =
-                simulate_serving_functional(&cfg(times.clone()), &model, &workload(workers));
+            let run = simulate_serving_functional(&cfg(times.clone()), &model, &workload(workers));
             assert_eq!(
                 format!("{run:?}"),
                 debug,
                 "{admission:?}: {workers} workers diverged"
             );
         }
-        let reordered =
-            simulate_serving_functional(&cfg(shuffled.clone()), &model, &workload(2));
+        let reordered = simulate_serving_functional(&cfg(shuffled.clone()), &model, &workload(2));
         assert_eq!(
             format!("{reordered:?}"),
             debug,
@@ -286,7 +294,9 @@ fn shed_and_degraded_responses_match_their_offline_references() {
     let cfg = ServingConfig {
         queue_cap: Some(1),
         admission: AdmissionPolicy::Degrade { fallback_bits: 4 },
-        arrivals: ArrivalProcess::Poisson { rate_fps: 2.5 * capacity },
+        arrivals: ArrivalProcess::Poisson {
+            rate_fps: 2.5 * capacity,
+        },
         seed: 4,
         ..base
     };
@@ -299,7 +309,10 @@ fn shed_and_degraded_responses_match_their_offline_references() {
         workers: 2,
     };
     let r = simulate_serving_functional(&cfg, &model, &workload);
-    assert!(r.serving.degraded > 0, "2.5x load against a 1-deep queue must degrade");
+    assert!(
+        r.serving.degraded > 0,
+        "2.5x load against a 1-deep queue must degrade"
+    );
     assert_eq!(r.serving.dropped, 0);
     for (id, (&pred, &outcome)) in r.predictions.iter().zip(&r.outcomes).enumerate() {
         let s = &samples[id % samples.len()];
@@ -308,11 +321,8 @@ fn shed_and_degraded_responses_match_their_offline_references() {
             RequestOutcome::Degraded => &fallback,
             _ => panic!("no drops under Degrade"),
         };
-        let offline = sconna::tensor::layers::argmax(&reference.forward_keyed(
-            &s.image,
-            &engine,
-            id as u64,
-        ));
+        let offline =
+            sconna::tensor::layers::argmax(&reference.forward_keyed(&s.image, &engine, id as u64));
         assert_eq!(pred, offline, "request {id} ({outcome:?})");
     }
 }

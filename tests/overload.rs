@@ -13,17 +13,23 @@ use sconna::accel::serve::{
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::time::SimTime;
 use sconna::tensor::dataset::Sample;
+use sconna::tensor::layers::{MaxPool2d, QConv2d, QFc};
 use sconna::tensor::models::shufflenet_v2;
 use sconna::tensor::network::{QLayer, QuantizedNetwork};
-use sconna::tensor::layers::{MaxPool2d, QConv2d, QFc};
 use sconna::tensor::quant::{ActivationQuant, Requant, WeightQuant};
 use sconna::tensor::Tensor;
 
 /// A hand-built quantized CNN plus a labelled request population for the
 /// functional overload points.
 fn tiny_workload(seed: u64) -> (QuantizedNetwork, Vec<Sample>) {
-    let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
-    let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+    let aq = ActivationQuant {
+        scale: 1.0 / 255.0,
+        bits: 8,
+    };
+    let wq = WeightQuant {
+        scale: 1.0 / 127.0,
+        bits: 8,
+    };
     let net = QuantizedNetwork {
         input_quant: aq,
         layers: vec![
@@ -38,13 +44,15 @@ fn tiny_workload(seed: u64) -> (QuantizedNetwork, Vec<Sample>) {
                 groups: 1,
                 requant: Requant::new(aq, wq, aq),
             }),
-            QLayer::MaxPool(MaxPool2d { kernel: 2, stride: 2, padding: 0 }),
+            QLayer::MaxPool(MaxPool2d {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            }),
             QLayer::GlobalAvgPool,
             QLayer::Fc(QFc {
                 name: format!("fc-{seed}"),
-                weights: Tensor::from_fn(&[3, 4], |i| {
-                    ((i as u64 * 67 + seed) % 255) as i32 - 127
-                }),
+                weights: Tensor::from_fn(&[3, 4], |i| ((i as u64 * 67 + seed) % 255) as i32 - 127),
                 bias: vec![0.0; 3],
                 dequant: aq.scale * wq.scale,
             }),
@@ -231,7 +239,12 @@ fn overload_sweep_knee_sits_at_the_capacity_estimate() {
         engine: &engine,
         workers: 1,
     };
-    let rates = [0.4 * capacity, 0.8 * capacity, 2.0 * capacity, 4.0 * capacity];
+    let rates = [
+        0.4 * capacity,
+        0.8 * capacity,
+        2.0 * capacity,
+        4.0 * capacity,
+    ];
     let points = overload_sweep(&base, &model, &workload, &rates, 2);
 
     // Below the knee: goodput ≈ offered, nothing sheds.
@@ -247,7 +260,11 @@ fn overload_sweep_knee_sits_at_the_capacity_estimate() {
     }
     // Past the knee: goodput plateaus at capacity while drops grow.
     for p in &points[2..] {
-        assert!(p.report.serving.dropped > 0, "no shedding at {:.0} fps", p.offered_fps);
+        assert!(
+            p.report.serving.dropped > 0,
+            "no shedding at {:.0} fps",
+            p.offered_fps
+        );
         let ratio = p.report.serving.goodput_fps / capacity;
         assert!(
             (0.8..=1.1).contains(&ratio),

@@ -121,12 +121,8 @@ fn anchor_fig9_speedups() {
     let s = fps(&AcceleratorConfig::sconna());
     let m = fps(&AcceleratorConfig::mam());
     let a = fps(&AcceleratorConfig::amm());
-    let over_mam = gmean(
-        &s.iter().zip(&m).map(|(x, y)| x / y).collect::<Vec<_>>(),
-    );
-    let over_amm = gmean(
-        &s.iter().zip(&a).map(|(x, y)| x / y).collect::<Vec<_>>(),
-    );
+    let over_mam = gmean(&s.iter().zip(&m).map(|(x, y)| x / y).collect::<Vec<_>>());
+    let over_amm = gmean(&s.iter().zip(&a).map(|(x, y)| x / y).collect::<Vec<_>>());
     assert!(
         over_mam > 33.0 && over_mam < 133.0,
         "SCONNA/MAM {over_mam} vs paper 66.5"
