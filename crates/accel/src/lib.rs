@@ -29,6 +29,6 @@ pub use engine::SconnaEngine;
 pub use organization::{AcceleratorConfig, AcceleratorKind};
 pub use perf::{simulate_inference, InferencePerf};
 pub use serve::{
-    simulate_serving, simulate_serving_functional, ArrivalProcess, FunctionalServingReport,
-    FunctionalWorkload, ServingConfig, ServingReport,
+    simulate_serving, simulate_serving_functional, ArrivalProcess, FaultEvent, FaultPlan, Fleet,
+    FleetSnapshot, FunctionalServingReport, FunctionalWorkload, ServingConfig, ServingReport,
 };

@@ -1,0 +1,289 @@
+//! Serving-experiment configuration: arrival processes, admission
+//! policies, and the [`ServingConfig`] that binds a fleet shape to a
+//! workload — plus the cheap `Clone`-based builder path sweep call
+//! sites use instead of re-constructing configs by hand.
+
+use crate::organization::AcceleratorConfig;
+use crate::perf::analyze_layer_batched;
+use sconna_sim::time::SimTime;
+use sconna_tensor::models::CnnModel;
+use serde::{Deserialize, Serialize};
+
+/// How requests enter the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open loop: exponential inter-arrival times at `rate_fps`
+    /// requests per second, independent of service progress.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_fps: f64,
+    },
+    /// Closed loop: `clients` concurrent users; each fires its next
+    /// request the instant its previous one completes — or is shed (a
+    /// rejected client immediately retries with a fresh request). This
+    /// is the saturation workload that measures peak throughput.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+    /// Replay: request `i` of the trace arrives at `times[i]`. The trace
+    /// length must equal `ServingConfig::requests`. Request ids are
+    /// assigned in *time* order (ties by schedule order), so any
+    /// permutation of a tie-free trace simulates identically —
+    /// the reordering invariance the overload determinism tests pin.
+    Trace {
+        /// Absolute arrival times (need not be sorted).
+        times: Vec<SimTime>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Open-loop Poisson arrivals at `rate_fps` requests per second.
+    pub fn poisson(rate_fps: f64) -> Self {
+        ArrivalProcess::Poisson { rate_fps }
+    }
+
+    /// A closed loop of `clients` zero-think-time users.
+    pub fn closed_loop(clients: usize) -> Self {
+        ArrivalProcess::ClosedLoop { clients }
+    }
+
+    /// Replay of an absolute-arrival-time trace.
+    pub fn trace(times: Vec<SimTime>) -> Self {
+        ArrivalProcess::Trace { times }
+    }
+}
+
+/// What the scheduler does with traffic the bounded queue cannot absorb.
+///
+/// Shedding triggers when a request arrives while the pending queue
+/// holds at least `queue_cap × instances` requests (and, for
+/// [`AdmissionPolicy::Deadline`], additionally at dispatch time). With
+/// `queue_cap: None` only `Deadline` ever sheds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the arriving request (classic tail drop). The default; with
+    /// an unbounded queue this is exactly the pre-overload scheduler.
+    #[default]
+    DropNewest,
+    /// Evict the oldest waiting request and admit the newcomer (the
+    /// freshest traffic is the most likely to still meet its deadline).
+    DropOldest,
+    /// Tail drop at the queue cap, plus SLO-aware shedding at dispatch:
+    /// any request whose queue wait already exceeds `slo` when an
+    /// instance would pick it up is shed instead of served — it could
+    /// only have become a late answer nobody is waiting for.
+    Deadline {
+        /// Queue-wait budget per request.
+        slo: SimTime,
+    },
+    /// Never drop: requests arriving over the cap are admitted onto the
+    /// same queue but marked **degraded** — they execute on a cheaper
+    /// `fallback_bits`-weight-precision copy of the model
+    /// ([`sconna_tensor::network::QuantizedNetwork::with_weight_bits`])
+    /// whose shorter stochastic streams make their batches
+    /// `2^native / 2^fallback` times faster
+    /// ([`AcceleratorConfig::with_native_bits`]). Shedding trades
+    /// accuracy instead of availability.
+    Degrade {
+        /// Weight precision of the fallback model, bits.
+        fallback_bits: u8,
+    },
+}
+
+/// One serving experiment: a fleet, a scheduler policy, a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Accelerator configuration every instance runs.
+    pub accelerator: AcceleratorConfig,
+    /// Number of accelerator instances in the fleet.
+    pub instances: usize,
+    /// Largest batch the scheduler packs onto one instance.
+    pub max_batch: usize,
+    /// How long the oldest pending request may wait before a partial
+    /// batch is flushed to an idle instance.
+    pub batch_window: SimTime,
+    /// Pending-queue bound, requests **per instance** (the shared queue
+    /// holds at most `queue_cap × instances`); `None` is unbounded.
+    pub queue_cap: Option<usize>,
+    /// What happens to traffic over the bound.
+    pub admission: AdmissionPolicy,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Total requests to serve; the simulation ends when every one has
+    /// been served, degraded or shed.
+    pub requests: usize,
+    /// Seed for the arrival process (unused by `ClosedLoop`/`Trace`).
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// A closed-loop saturation test: `2 × instances × max_batch`
+    /// zero-think-time clients — enough that whenever an instance goes
+    /// idle a full batch is already waiting, so every batch slot stays
+    /// occupied and the measured FPS is the fleet's service **capacity**.
+    /// That capacity is the knee of the open-loop overload sweep: offered
+    /// load below it is served at the offered rate, load above it can
+    /// only be absorbed by queueing and shedding (see
+    /// [`overload_sweep`](crate::serve::overload_sweep) and the
+    /// closed-form [`ServingConfig::estimated_capacity_fps`], which this
+    /// measured knee is unit-pinned against).
+    ///
+    /// Unbounded queue, [`AdmissionPolicy::DropNewest`] — i.e. no
+    /// shedding: the closed loop self-limits at `clients` outstanding
+    /// requests.
+    pub fn saturation(
+        accelerator: AcceleratorConfig,
+        instances: usize,
+        max_batch: usize,
+        requests: usize,
+    ) -> Self {
+        Self {
+            accelerator,
+            instances,
+            max_batch,
+            batch_window: SimTime::from_ns(100_000), // 100 µs
+            queue_cap: None,
+            admission: AdmissionPolicy::DropNewest,
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 2 * instances * max_batch,
+            },
+            requests,
+            seed: 0,
+        }
+    }
+
+    /// Closed-form service-capacity estimate: `instances × max_batch`
+    /// requests complete every full-batch makespan, so
+    /// `capacity = instances · max_batch / makespan(max_batch)`. This is
+    /// the saturation throughput the closed-loop measurement converges to
+    /// (it ignores window flushes and the final partial batch, so short
+    /// runs measure slightly below it) and the knee of the open-loop
+    /// overload sweep — pinned against both in this module's tests so
+    /// the estimate and the simulator cannot silently diverge.
+    pub fn estimated_capacity_fps(&self, model: &CnnModel) -> f64 {
+        let makespan = model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
+            acc + analyze_layer_batched(&self.accelerator, w, self.max_batch).total
+        });
+        (self.instances * self.max_batch) as f64 / makespan.as_secs_f64()
+    }
+
+    // ---- Builder path ------------------------------------------------
+    //
+    // `ArrivalProcess` lost `Copy` when `Trace` arrived (a `Vec` of
+    // times), so sweep call sites that used to copy a base config now
+    // clone-and-override instead of re-constructing every field by hand.
+    // Each method is a cheap move-through: `base.clone().with_seed(7)`.
+
+    /// Replaces the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the arrival process with open-loop Poisson arrivals at
+    /// `rate_fps` — the per-point override [`overload_sweep`] applies.
+    ///
+    /// [`overload_sweep`]: crate::serve::overload_sweep
+    #[must_use]
+    pub fn with_poisson(self, rate_fps: f64) -> Self {
+        self.with_arrivals(ArrivalProcess::Poisson { rate_fps })
+    }
+
+    /// Bounds the pending queue at `cap` requests per instance.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Removes the pending-queue bound.
+    #[must_use]
+    pub fn with_unbounded_queue(mut self) -> Self {
+        self.queue_cap = None;
+        self
+    }
+
+    /// Replaces the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the arrival-process seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the request budget.
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_override_exactly_one_field() {
+        let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, 32);
+        let built = base
+            .clone()
+            .with_poisson(500.0)
+            .with_queue_cap(3)
+            .with_admission(AdmissionPolicy::DropOldest)
+            .with_seed(9)
+            .with_requests(48);
+        assert_eq!(built.arrivals, ArrivalProcess::Poisson { rate_fps: 500.0 });
+        assert_eq!(built.queue_cap, Some(3));
+        assert_eq!(built.admission, AdmissionPolicy::DropOldest);
+        assert_eq!(built.seed, 9);
+        assert_eq!(built.requests, 48);
+        // Untouched fields survive the chain.
+        assert_eq!(built.instances, base.instances);
+        assert_eq!(built.max_batch, base.max_batch);
+        assert_eq!(built.batch_window, base.batch_window);
+        // And the chain is equivalent to struct-update syntax.
+        let by_hand = ServingConfig {
+            arrivals: ArrivalProcess::poisson(500.0),
+            queue_cap: Some(3),
+            admission: AdmissionPolicy::DropOldest,
+            seed: 9,
+            requests: 48,
+            ..base
+        };
+        assert_eq!(format!("{built:?}"), format!("{by_hand:?}"));
+    }
+
+    #[test]
+    fn arrival_constructors_match_variants() {
+        assert_eq!(
+            ArrivalProcess::poisson(10.0),
+            ArrivalProcess::Poisson { rate_fps: 10.0 }
+        );
+        assert_eq!(
+            ArrivalProcess::closed_loop(4),
+            ArrivalProcess::ClosedLoop { clients: 4 }
+        );
+        let times = vec![SimTime::from_ns(1), SimTime::from_ns(2)];
+        assert_eq!(
+            ArrivalProcess::trace(times.clone()),
+            ArrivalProcess::Trace { times }
+        );
+    }
+
+    #[test]
+    fn with_unbounded_queue_clears_the_cap() {
+        let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 1, 1, 1)
+            .with_queue_cap(5)
+            .with_unbounded_queue();
+        assert_eq!(cfg.queue_cap, None);
+    }
+}

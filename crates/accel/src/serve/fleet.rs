@@ -1,0 +1,1305 @@
+//! The steppable fleet state machine: the serving simulation as an
+//! incrementally-driven object instead of a run-to-completion function.
+//!
+//! [`Fleet::new`] builds the same scheduler the entry-point wrappers
+//! always ran — shared pending queue, dynamic batching, admission
+//! policy, deterministic [`EventQueue`] — but hands control of the event
+//! loop to the caller: [`Fleet::step`] processes exactly one event,
+//! [`Fleet::step_until`] drains events up to a simulated instant, and a
+//! [`FleetSnapshot`] is available at **any** step boundary, exposing sim
+//! time, per-instance state, queue depth, in-flight batches and the
+//! served/dropped/degraded tallies. [`Fleet::run_to_completion`] followed
+//! by [`Fleet::into_report`] reproduces the wrapper behavior
+//! bit-identically (pinned in `tests/scenarios.rs`).
+//!
+//! On top of the steppable core sits fault injection
+//! ([`Fleet::with_faults`]): a [`FaultPlan`](super::FaultPlan) of timed
+//! kill / restart / stall events scheduled on the same event queue as the
+//! traffic. A killed instance's in-flight batch is aborted and its
+//! requests rejoin the front of the queue through the admission policy —
+//! requests are never silently lost; the step-level conservation
+//! invariant `offered == completed + dropped + degraded + queued +
+//! in-flight` ([`FleetSnapshot::accounted`]) holds at every step
+//! boundary, faults or not. A restarted instance pays the
+//! [`model_reload_time`] weight-reload latency before taking work again.
+//! If the whole fleet dies with no restart coming, requests that can
+//! provably never be served drain as
+//! [`RequestOutcome::ShedStranded`] when the fleet settles.
+
+use super::{
+    AdmissionPolicy, ArrivalProcess, FaultEvent, FaultPlan, FunctionalServingReport,
+    RequestOutcome, ServingConfig, ServingReport, ShedCounts,
+};
+use crate::organization::AcceleratorConfig;
+use crate::perf::{
+    analyze_layer_batched, model_reload_time, record_inference_ops, register_components, LayerPerf,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sconna_sim::energy::EnergyLedger;
+use sconna_sim::event::EventQueue;
+use sconna_sim::stats::{LatencySamples, LatencySummary, QueueDepthSamples, Utilization};
+use sconna_sim::time::SimTime;
+use sconna_tensor::dataset::Sample;
+use sconna_tensor::engine::VdpEngine;
+use sconna_tensor::models::CnnModel;
+use sconna_tensor::network::{PreparedNetwork, QuantizedNetwork};
+use sconna_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The functional side of a serving experiment: the quantized model the
+/// instances actually execute, the labelled request population, and the
+/// VDP engine backing every instance.
+///
+/// Request `r` is drawn round-robin from `samples`
+/// (`samples[r % samples.len()]`) and runs under image noise key `r`, so
+/// the prediction set is a pure function of this workload — independent
+/// of fleet size, batch packing, arrival process and `workers`. That
+/// purity is also what makes fault injection safe functionally: a batch
+/// aborted by a kill and re-executed later reproduces the same
+/// predictions bit-for-bit.
+pub struct FunctionalWorkload<'a> {
+    /// The quantized network every instance loads.
+    pub net: &'a QuantizedNetwork,
+    /// Low-precision fallback network degraded batches execute on;
+    /// required when the admission policy is [`AdmissionPolicy::Degrade`]
+    /// (typically `net.degraded(fallback_bits)`).
+    pub fallback: Option<&'a QuantizedNetwork>,
+    /// Engine the fallback network runs on — typically the same
+    /// organization at `Precision::new(fallback_bits)`, whose shorter
+    /// streams and range-matched ADC keep the fallback's signal-to-noise
+    /// at its own grid. `None` shares the primary engine.
+    pub fallback_engine: Option<&'a dyn VdpEngine>,
+    /// Labelled request population (round-robin by request id).
+    pub samples: &'a [Sample],
+    /// Engine each instance's prepared model executes on.
+    pub engine: &'a dyn VdpEngine,
+    /// Worker threads for the row-block parallelism inside one instance's
+    /// batch execution. Results are worker-count invariant; this only
+    /// changes host wall time.
+    pub workers: usize,
+}
+
+/// Per-instance functional execution state: each instance owns a
+/// prepared (weight-stationary) copy of the model — and, under
+/// [`AdmissionPolicy::Degrade`], of the fallback model — loaded once at
+/// fleet bring-up, plus the request-id-indexed prediction ledger.
+struct FunctionalExec<'a> {
+    workload: &'a FunctionalWorkload<'a>,
+    /// One engine-backed prepared model per instance.
+    instances: Vec<PreparedNetwork<'a>>,
+    /// Prepared fallback copies, one per instance, when degrading.
+    fallback: Option<Vec<PreparedNetwork<'a>>>,
+    /// Prediction per request id (`usize::MAX` = no response).
+    predictions: Vec<usize>,
+}
+
+impl<'a> FunctionalExec<'a> {
+    fn new(
+        workload: &'a FunctionalWorkload<'a>,
+        instances: usize,
+        requests: usize,
+        degrading: bool,
+    ) -> Self {
+        assert!(
+            !workload.samples.is_empty(),
+            "functional serving needs samples"
+        );
+        assert!(workload.workers > 0, "need at least one worker");
+        let fallback = if degrading {
+            let fb = workload.fallback.expect(
+                "invariant: Degrade admission requires FunctionalWorkload::fallback (documented)",
+            );
+            let engine = workload.fallback_engine.unwrap_or(workload.engine);
+            Some(
+                (0..instances)
+                    .map(|_| PreparedNetwork::new(fb, engine))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Self {
+            workload,
+            // Model load: every instance prepares the weights once —
+            // per-layer DKV/LUT stream conversion, narrow GEMM forms —
+            // before the first request arrives.
+            instances: (0..instances)
+                .map(|_| PreparedNetwork::new(workload.net, workload.engine))
+                .collect(),
+            fallback,
+            predictions: vec![usize::MAX; requests],
+        }
+    }
+
+    /// Executes one dispatched batch on instance `inst`: the whole
+    /// batch's images run through stacked `vdp_batch` tiles, keyed per
+    /// request id — on the primary or the fallback prepared copy
+    /// according to the batch's tier.
+    fn execute_batch(&mut self, inst: usize, ids: &[u64], degraded: bool) {
+        let samples = self.workload.samples;
+        let images: Vec<&Tensor<f32>> = ids
+            .iter()
+            .map(|&id| &samples[id as usize % samples.len()].image)
+            .collect();
+        let nets = if degraded {
+            self.fallback.as_ref().expect(
+                "invariant: degraded batches are only dispatched after fallback nets were built",
+            )
+        } else {
+            &self.instances
+        };
+        let preds = nets[inst].predict_batch(&images, ids, self.workload.workers);
+        for (&id, pred) in ids.iter().zip(preds) {
+            self.predictions[id as usize] = pred;
+        }
+    }
+
+    /// Correct responses over the run: predictions matching their sample
+    /// label, counted only for requests that reached a response terminal
+    /// state. Computed from the final ledger (not incrementally) so a
+    /// batch aborted by a kill and re-executed is counted exactly once.
+    fn correct_responses(&self, outcomes: &[RequestOutcome]) -> u64 {
+        let samples = self.workload.samples;
+        self.predictions
+            .iter()
+            .enumerate()
+            .filter(|&(id, &pred)| {
+                matches!(
+                    outcomes[id],
+                    RequestOutcome::Served | RequestOutcome::Degraded
+                ) && pred == samples[id % samples.len()].label
+            })
+            .count() as u64
+    }
+}
+
+/// Scheduler events.
+enum Ev {
+    /// A request enters the queue.
+    Arrive,
+    /// The batching window of epoch `.0` expired.
+    Flush(u64),
+    /// Instance `inst` finished the batch it dispatched in boot epoch
+    /// `epoch`; stale if the instance was killed since (its epoch moved
+    /// on).
+    BatchDone { inst: usize, epoch: u64 },
+    /// Fault `.0` of the normalized plan fires.
+    Fault(usize),
+    /// Instance `.0`'s stall window may be over (superseded if the stall
+    /// was extended meanwhile).
+    StallEnd(usize),
+    /// Instance `inst` finishes its weight reload, begun in boot epoch
+    /// `epoch`; stale if the instance was killed mid-reload.
+    ReloadDone { inst: usize, epoch: u64 },
+}
+
+/// One waiting request.
+struct PendingReq {
+    id: u64,
+    arrived: SimTime,
+    /// Admitted onto the degraded (fallback-model) tier.
+    degraded: bool,
+}
+
+/// A batch occupying an instance.
+struct InFlight {
+    /// Fallback-tier batch.
+    degraded: bool,
+    /// Dispatch time (busy time accrues `completion - started`, or
+    /// `kill - started` for an aborted batch).
+    started: SimTime,
+    /// `(request id, arrival time)` in queue order.
+    reqs: Vec<(u64, SimTime)>,
+}
+
+/// One fleet instance's liveness state.
+struct Instance {
+    /// Alive and (eventually) dispatchable.
+    up: bool,
+    /// Mid-reload after a restart (`up` is still false).
+    reloading: bool,
+    /// Boot epoch: bumped by every kill, stamped into `BatchDone` /
+    /// `ReloadDone` events so completions of a previous life are ignored.
+    epoch: u64,
+    /// No new dispatches before this instant ([`FaultEvent::Stall`]).
+    stall_until: SimTime,
+    /// The batch this instance is serving, if any.
+    in_flight: Option<InFlight>,
+}
+
+impl Instance {
+    fn fresh() -> Self {
+        Self {
+            up: true,
+            reloading: false,
+            epoch: 0,
+            stall_until: SimTime::ZERO,
+            in_flight: None,
+        }
+    }
+
+    fn dispatchable(&self, now: SimTime) -> bool {
+        self.up && self.in_flight.is_none() && self.stall_until <= now
+    }
+}
+
+/// Per-batch-size analysis cache: the batched layer walk is identical for
+/// every batch of the same size, so it is computed once per size.
+struct BatchProfiles<'a> {
+    cfg: AcceleratorConfig,
+    model: &'a CnnModel,
+    by_size: Vec<Option<(SimTime, Vec<LayerPerf>)>>,
+}
+
+impl<'a> BatchProfiles<'a> {
+    fn new(cfg: AcceleratorConfig, model: &'a CnnModel, max_batch: usize) -> Self {
+        Self {
+            cfg,
+            model,
+            by_size: vec![None; max_batch + 1],
+        }
+    }
+
+    fn get(&mut self, batch: usize) -> &(SimTime, Vec<LayerPerf>) {
+        let slot = &mut self.by_size[batch];
+        if slot.is_none() {
+            let layers: Vec<LayerPerf> = self
+                .model
+                .workloads
+                .iter()
+                .map(|w| analyze_layer_batched(&self.cfg, w, batch))
+                .collect();
+            let makespan = layers.iter().fold(SimTime::ZERO, |acc, l| acc + l.total);
+            *slot = Some((makespan, layers));
+        }
+        slot.as_ref()
+            .expect("invariant: slot was filled by the branch above")
+    }
+}
+
+/// Mutable scheduler state threaded through the event handlers.
+struct Scheduler<'a> {
+    cfg: ServingConfig,
+    model: &'a CnnModel,
+    profiles: BatchProfiles<'a>,
+    /// Fallback-tier profiles ([`AdmissionPolicy::Degrade`] only), on the
+    /// reduced-precision accelerator operating point.
+    degraded_profiles: Option<BatchProfiles<'a>>,
+    /// The reduced-precision operating point degraded batches record
+    /// their energy against.
+    degraded_accel: Option<AcceleratorConfig>,
+    /// Functional execution state; `None` runs the analytic-only model.
+    functional: Option<FunctionalExec<'a>>,
+    ledger: EnergyLedger,
+    /// Requests waiting to be batched, arrival order. Ids are assigned in
+    /// arrival order, so id `r` always denotes the `r`-th request to
+    /// enter the system regardless of the arrival process.
+    pending: VecDeque<PendingReq>,
+    /// Next request id to assign.
+    next_id: u64,
+    /// Terminal state per request id (`None` while in flight).
+    outcomes: Vec<Option<RequestOutcome>>,
+    /// Per-instance liveness + in-flight state.
+    nodes: Vec<Instance>,
+    /// The normalized fault schedule ([`Ev::Fault`] indexes into it).
+    faults: Vec<FaultEvent>,
+    /// Weight-reload latency a restarted instance pays
+    /// ([`model_reload_time`] of this config and model).
+    reload_time: SimTime,
+    util: Vec<Utilization>,
+    latency: LatencySamples,
+    queue_depth: QueueDepthSamples,
+    issued: usize,
+    offered: u64,
+    completed: u64,
+    dropped: u64,
+    degraded_done: u64,
+    shed: ShedCounts,
+    batches: u64,
+    batched_requests: u64,
+    last_completion: SimTime,
+    /// Monotonic epoch invalidating stale flush timers.
+    flush_epoch: u64,
+    /// A flush timer for the current epoch is in flight.
+    flush_armed: bool,
+    /// The window expired with requests still queued: dispatch partial
+    /// batches at the next opportunity.
+    force_flush: bool,
+    rng: StdRng,
+}
+
+impl Scheduler<'_> {
+    /// Lowest-numbered dispatchable instance, if any: up, idle, and not
+    /// inside a stall window.
+    fn idle_instance(&self, now: SimTime) -> Option<usize> {
+        self.nodes.iter().position(|n| n.dispatchable(now))
+    }
+
+    /// Shared-queue bound implied by the per-instance `queue_cap`.
+    fn queue_bound(&self) -> Option<usize> {
+        self.cfg
+            .queue_cap
+            .map(|c| c.saturating_mul(self.cfg.instances))
+    }
+
+    /// Records the queue depth if it changed.
+    fn note_depth(&mut self, now: SimTime) {
+        let depth = self.pending.len();
+        if self.queue_depth.last_depth() != Some(depth) {
+            self.queue_depth.record(now, depth);
+        }
+    }
+
+    /// Unconditionally samples the queue depth: fault boundaries (kill,
+    /// restart, stall, reload-done, settle) must be visible in the time
+    /// series even when the depth itself did not move.
+    fn note_fault_boundary(&mut self, now: SimTime) {
+        self.queue_depth.record(now, self.pending.len());
+    }
+
+    fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>) {
+        if self.issued >= self.cfg.requests {
+            return;
+        }
+        let ArrivalProcess::Poisson { rate_fps } = self.cfg.arrivals else {
+            return;
+        };
+        assert!(rate_fps > 0.0, "Poisson rate must be positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let dt = -u.ln() / rate_fps;
+        self.issued += 1;
+        q.schedule_in(SimTime::from_secs_f64(dt), Ev::Arrive);
+    }
+
+    /// Marks request `id` shed for `cause` (a drop, not a response).
+    fn record_drop(&mut self, id: u64, cause: RequestOutcome) {
+        match cause {
+            RequestOutcome::ShedNewest => self.shed.newest += 1,
+            RequestOutcome::ShedOldest => self.shed.oldest += 1,
+            RequestOutcome::ShedDeadline => self.shed.deadline += 1,
+            RequestOutcome::ShedStranded => self.shed.stranded += 1,
+            _ => unreachable!("record_drop takes shed causes only"),
+        }
+        self.dropped += 1;
+        self.outcomes[id as usize] = Some(cause);
+    }
+
+    /// Admits one fresh arrival at `now` under the admission policy.
+    /// Returns how many requests were shed in the process (0 or 1): the
+    /// newcomer (`DropNewest`/`Deadline` at a full queue) or an evicted
+    /// older waiter (`DropOldest`).
+    fn admit(&mut self, now: SimTime) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.offered += 1;
+        self.outcomes.push(None);
+        let full = self
+            .queue_bound()
+            .is_some_and(|bound| self.pending.len() >= bound);
+        let shed = if !full {
+            self.pending.push_back(PendingReq {
+                id,
+                arrived: now,
+                degraded: false,
+            });
+            0
+        } else {
+            match self.cfg.admission {
+                AdmissionPolicy::DropNewest | AdmissionPolicy::Deadline { .. } => {
+                    self.record_drop(id, RequestOutcome::ShedNewest);
+                    1
+                }
+                AdmissionPolicy::DropOldest => {
+                    let old = self
+                        .pending
+                        .pop_front()
+                        .expect("invariant: the queue is full here, so it has a head");
+                    self.record_drop(old.id, RequestOutcome::ShedOldest);
+                    self.pending.push_back(PendingReq {
+                        id,
+                        arrived: now,
+                        degraded: false,
+                    });
+                    1
+                }
+                AdmissionPolicy::Degrade { .. } => {
+                    // Admit anyway, but onto the fallback tier: the
+                    // request keeps its place in line and its client gets
+                    // a (coarser) answer.
+                    self.shed.degraded += 1;
+                    self.pending.push_back(PendingReq {
+                        id,
+                        arrived: now,
+                        degraded: true,
+                    });
+                    0
+                }
+            }
+        };
+        self.note_depth(now);
+        shed
+    }
+
+    /// Admits `n` fresh arrivals at `now`. In the closed loop every shed
+    /// frees a client, which immediately fires its next request — so
+    /// admission keeps going until nothing was shed or the request
+    /// budget is exhausted.
+    fn admit_arrivals(&mut self, now: SimTime, mut n: usize) {
+        let closed = matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. });
+        while n > 0 {
+            n -= 1;
+            let shed = self.admit(now);
+            if closed && shed > 0 && self.issued < self.cfg.requests {
+                self.issued += 1;
+                n += 1;
+            }
+        }
+    }
+
+    /// Closed-loop client replacement: `freed` clients got a terminal
+    /// answer (completion or shed), so each fires its next request —
+    /// capped by the remaining request budget. No-op for open-loop and
+    /// trace arrivals.
+    fn respawn_clients(&mut self, now: SimTime, freed: usize) {
+        if !matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. }) {
+            return;
+        }
+        let replacements = freed.min(self.cfg.requests.saturating_sub(self.issued));
+        self.issued += replacements;
+        self.admit_arrivals(now, replacements);
+    }
+
+    /// Dispatches as many batches as idle instances and pending requests
+    /// allow. Full batches always go; partial batches when the window
+    /// expired (`force_flush`) or when a tier boundary caps the head run
+    /// (it can never grow — later arrivals queue behind the other tier).
+    /// Under [`AdmissionPolicy::Deadline`] requests whose wait already
+    /// exceeds the SLO are shed first — FIFO order means only a queue
+    /// prefix can have expired.
+    fn try_dispatch(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+        if let AdmissionPolicy::Deadline { slo } = self.cfg.admission {
+            let mut expired = 0usize;
+            while let Some(front) = self.pending.front() {
+                if now - front.arrived > slo {
+                    let r = self
+                        .pending
+                        .pop_front()
+                        .expect("invariant: front() returned Some above");
+                    self.record_drop(r.id, RequestOutcome::ShedDeadline);
+                    expired += 1;
+                } else {
+                    break;
+                }
+            }
+            if expired > 0 {
+                self.note_depth(now);
+                // Each shed frees a client for its next request.
+                self.respawn_clients(now, expired);
+            }
+        }
+        while let Some(front) = self.pending.front() {
+            let tier_degraded = front.degraded;
+            // The head run of same-tier requests, scanned only as far as
+            // the batch limit needs.
+            let scan = self
+                .pending
+                .iter()
+                .take(self.cfg.max_batch + 1)
+                .take_while(|r| r.degraded == tier_degraded)
+                .count();
+            let take = scan.min(self.cfg.max_batch);
+            let dispatchable =
+                take == self.cfg.max_batch || scan < self.pending.len() || self.force_flush;
+            if !dispatchable {
+                break;
+            }
+            let Some(inst) = self.idle_instance(now) else {
+                break;
+            };
+            let reqs: Vec<(u64, SimTime)> = self
+                .pending
+                .drain(..take)
+                .map(|r| (r.id, r.arrived))
+                .collect();
+            let (makespan, layers) = if tier_degraded {
+                self.degraded_profiles
+                    .as_mut()
+                    .expect("invariant: the degraded tier is only entered after fallback profiles were built")
+                    .get(take)
+            } else {
+                self.profiles.get(take)
+            };
+            let makespan = *makespan;
+            let accel = if tier_degraded {
+                self.degraded_accel.expect(
+                    "invariant: the degraded tier is only entered after fallback config was set",
+                )
+            } else {
+                self.cfg.accelerator
+            };
+            record_inference_ops(&mut self.ledger, &accel, layers, self.model, take);
+            if let Some(func) = &mut self.functional {
+                // Run the real inference the analytic model is timing:
+                // the whole batch through one stack of prepared tiles on
+                // this instance's model copy (primary or fallback).
+                let ids: Vec<u64> = reqs.iter().map(|&(id, _)| id).collect();
+                func.execute_batch(inst, &ids, tier_degraded);
+            }
+            let node = &mut self.nodes[inst];
+            node.in_flight = Some(InFlight {
+                degraded: tier_degraded,
+                started: now,
+                reqs,
+            });
+            self.batches += 1;
+            self.batched_requests += take as u64;
+            q.schedule_in(
+                makespan,
+                Ev::BatchDone {
+                    inst,
+                    epoch: node.epoch,
+                },
+            );
+            self.note_depth(now);
+        }
+        if self.pending.is_empty() {
+            // Window satisfied; stale timers are invalidated by the epoch.
+            self.force_flush = false;
+            self.flush_armed = false;
+            self.flush_epoch += 1;
+        } else if !self.flush_armed && !self.force_flush {
+            self.flush_armed = true;
+            q.schedule_in(self.cfg.batch_window, Ev::Flush(self.flush_epoch));
+        }
+    }
+
+    /// Kills instance `inst`: bump its boot epoch (in-flight completions
+    /// and reloads of the old life become stale), truncate its busy time
+    /// at the kill instant, and requeue the aborted batch's requests at
+    /// the **front** of the pending queue in their original order — then
+    /// let the admission policy settle any overflow. A kill against a
+    /// dead idle instance is a no-op; a kill mid-reload cancels the
+    /// reload.
+    fn apply_kill(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
+        let node = &mut self.nodes[inst];
+        if node.up || node.reloading {
+            node.epoch += 1;
+            node.up = false;
+            node.reloading = false;
+            node.stall_until = SimTime::ZERO;
+            if let Some(fl) = node.in_flight.take() {
+                // Wasted work is real work: the dispatch energy stays on
+                // the ledger, but only the busy time actually accrued
+                // counts toward utilization.
+                self.util[inst].add_busy(now - fl.started);
+                if let Some(func) = &mut self.functional {
+                    // The aborted requests never produced a response;
+                    // their (deterministic) predictions are re-computed
+                    // identically if they are re-dispatched.
+                    for &(id, _) in &fl.reqs {
+                        func.predictions[id as usize] = usize::MAX;
+                    }
+                }
+                let tier_degraded = fl.degraded;
+                for (id, arrived) in fl.reqs.into_iter().rev() {
+                    self.pending.push_front(PendingReq {
+                        id,
+                        arrived,
+                        degraded: tier_degraded,
+                    });
+                }
+                self.enforce_bound_after_requeue(now);
+            }
+        }
+        self.note_fault_boundary(now);
+        self.try_dispatch(q, now);
+    }
+
+    /// Re-applies the queue bound after a kill pushed an aborted batch
+    /// back onto the queue: the overflow passes through the same
+    /// admission policy as arriving traffic — the tail is shed under
+    /// `DropNewest`/`Deadline`, the head under `DropOldest`, and under
+    /// `Degrade` everything beyond the bound is (re)marked for the
+    /// fallback tier instead of shed.
+    fn enforce_bound_after_requeue(&mut self, now: SimTime) {
+        let Some(bound) = self.queue_bound() else {
+            return;
+        };
+        let mut freed = 0usize;
+        match self.cfg.admission {
+            AdmissionPolicy::DropNewest | AdmissionPolicy::Deadline { .. } => {
+                while self.pending.len() > bound {
+                    let r = self
+                        .pending
+                        .pop_back()
+                        .expect("invariant: over-bound queue is non-empty");
+                    self.record_drop(r.id, RequestOutcome::ShedNewest);
+                    freed += 1;
+                }
+            }
+            AdmissionPolicy::DropOldest => {
+                while self.pending.len() > bound {
+                    let r = self
+                        .pending
+                        .pop_front()
+                        .expect("invariant: over-bound queue is non-empty");
+                    self.record_drop(r.id, RequestOutcome::ShedOldest);
+                    freed += 1;
+                }
+            }
+            AdmissionPolicy::Degrade { .. } => {
+                for r in self.pending.iter_mut().skip(bound) {
+                    if !r.degraded {
+                        r.degraded = true;
+                        self.shed.degraded += 1;
+                    }
+                }
+            }
+        }
+        if freed > 0 {
+            self.note_depth(now);
+            self.respawn_clients(now, freed);
+        }
+    }
+
+    /// Begins rebooting instance `inst`: the reload completes — and the
+    /// instance becomes dispatchable — after [`Self::reload_time`]. A
+    /// restart against a live or already-reloading instance is a no-op.
+    fn apply_restart(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
+        let node = &mut self.nodes[inst];
+        if !node.up && !node.reloading {
+            node.reloading = true;
+            q.schedule_at(
+                now + self.reload_time,
+                Ev::ReloadDone {
+                    inst,
+                    epoch: node.epoch,
+                },
+            );
+        }
+        self.note_fault_boundary(now);
+    }
+
+    /// Stalls instance `inst` until `now + duration`: its in-flight batch
+    /// (if any) completes normally, but no new batch is dispatched to it
+    /// inside the window. Overlapping stalls extend each other; stalling
+    /// a dead instance is a no-op.
+    fn apply_stall(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize, dur: SimTime) {
+        let node = &mut self.nodes[inst];
+        if node.up {
+            let until = now + dur;
+            if until > node.stall_until {
+                node.stall_until = until;
+                q.schedule_at(until, Ev::StallEnd(inst));
+            }
+        }
+        self.note_fault_boundary(now);
+    }
+
+    fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive => {
+                self.admit_arrivals(now, 1);
+                self.schedule_poisson_arrival(q);
+                self.try_dispatch(q, now);
+            }
+            Ev::Flush(epoch) => {
+                if epoch != self.flush_epoch {
+                    return; // stale timer from an already-drained queue
+                }
+                self.flush_armed = false;
+                self.force_flush = true;
+                self.try_dispatch(q, now);
+            }
+            Ev::BatchDone { inst, epoch } => {
+                if self.nodes[inst].epoch != epoch {
+                    return; // the instance died mid-batch; already requeued
+                }
+                let fl = self.nodes[inst].in_flight.take().expect(
+                    "invariant: a current-epoch BatchDone matches a stored in-flight batch",
+                );
+                self.util[inst].add_busy(now - fl.started);
+                self.last_completion = now;
+                let n_done = fl.reqs.len();
+                for (id, arrival) in fl.reqs {
+                    self.latency.record(now - arrival);
+                    if fl.degraded {
+                        self.degraded_done += 1;
+                        self.outcomes[id as usize] = Some(RequestOutcome::Degraded);
+                    } else {
+                        self.completed += 1;
+                        self.outcomes[id as usize] = Some(RequestOutcome::Served);
+                    }
+                }
+                // Each completed client immediately re-requests.
+                self.respawn_clients(now, n_done);
+                self.try_dispatch(q, now);
+            }
+            Ev::Fault(idx) => match self.faults[idx] {
+                FaultEvent::Kill { instance, .. } => self.apply_kill(q, now, instance),
+                FaultEvent::Restart { instance, .. } => self.apply_restart(q, now, instance),
+                FaultEvent::Stall {
+                    instance, duration, ..
+                } => self.apply_stall(q, now, instance, duration),
+            },
+            Ev::StallEnd(inst) => {
+                let node = &self.nodes[inst];
+                if node.up && node.stall_until <= now {
+                    // The window really is over (not extended meanwhile,
+                    // not cut short by a kill): the instance is
+                    // dispatchable again.
+                    self.note_fault_boundary(now);
+                    self.try_dispatch(q, now);
+                }
+            }
+            Ev::ReloadDone { inst, epoch } => {
+                let node = &mut self.nodes[inst];
+                if !node.reloading || node.epoch != epoch {
+                    return; // killed mid-reload; this boot was cancelled
+                }
+                node.reloading = false;
+                node.up = true;
+                self.note_fault_boundary(now);
+                self.try_dispatch(q, now);
+            }
+        }
+    }
+}
+
+/// Liveness of one instance at a step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceHealth {
+    /// Up and idle (dispatchable).
+    Idle,
+    /// Up with a batch in flight.
+    Busy,
+    /// Up but inside a stall window: no new dispatches.
+    Stalled,
+    /// Killed; no restart in progress.
+    Down,
+    /// Rebooting: paying the weight-reload latency.
+    Reloading,
+}
+
+/// One instance's state in a [`FleetSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceSnapshot {
+    /// Liveness at the snapshot instant.
+    pub health: InstanceHealth,
+    /// Requests in this instance's in-flight batch (0 when idle).
+    pub in_flight: usize,
+    /// The in-flight batch is on the degraded (fallback-model) tier.
+    pub degraded_batch: bool,
+}
+
+/// A consistent view of the fleet at a step boundary.
+///
+/// The conservation invariant the scenario harness asserts at every step:
+/// [`FleetSnapshot::accounted`] `== offered` — every request that entered
+/// the system is in exactly one of completed / dropped / degraded /
+/// queued / in-flight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Simulated time of the last processed event.
+    pub now: SimTime,
+    /// Events processed so far.
+    pub events_processed: u64,
+    /// The simulation has settled: no events remain and every request
+    /// reached a terminal state.
+    pub is_complete: bool,
+    /// Requests that entered the system so far.
+    pub offered: u64,
+    /// Full-fidelity responses so far.
+    pub completed: u64,
+    /// Drops so far.
+    pub dropped: u64,
+    /// Degraded (fallback-tier) responses so far.
+    pub degraded: u64,
+    /// Per-cause shed counters so far.
+    pub shed: ShedCounts,
+    /// Requests waiting in the shared pending queue.
+    pub queued: u64,
+    /// Requests inside dispatched, unfinished batches.
+    pub in_flight: u64,
+    /// Batches dispatched so far (re-dispatches after a kill recount).
+    pub batches: u64,
+    /// Per-instance liveness and in-flight state, instance order.
+    pub instances: Vec<InstanceSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Requests in *some* accounted state:
+    /// `completed + dropped + degraded + queued + in_flight`. Equals
+    /// [`FleetSnapshot::offered`] at every step boundary — requests are
+    /// never silently lost, faults or not.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.dropped + self.degraded + self.queued + self.in_flight
+    }
+}
+
+/// The serving simulation as an incrementally-steppable state machine.
+///
+/// ```
+/// use sconna_accel::serve::{Fleet, FaultPlan, ServingConfig};
+/// use sconna_accel::AcceleratorConfig;
+/// use sconna_sim::time::SimTime;
+/// use sconna_tensor::models::shufflenet_v2;
+///
+/// let model = shufflenet_v2();
+/// let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, 16);
+/// let plan = FaultPlan::new()
+///     .kill(SimTime::from_ns(200_000), 0)
+///     .restart(SimTime::from_ns(400_000), 0);
+/// let mut fleet = Fleet::new(&cfg, &model).with_faults(&plan);
+/// while fleet.step() {
+///     let snap = fleet.snapshot();
+///     assert_eq!(snap.accounted(), snap.offered); // conservation
+/// }
+/// let report = fleet.into_report();
+/// assert_eq!(report.offered, 16);
+/// ```
+pub struct Fleet<'a> {
+    sched: Scheduler<'a>,
+    q: EventQueue<Ev>,
+    done: bool,
+}
+
+impl<'a> Fleet<'a> {
+    /// Builds a steppable analytic-timing fleet. Equivalent to
+    /// [`simulate_serving`](super::simulate_serving) when driven to
+    /// completion (bit-identical reports, pinned in
+    /// `tests/scenarios.rs`).
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations: zero instances, zero batch
+    /// limit, zero requests, a zero queue cap, a non-positive Poisson
+    /// rate, or a trace whose length disagrees with `requests`.
+    pub fn new(config: &ServingConfig, model: &'a CnnModel) -> Self {
+        Self::new_inner(config, model, None)
+    }
+
+    /// Builds a steppable **functional** fleet: every instance owns a
+    /// prepared model copy and executes its dequeued batches for real.
+    /// Equivalent to
+    /// [`simulate_serving_functional`](super::simulate_serving_functional)
+    /// when driven to completion.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations, an empty sample set, or a
+    /// [`AdmissionPolicy::Degrade`] policy without `workload.fallback`.
+    pub fn new_functional(
+        config: &ServingConfig,
+        model: &'a CnnModel,
+        workload: &'a FunctionalWorkload<'a>,
+    ) -> Self {
+        Self::new_inner(config, model, Some(workload))
+    }
+
+    fn new_inner(
+        config: &ServingConfig,
+        model: &'a CnnModel,
+        workload: Option<&'a FunctionalWorkload<'a>>,
+    ) -> Self {
+        assert!(config.instances > 0, "need at least one instance");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.requests > 0, "need at least one request");
+        if let Some(cap) = config.queue_cap {
+            assert!(
+                cap > 0,
+                "queue_cap must be positive (use None for unbounded)"
+            );
+        }
+
+        let degrading = matches!(config.admission, AdmissionPolicy::Degrade { .. });
+        let degraded_accel = if let AdmissionPolicy::Degrade { fallback_bits } = config.admission {
+            Some(config.accelerator.with_native_bits(fallback_bits))
+        } else {
+            None
+        };
+
+        let mut ledger = EnergyLedger::new();
+        for _ in 0..config.instances {
+            register_components(&mut ledger, &config.accelerator);
+        }
+
+        let mut sched = Scheduler {
+            model,
+            profiles: BatchProfiles::new(config.accelerator, model, config.max_batch),
+            degraded_profiles: degraded_accel
+                .map(|cfg| BatchProfiles::new(cfg, model, config.max_batch)),
+            degraded_accel,
+            functional: workload
+                .map(|w| FunctionalExec::new(w, config.instances, config.requests, degrading)),
+            ledger,
+            pending: VecDeque::new(),
+            next_id: 0,
+            outcomes: Vec::with_capacity(config.requests),
+            nodes: (0..config.instances).map(|_| Instance::fresh()).collect(),
+            faults: Vec::new(),
+            reload_time: model_reload_time(&config.accelerator, model),
+            util: vec![Utilization::new(); config.instances],
+            latency: LatencySamples::new(),
+            queue_depth: QueueDepthSamples::new(),
+            issued: 0,
+            offered: 0,
+            completed: 0,
+            dropped: 0,
+            degraded_done: 0,
+            shed: ShedCounts::default(),
+            batches: 0,
+            batched_requests: 0,
+            last_completion: SimTime::ZERO,
+            flush_epoch: 0,
+            flush_armed: false,
+            force_flush: false,
+            rng: StdRng::seed_from_u64(config.seed),
+            cfg: config.clone(),
+        };
+
+        let mut q = EventQueue::new();
+        match &config.arrivals {
+            ArrivalProcess::Poisson { .. } => {
+                // Seed the first arrival; each arrival schedules the next.
+                sched.schedule_poisson_arrival(&mut q);
+            }
+            ArrivalProcess::ClosedLoop { clients } => {
+                assert!(*clients > 0, "closed loop needs at least one client");
+                let initial = (*clients).min(config.requests);
+                for _ in 0..initial {
+                    sched.issued += 1;
+                    q.schedule_at(SimTime::ZERO, Ev::Arrive);
+                }
+            }
+            ArrivalProcess::Trace { times } => {
+                assert_eq!(
+                    times.len(),
+                    config.requests,
+                    "trace length must equal the request count"
+                );
+                sched.issued = times.len();
+                for &t in times {
+                    q.schedule_at(t, Ev::Arrive);
+                }
+            }
+        }
+
+        Self {
+            sched,
+            q,
+            done: false,
+        }
+    }
+
+    /// Installs a fault plan: schedules every event of the plan's
+    /// canonical order ([`FaultPlan::normalized`]) on the fleet's event
+    /// queue. Faults scheduled at the same instant as already-seeded
+    /// arrivals fire after those arrivals and before any arrival seeded
+    /// later (event-queue insertion order) — a deterministic, documented
+    /// tie-break. An empty plan schedules nothing: bit-identical to no
+    /// plan at all.
+    ///
+    /// # Panics
+    /// Panics if any step was already taken or if a fault targets an
+    /// instance outside the fleet.
+    #[must_use]
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        assert_eq!(
+            self.q.processed(),
+            0,
+            "install fault plans before the first step"
+        );
+        let events = plan.normalized();
+        for e in &events {
+            assert!(
+                e.instance() < self.sched.cfg.instances,
+                "fault targets instance {} of a {}-instance fleet",
+                e.instance(),
+                self.sched.cfg.instances
+            );
+        }
+        let base = self.sched.faults.len();
+        for (i, e) in events.iter().enumerate() {
+            self.q.schedule_at(e.at(), Ev::Fault(base + i));
+        }
+        self.sched.faults.extend(events);
+        self
+    }
+
+    /// Processes exactly one event. Returns `true` if an event was
+    /// processed; when the queue is empty it settles the simulation
+    /// (stranded requests drain, terminal accounting closes) and returns
+    /// `false` — after which [`Fleet::is_complete`] holds.
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        match self.q.pop() {
+            Some((now, ev)) => {
+                self.sched.handle(&mut self.q, now, ev);
+                true
+            }
+            None => {
+                self.settle();
+                self.done = true;
+                false
+            }
+        }
+    }
+
+    /// Processes every event scheduled at or before `t` (settling if the
+    /// queue empties first). Returns the number of events processed.
+    pub fn step_until(&mut self, t: SimTime) -> usize {
+        let mut n = 0usize;
+        while !self.done {
+            match self.q.peek_time() {
+                Some(next) if next <= t => {
+                    self.step();
+                    n += 1;
+                }
+                Some(_) => break,
+                None => {
+                    self.step(); // settles; not an event
+                    break;
+                }
+            }
+        }
+        n
+    }
+
+    /// Drives the simulation until it settles.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Simulated time of the last processed event.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Time of the next scheduled event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    /// The simulation has settled: every request reached a terminal
+    /// state and no events remain.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// A consistent view of the fleet at the current step boundary.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let now = self.q.now();
+        let s = &self.sched;
+        let in_flight: u64 = s
+            .nodes
+            .iter()
+            .map(|n| n.in_flight.as_ref().map_or(0, |f| f.reqs.len() as u64))
+            .sum();
+        FleetSnapshot {
+            now,
+            events_processed: self.q.processed(),
+            is_complete: self.done,
+            offered: s.offered,
+            completed: s.completed,
+            dropped: s.dropped,
+            degraded: s.degraded_done,
+            shed: s.shed,
+            queued: s.pending.len() as u64,
+            in_flight,
+            batches: s.batches,
+            instances: s
+                .nodes
+                .iter()
+                .map(|n| InstanceSnapshot {
+                    health: if n.reloading {
+                        InstanceHealth::Reloading
+                    } else if !n.up {
+                        InstanceHealth::Down
+                    } else if n.in_flight.is_some() {
+                        InstanceHealth::Busy
+                    } else if n.stall_until > now {
+                        InstanceHealth::Stalled
+                    } else {
+                        InstanceHealth::Idle
+                    },
+                    in_flight: n.in_flight.as_ref().map_or(0, |f| f.reqs.len()),
+                    degraded_batch: n.in_flight.as_ref().is_some_and(|f| f.degraded),
+                })
+                .collect(),
+        }
+    }
+
+    /// Terminal drain once the event queue is empty. In a fault-free run
+    /// this is a no-op: every request already reached a terminal state.
+    /// Under a fault plan the queue can drain with requests still pending
+    /// — only possible when every instance is dead with no restart
+    /// scheduled — and those provably-unservable requests are accounted
+    /// as [`RequestOutcome::ShedStranded`] (in the closed loop, the
+    /// freed clients' remaining request budget strands the same way).
+    fn settle(&mut self) {
+        if self.sched.pending.is_empty() && self.sched.offered as usize == self.sched.cfg.requests {
+            return;
+        }
+        assert!(
+            self.sched.nodes.iter().all(|n| !n.up && !n.reloading),
+            "invariant: the queue only drains with work outstanding when the whole fleet is dead"
+        );
+        let now = self.q.now();
+        while !self.sched.pending.is_empty() {
+            let mut freed = 0usize;
+            while let Some(r) = self.sched.pending.pop_front() {
+                self.sched.record_drop(r.id, RequestOutcome::ShedStranded);
+                freed += 1;
+            }
+            // Closed-loop clients freed by the strand fire their next
+            // requests — into the same dead fleet, stranding in turn,
+            // until the request budget is spent.
+            self.sched.respawn_clients(now, freed);
+        }
+        self.sched.note_fault_boundary(now);
+    }
+
+    /// Runs to completion (if not already settled) and builds the
+    /// [`ServingReport`].
+    pub fn into_report(mut self) -> ServingReport {
+        self.run_to_completion();
+        self.into_parts().0
+    }
+
+    /// Runs to completion and builds the [`FunctionalServingReport`].
+    ///
+    /// # Panics
+    /// Panics if the fleet was not built with [`Fleet::new_functional`].
+    pub fn into_functional_report(mut self) -> FunctionalServingReport {
+        self.run_to_completion();
+        let (serving, outcomes, func) = self.into_parts();
+        let func = func.expect(
+            "invariant: into_functional_report is only called on Fleet::new_functional fleets",
+        );
+        debug_assert!(
+            outcomes
+                .iter()
+                .zip(&func.predictions)
+                .all(
+                    |(o, &p)| matches!(o, RequestOutcome::Served | RequestOutcome::Degraded)
+                        == (p != usize::MAX)
+                ),
+            "exactly the responses must have been executed"
+        );
+        let correct = func.correct_responses(&outcomes);
+        let responses = serving.completed + serving.degraded;
+        FunctionalServingReport {
+            accuracy_under_load: if responses == 0 {
+                0.0
+            } else {
+                correct as f64 / responses as f64
+            },
+            accuracy_offered: correct as f64 / serving.offered as f64,
+            predictions: func.predictions,
+            outcomes,
+            correct,
+            serving,
+        }
+    }
+
+    /// Final accounting: terminal asserts plus report construction.
+    fn into_parts(
+        self,
+    ) -> (
+        ServingReport,
+        Vec<RequestOutcome>,
+        Option<FunctionalExec<'a>>,
+    ) {
+        assert!(self.done, "into_parts only after the simulation settled");
+        let sched = self.sched;
+        let config = &sched.cfg;
+        assert_eq!(
+            sched.offered as usize, config.requests,
+            "every request must enter the system"
+        );
+        assert_eq!(
+            sched.completed + sched.dropped + sched.degraded_done,
+            sched.offered,
+            "served + dropped + degraded must account every offered request"
+        );
+        let outcomes: Vec<RequestOutcome> = sched
+            .outcomes
+            .iter()
+            .map(|o| {
+                o.expect(
+                    "invariant: every request reaches a terminal state before the queue drains",
+                )
+            })
+            .collect();
+        let responses = sched.completed + sched.degraded_done;
+        // Stale flush timers may fire after the last completion, so the
+        // serving makespan is the last completion time, not the queue's
+        // final clock. ZERO (degenerate all-shed runs) zeroes the rate
+        // metrics.
+        let makespan = sched.last_completion;
+        let secs = makespan.as_secs_f64();
+        let energy_j = sched.ledger.total_energy_j(makespan);
+        let report = ServingReport {
+            accelerator: config.accelerator.name,
+            model: sched.model.name.clone(),
+            instances: config.instances,
+            max_batch: config.max_batch,
+            offered: sched.offered,
+            completed: sched.completed,
+            dropped: sched.dropped,
+            degraded: sched.degraded_done,
+            shed: sched.shed,
+            drop_rate: sched.dropped as f64 / sched.offered as f64,
+            batches: sched.batches,
+            mean_batch_fill: if sched.batches == 0 {
+                0.0
+            } else {
+                sched.batched_requests as f64 / sched.batches as f64
+            },
+            makespan,
+            fps: if secs > 0.0 {
+                sched.completed as f64 / secs
+            } else {
+                0.0
+            },
+            goodput_fps: if secs > 0.0 {
+                responses as f64 / secs
+            } else {
+                0.0
+            },
+            latency: if sched.latency.is_empty() {
+                LatencySummary {
+                    count: 0,
+                    p50: SimTime::ZERO,
+                    p95: SimTime::ZERO,
+                    p99: SimTime::ZERO,
+                    mean: SimTime::ZERO,
+                    max: SimTime::ZERO,
+                }
+            } else {
+                sched.latency.summary()
+            },
+            queue_depth: sched.queue_depth,
+            utilization: if makespan > SimTime::ZERO {
+                sched.util.iter().map(|u| u.ratio(makespan)).collect()
+            } else {
+                vec![0.0; config.instances]
+            },
+            energy_j,
+            energy_per_inference_j: if responses > 0 {
+                energy_j / responses as f64
+            } else {
+                0.0
+            },
+            avg_power_w: if secs > 0.0 {
+                sched.ledger.average_power_w(makespan)
+            } else {
+                0.0
+            },
+        };
+        (report, outcomes, sched.functional)
+    }
+}

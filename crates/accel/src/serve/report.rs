@@ -1,0 +1,151 @@
+//! Report types for the serving simulations: per-request terminal
+//! states, shed accounting, the fleet-level [`ServingReport`], the
+//! functional extension carrying predictions and accuracy-under-load,
+//! and the overload-sweep point.
+
+use sconna_sim::stats::{LatencySummary, QueueDepthSamples};
+use sconna_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The terminal state of one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Served at full fidelity.
+    Served,
+    /// Served on the low-precision fallback model
+    /// ([`AdmissionPolicy::Degrade`](super::AdmissionPolicy::Degrade)).
+    Degraded,
+    /// Rejected on arrival at a full queue
+    /// ([`AdmissionPolicy::DropNewest`](super::AdmissionPolicy::DropNewest)
+    /// or the arrival-side bound of
+    /// [`AdmissionPolicy::Deadline`](super::AdmissionPolicy::Deadline)).
+    ShedNewest,
+    /// Evicted from the queue head by a newer arrival
+    /// ([`AdmissionPolicy::DropOldest`](super::AdmissionPolicy::DropOldest)).
+    ShedOldest,
+    /// Shed at dispatch with its queue wait past the SLO
+    /// ([`AdmissionPolicy::Deadline`](super::AdmissionPolicy::Deadline)).
+    ShedDeadline,
+    /// Still queued when the last instance died with no restart coming:
+    /// the fleet could provably never serve it, so it is accounted as a
+    /// drop rather than silently lost. Only a [`FaultPlan`](super::FaultPlan)
+    /// that kills every instance without restarting any can produce this.
+    ShedStranded,
+}
+
+/// Per-cause shed counters. `newest + oldest + deadline + stranded` is
+/// the dropped total; `degraded` counts requests routed to the fallback
+/// model (they are *served*, not dropped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedCounts {
+    /// Arrivals rejected at a full queue.
+    pub newest: u64,
+    /// Oldest waiters evicted by newer arrivals.
+    pub oldest: u64,
+    /// Requests shed at dispatch with their SLO already blown.
+    pub deadline: u64,
+    /// Requests admitted onto the degraded (fallback-model) tier.
+    pub degraded: u64,
+    /// Requests stranded in queue when the whole fleet died
+    /// ([`RequestOutcome::ShedStranded`]); always 0 without fault
+    /// injection.
+    pub stranded: u64,
+}
+
+/// Fleet-level result of one serving simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Accelerator display name.
+    pub accelerator: &'static str,
+    /// Model name.
+    pub model: String,
+    /// Fleet size.
+    pub instances: usize,
+    /// Scheduler batch limit.
+    pub max_batch: usize,
+    /// Requests that entered the system
+    /// (`= completed + dropped + degraded`).
+    pub offered: u64,
+    /// Requests served to completion at full fidelity.
+    pub completed: u64,
+    /// Requests shed with no response.
+    pub dropped: u64,
+    /// Requests served on the low-precision fallback model.
+    pub degraded: u64,
+    /// Per-cause shed breakdown.
+    pub shed: ShedCounts,
+    /// `dropped / offered`.
+    pub drop_rate: f64,
+    /// Batches dispatched (both tiers). A batch aborted by a
+    /// [`KillInstance`](super::FaultEvent::Kill) fault and re-dispatched
+    /// counts once per dispatch.
+    pub batches: u64,
+    /// Mean requests per dispatched batch (batch-slot fill).
+    pub mean_batch_fill: f64,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Full-fidelity served throughput: completed / makespan.
+    pub fps: f64,
+    /// Responses per second — full-fidelity *and* degraded
+    /// (`(completed + degraded) / makespan`): the availability a client
+    /// population observes. Excludes drops; under
+    /// [`AdmissionPolicy::Degrade`](super::AdmissionPolicy::Degrade) it
+    /// holds past the knee while `fps` (and accuracy) give way.
+    pub goodput_fps: f64,
+    /// End-to-end latency distribution of the responses (queueing +
+    /// service; dropped requests contribute no sample). All-zero when
+    /// nothing was served.
+    pub latency: LatencySummary,
+    /// Pending-queue depth over time, sampled at every change and at
+    /// every fault boundary (kill / restart / stall / reload), so
+    /// fault-induced discontinuities are visible in the series even when
+    /// the depth itself did not move.
+    pub queue_depth: QueueDepthSamples,
+    /// Per-instance utilization over the makespan, instance order. A
+    /// killed instance's truncated batch contributes only the busy time
+    /// it actually accrued before the kill.
+    pub utilization: Vec<f64>,
+    /// Total fleet energy over the makespan, joules. Batches aborted by
+    /// a kill still paid their dispatch energy (wasted work is real
+    /// work).
+    pub energy_j: f64,
+    /// Energy per response, joules.
+    pub energy_per_inference_j: f64,
+    /// Average fleet power, watts.
+    pub avg_power_w: f64,
+}
+
+/// [`ServingReport`] plus the functional outputs: what the fleet actually
+/// computed while the queueing model timed it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalServingReport {
+    /// The queueing/energy report (identical to the analytic-only
+    /// simulation of the same config).
+    pub serving: ServingReport,
+    /// Predicted class per request, indexed by request id; `usize::MAX`
+    /// marks a dropped request (it never got a response).
+    pub predictions: Vec<usize>,
+    /// Terminal state per request, indexed by request id — the **shed
+    /// set** of the run.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Responses (full-fidelity or degraded) whose prediction matched the
+    /// sample label.
+    pub correct: u64,
+    /// Top-1 accuracy over **admitted** traffic: `correct / responses`
+    /// where `responses = completed + degraded` (0 when nothing was
+    /// served).
+    pub accuracy_under_load: f64,
+    /// Top-1 accuracy over **offered** traffic: `correct / offered` — a
+    /// dropped request is an answer nobody got, so it scores as wrong.
+    pub accuracy_offered: f64,
+}
+
+/// One point of an overload sweep: an offered load and what the fleet
+/// made of it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadPoint {
+    /// Offered Poisson arrival rate, requests per second.
+    pub offered_fps: f64,
+    /// The functional serving report at that load.
+    pub report: FunctionalServingReport,
+}

@@ -109,11 +109,9 @@ fn main() {
     // in full mode deep enough (16/instance, 4 batches) that queue wait,
     // not the flush window, dominates the overloaded tail; in smoke mode
     // shallow enough (one batch) that the tiny request count still sheds.
-    let base = ServingConfig {
-        queue_cap: Some(queue_cap),
-        seed: 23,
-        ..ServingConfig::saturation(AcceleratorConfig::sconna(), 2, max_batch, requests)
-    };
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, max_batch, requests)
+        .with_queue_cap(queue_cap)
+        .with_seed(23);
     let capacity = base.estimated_capacity_fps(&model);
     let measured = simulate_serving(&base, &model);
     // Deadline SLO: one full-batch service time of queue wait.
@@ -187,10 +185,7 @@ fn main() {
         policies
             .iter()
             .map(|&(_, admission)| {
-                let cfg = ServingConfig {
-                    admission,
-                    ..base.clone()
-                };
+                let cfg = base.clone().with_admission(admission);
                 let workload = FunctionalWorkload {
                     net: &qnet,
                     fallback: Some(&fallback),

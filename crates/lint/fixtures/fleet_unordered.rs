@@ -1,0 +1,29 @@
+// Fixture: seeded `no-unordered-report-iteration` violations shaped like
+// the steppable-fleet scheduler, linted under the pseudo-path
+// `crates/accel/src/serve/fleet.rs` to pin that the serve/ submodule
+// split kept every fleet file inside the rule's scope.
+
+use std::collections::HashMap; // violation: unordered map in scope
+
+struct InFlight {
+    reqs: Vec<u64>,
+}
+
+fn snapshot_in_flight(nodes: &[Option<InFlight>]) -> Vec<(usize, usize)> {
+    let mut by_instance: HashMap<usize, usize> = HashMap::new(); // violations: two mentions
+    for (id, node) in nodes.iter().enumerate() {
+        if let Some(fl) = node {
+            by_instance.insert(id, fl.reqs.len());
+        }
+    }
+    by_instance.into_iter().collect() // order leaks into the snapshot
+}
+
+fn snapshot_in_flight_deterministically(nodes: &[Option<InFlight>]) -> Vec<(usize, usize)> {
+    // Instance order is the deterministic form the real fleet uses.
+    nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, node)| node.as_ref().map(|fl| (id, fl.reqs.len())))
+        .collect()
+}

@@ -73,6 +73,41 @@ fn unordered_fixture_fires() {
 }
 
 #[test]
+fn fleet_unordered_fixture_fires_throughout_the_serve_submodule() {
+    // The serve.rs -> serve/{mod,config,fault,fleet,report}.rs split must
+    // not carve any fleet file out of `no-unordered-report-iteration`
+    // scope: the rule keys on the `crates/accel/src/` prefix, and this
+    // pins it against a future exact-path scoping regression.
+    for rel in [
+        "crates/accel/src/serve/mod.rs",
+        "crates/accel/src/serve/config.rs",
+        "crates/accel/src/serve/fault.rs",
+        "crates/accel/src/serve/fleet.rs",
+        "crates/accel/src/serve/report.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/fleet_unordered.rs"));
+        // The use-decl plus both mentions on the declaration line.
+        assert_eq!(
+            lines_of(&findings, "no-unordered-report-iteration"),
+            vec![6, 13, 13],
+            "{rel} fell out of the unordered-iteration scope"
+        );
+        assert_eq!(findings.len(), 3, "{rel}: {findings:?}");
+    }
+}
+
+#[test]
+fn fleet_unordered_fixture_is_exempt_in_the_scenario_harness() {
+    // tests/ may use unordered containers — only library report code is
+    // determinism-scoped.
+    let findings = lint_source(
+        "tests/scenarios.rs",
+        include_str!("../fixtures/fleet_unordered.rs"),
+    );
+    assert!(findings.is_empty(), "tests are carved out: {findings:?}");
+}
+
+#[test]
 fn unordered_fixture_is_exempt_outside_report_crates() {
     let findings = lint_source(
         "crates/tensor/src/fixture.rs",

@@ -51,7 +51,8 @@ fn workspace_walk_covers_all_crates() {
     for must in [
         "src/lib.rs",
         "crates/sc/src/lib.rs",
-        "crates/accel/src/serve.rs",
+        "crates/accel/src/serve/mod.rs",
+        "crates/accel/src/serve/fleet.rs",
         "crates/sim/src/time.rs",
         "crates/tensor/src/layers.rs",
         "crates/photonics/src/thermal.rs",

@@ -33,11 +33,9 @@ fn main() {
     // queue, timed on the GoogleNet-class ShuffleNet V2 layer walk.
     let model = sconna::tensor::models::shufflenet_v2();
     let requests = 96;
-    let base = ServingConfig {
-        queue_cap: Some(16),
-        seed: 5,
-        ..ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, requests)
-    };
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 8, requests)
+        .with_queue_cap(16)
+        .with_seed(5);
     let capacity = base.estimated_capacity_fps(&model);
     println!(
         "fleet: {} instances x batch {} on {} | capacity estimate {:.0} fps\n",
@@ -105,10 +103,9 @@ fn main() {
     );
 
     // 3. Deadline keeps the tail bounded.
-    let cfg_dl = ServingConfig {
-        admission: AdmissionPolicy::Deadline { slo },
-        ..base.clone()
-    };
+    let cfg_dl = base
+        .clone()
+        .with_admission(AdmissionPolicy::Deadline { slo });
     let dl = overload_sweep(&cfg_dl, &model, &workload, &rates, 2);
     println!("Deadline (shed anything whose queue wait blew slo = {slo}):");
     print!("{}", format_overload_sweep(&dl));
@@ -129,12 +126,9 @@ fn main() {
     );
 
     // 4. Degrade trades accuracy instead of availability.
-    let cfg_dg = ServingConfig {
-        admission: AdmissionPolicy::Degrade {
-            fallback_bits: FALLBACK_BITS,
-        },
-        ..base.clone()
-    };
+    let cfg_dg = base.clone().with_admission(AdmissionPolicy::Degrade {
+        fallback_bits: FALLBACK_BITS,
+    });
     let dg = overload_sweep(&cfg_dg, &model, &workload, &rates, 2);
     println!("Degrade (overflow runs on the B{FALLBACK_BITS} fallback — nobody is dropped):");
     print!("{}", format_overload_sweep(&dg));

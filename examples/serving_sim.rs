@@ -14,9 +14,7 @@
 //! Run with: `cargo run --release --example serving_sim`
 
 use sconna::accel::report::format_serving_sweep;
-use sconna::accel::serve::{
-    simulate_serving_functional, sweep, ArrivalProcess, FunctionalWorkload, ServingConfig,
-};
+use sconna::accel::serve::{simulate_serving_functional, sweep, FunctionalWorkload, ServingConfig};
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::parallel::default_workers;
 use sconna::tensor::dataset::SyntheticDataset;
@@ -152,13 +150,10 @@ fn main() {
     // Arrival ordering cannot move a prediction either: requests are
     // keyed by id, not by schedule.
     let poisson = simulate_serving_functional(
-        &ServingConfig {
-            arrivals: ArrivalProcess::Poisson {
-                rate_fps: first.serving.fps * 0.5,
-            },
-            seed: 11,
-            ..fn_cfg.clone()
-        },
+        &fn_cfg
+            .clone()
+            .with_poisson(first.serving.fps * 0.5)
+            .with_seed(11),
         &model,
         &FunctionalWorkload {
             net: &qnet,
