@@ -160,6 +160,26 @@ pub fn model_reload_time(cfg: &AcceleratorConfig, model: &CnnModel) -> SimTime {
     })
 }
 
+/// Warm-restart weight-reload latency: the instance process died but its
+/// operand scratchpads survived (supervised restart on the same physical
+/// accelerator), so the eDRAM weight traffic of [`model_reload_time`] is
+/// skipped and only the DKV/cell reprogramming rounds must be replayed —
+/// photonic device state does not survive a power cycle, cached bytes do.
+///
+/// For SCONNA `dkv_reprogram` is zero, so a warm restart costs exactly
+/// [`SimTime::ZERO`]: the paper's avoided-reprogramming claim turned into
+/// an availability number. Analog baselines pay their full programming
+/// rounds even warm. Always `<=` the cold [`model_reload_time`].
+pub fn model_warm_reload_time(cfg: &AcceleratorConfig, model: &CnnModel) -> SimTime {
+    model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
+        let chunks = cfg.chunks(w.vector_len) as u64;
+        let slices = cfg.bit_slices as u64;
+        let reprogram_events = (w.kernels as u64) * chunks * slices;
+        let rounds = reprogram_events.div_ceil(cfg.total_vdpes as u64);
+        acc + SimTime::from_ps(cfg.dkv_reprogram.as_ps() * rounds)
+    })
+}
+
 fn scale_time(unit: SimTime, ops: u64, parallelism: u64) -> SimTime {
     assert!(parallelism > 0, "parallelism must be positive");
     let rounds = ops.div_ceil(parallelism);
@@ -461,6 +481,27 @@ mod tests {
         // The analog baselines additionally pay cell-programming rounds.
         let mam = model_reload_time(&AcceleratorConfig::mam(), &model);
         assert!(mam > sconna);
+    }
+
+    #[test]
+    fn warm_reload_is_free_for_sconna_and_reprogram_bound_for_analog() {
+        let model = shufflenet_v2();
+        // SCONNA keeps weights in pre-filled OSM LUTs — a warm restart
+        // replays zero reprogramming rounds and costs nothing.
+        let sconna = AcceleratorConfig::sconna();
+        assert_eq!(model_warm_reload_time(&sconna, &model), SimTime::ZERO);
+        // Analog baselines still pay full cell programming warm.
+        let mam = AcceleratorConfig::mam();
+        let warm = model_warm_reload_time(&mam, &model);
+        assert!(warm > SimTime::ZERO);
+        // Warm skips the memory term and can never exceed cold.
+        for cfg in AcceleratorConfig::all() {
+            assert!(
+                model_warm_reload_time(&cfg, &model) <= model_reload_time(&cfg, &model),
+                "{}",
+                cfg.name
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::organization::AcceleratorConfig;
 use crate::perf::analyze_layer_batched;
+use crate::serve::supervisor::Supervisor;
 use sconna_sim::time::SimTime;
 use sconna_tensor::models::CnnModel;
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,62 @@ pub enum AdmissionPolicy {
     },
 }
 
+/// The cluster retry layer: what happens to requests whose batch was
+/// aborted by a kill. The default (`all None`) is PR 7 behavior
+/// bit-exactly: aborted requests rejoin the queue with no attempt
+/// ceiling, no global budget, and no hedging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum *dispatch* attempts per request (so `Some(1)` means no
+    /// retries at all: the first abort sheds the request). `None` is
+    /// unlimited — every abort re-admits.
+    pub max_attempts: Option<u32>,
+    /// Global cap on re-admissions across the whole run — retry-storm
+    /// protection: once a chaos burst has burned the budget, further
+    /// aborted requests are shed
+    /// ([`RequestOutcome::ShedRetryBudget`](super::RequestOutcome::ShedRetryBudget))
+    /// instead of amplifying the overload. `None` is unlimited.
+    pub retry_budget: Option<u64>,
+    /// Hedged dispatch for tail latency: if a batch is still in flight
+    /// this long after dispatch, a duplicate is issued on an idle
+    /// instance (when one exists and no traffic is waiting); first
+    /// completion wins, the loser is cancelled. Costs duplicate energy,
+    /// insures against a kill or stall of the primary. `None` disables.
+    pub hedge_after: Option<SimTime>,
+}
+
+impl RetryPolicy {
+    /// Limits each request to `n` dispatch attempts.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero — a request needs one attempt to exist.
+    #[must_use]
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "a request needs at least one dispatch attempt");
+        self.max_attempts = Some(n);
+        self
+    }
+
+    /// Caps total re-admissions across the run.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: u64) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Enables hedged dispatch after `delay` of in-flight time.
+    ///
+    /// # Panics
+    /// Panics if `delay` is zero (hedging at dispatch time would always
+    /// double every batch).
+    #[must_use]
+    pub fn with_hedge_after(mut self, delay: SimTime) -> Self {
+        assert!(delay > SimTime::ZERO, "hedge delay must be positive");
+        self.hedge_after = Some(delay);
+        self
+    }
+}
+
 /// One serving experiment: a fleet, a scheduler policy, a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingConfig {
@@ -115,6 +172,16 @@ pub struct ServingConfig {
     pub requests: usize,
     /// Seed for the arrival process (unused by `ClosedLoop`/`Trace`).
     pub seed: u64,
+    /// Supervised-restart policy; `None` means faults are permanent
+    /// unless a scripted [`FaultEvent::Restart`](super::FaultEvent::Restart)
+    /// revives the instance (PR 7 behavior).
+    pub supervisor: Option<Supervisor>,
+    /// Cluster retry/hedging policy for kill-aborted requests.
+    pub retry: RetryPolicy,
+    /// Window of the availability goodput series
+    /// ([`ServingReport::goodput_series`](super::ServingReport::goodput_series));
+    /// `None` disables the series.
+    pub goodput_window: Option<SimTime>,
 }
 
 impl ServingConfig {
@@ -150,6 +217,9 @@ impl ServingConfig {
             },
             requests,
             seed: 0,
+            supervisor: None,
+            retry: RetryPolicy::default(),
+            goodput_window: None,
         }
     }
 
@@ -223,6 +293,38 @@ impl ServingConfig {
     #[must_use]
     pub fn with_requests(mut self, requests: usize) -> Self {
         self.requests = requests;
+        self
+    }
+
+    /// Attaches a supervised-restart policy.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// Detaches the supervisor — kills become permanent again.
+    #[must_use]
+    pub fn without_supervisor(mut self) -> Self {
+        self.supervisor = None;
+        self
+    }
+
+    /// Replaces the cluster retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the windowed-goodput availability series.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_goodput_window(mut self, window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "goodput window must be positive");
+        self.goodput_window = Some(window);
         self
     }
 }

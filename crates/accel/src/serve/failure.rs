@@ -1,0 +1,314 @@
+//! Stochastic failure processes: statistical chaos on top of the
+//! scripted [`FaultPlan`] machinery.
+//!
+//! A [`FailureProcess`] turns "instances fail with MTBF *m*" into a
+//! concrete, replayable [`FaultPlan`]: per-instance exponential
+//! inter-failure gaps (and optional self-repair and stall mixing) drawn
+//! from a **counter-keyed SplitMix64 stream** — the same determinism
+//! discipline as the PR 3 ADC noise
+//! ([`KeyedAdcStream`](crate::engine::KeyedAdcStream)). Draw `k` for
+//! instance `i` is `mix_key(combine_keys(combine_keys(seed, i), k))`: a
+//! pure function of `(seed, instance, counter)`, independent of thread
+//! count, call order, and of every *other* instance's stream — growing
+//! the fleet never perturbs the fault history of existing instances.
+//!
+//! The output is an ordinary plan, so everything pinned about scripted
+//! chaos holds for statistical chaos too: canonical event ordering,
+//! kill-of-dead / restart-of-live no-op semantics (a stochastic kill may
+//! land on an instance a supervisor already benched — documented no-op),
+//! and bit-identical replay across sweep worker counts.
+
+use crate::serve::fault::FaultPlan;
+use sconna_sim::time::SimTime;
+use sconna_tensor::engine::{combine_keys, mix_key};
+use serde::{Deserialize, Serialize};
+
+/// Maps a raw SplitMix64 draw onto the open unit interval `(0, 1)`,
+/// never returning 0 or 1 exactly so `ln` stays finite on either
+/// orientation of an exponential transform. 52-bit precision: with 53
+/// bits, `(2^53 − 1) + 0.5` is not representable and rounds up to
+/// `2^53`, making the top draw collapse to exactly 1.0.
+pub(crate) fn unit_uniform(draw: u64) -> f64 {
+    ((draw >> 12) as f64 + 0.5) / 4_503_599_627_370_496.0
+}
+
+/// One exponential draw with the given mean, floored at 1 ps so every
+/// event strictly advances time (a zero-length gap would let a single
+/// instance fail infinitely often at one instant).
+fn exp_draw(draw: u64, mean: SimTime) -> SimTime {
+    let dt = -mean.as_secs_f64() * (1.0 - unit_uniform(draw)).ln();
+    SimTime::from_secs_f64(dt).max(SimTime::from_ps(1))
+}
+
+/// A seeded per-instance stochastic failure model, materialized into a
+/// [`FaultPlan`] over a finite horizon.
+///
+/// Each instance independently draws exponential inter-failure gaps with
+/// mean [`mtbf`](Self::mtbf). Each failure is a stall with probability
+/// [`stall_probability`](Self::stall_probability) (duration exponential
+/// with mean [`mean_stall`](Self::mean_stall)) and a kill otherwise.
+/// When [`mttr`](Self::mttr) is set, every kill is followed by a
+/// self-repair [`Restart`](super::FaultEvent::Restart) an exponential
+/// `Exp(mttr)` later — the "ops team reimages the box" model. Leave it
+/// `None` when a [`Supervisor`](super::Supervisor) owns healing, so
+/// measured recovery times are the supervisor's alone.
+///
+/// ```
+/// use sconna_accel::serve::FailureProcess;
+/// use sconna_sim::time::SimTime;
+///
+/// let fp = FailureProcess::new(42, SimTime::from_ns(400_000));
+/// let plan = fp.materialize(2, SimTime::from_ns(4_000_000));
+/// // Same seed, same plan — and instance 0's history is unchanged by
+/// // growing the fleet.
+/// assert_eq!(plan, fp.materialize(2, SimTime::from_ns(4_000_000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureProcess {
+    /// Root of every per-instance draw stream.
+    pub seed: u64,
+    /// Mean time between failures per instance (exponential gaps).
+    pub mtbf: SimTime,
+    /// Mean time to self-repair. `Some` schedules a stochastic
+    /// [`Restart`](super::FaultEvent::Restart) after every kill; `None`
+    /// leaves healing to the supervisor (or to nobody).
+    pub mttr: Option<SimTime>,
+    /// Fraction of failures that are stalls rather than kills, in
+    /// `[0, 1]`.
+    pub stall_probability: f64,
+    /// Mean stall duration (exponential), required positive when
+    /// `stall_probability > 0`.
+    pub mean_stall: SimTime,
+}
+
+impl FailureProcess {
+    /// A kill-only process: exponential failures with mean `mtbf`, no
+    /// self-repair, no stalls.
+    ///
+    /// # Panics
+    /// Panics if `mtbf` is zero.
+    pub fn new(seed: u64, mtbf: SimTime) -> Self {
+        assert!(mtbf > SimTime::ZERO, "MTBF must be positive");
+        Self {
+            seed,
+            mtbf,
+            mttr: None,
+            stall_probability: 0.0,
+            mean_stall: SimTime::ZERO,
+        }
+    }
+
+    /// Adds stochastic self-repair: each kill is followed by a restart
+    /// an `Exp(mttr)` later.
+    ///
+    /// # Panics
+    /// Panics if `mttr` is zero.
+    #[must_use]
+    pub fn with_self_repair(mut self, mttr: SimTime) -> Self {
+        assert!(mttr > SimTime::ZERO, "MTTR must be positive");
+        self.mttr = Some(mttr);
+        self
+    }
+
+    /// Mixes stalls into the failure stream: each failure is a stall
+    /// with probability `probability`, of exponential duration with mean
+    /// `mean_stall`.
+    ///
+    /// # Panics
+    /// Panics if `probability` is outside `[0, 1]` or if it is positive
+    /// with a zero `mean_stall`.
+    #[must_use]
+    pub fn with_stalls(mut self, probability: f64, mean_stall: SimTime) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "stall probability must be in [0, 1], got {probability}"
+        );
+        assert!(
+            probability == 0.0 || mean_stall > SimTime::ZERO,
+            "mean stall duration must be positive when stalls are enabled"
+        );
+        self.stall_probability = probability;
+        self.mean_stall = mean_stall;
+        self
+    }
+
+    /// Materializes the process into a concrete [`FaultPlan`] for
+    /// `instances` instances over `[0, horizon)`.
+    ///
+    /// Failure *times* always fall inside the horizon; a self-repair
+    /// restart (or a stall's tail) may extend past it — the fleet keeps
+    /// simulating until its queues drain, so late repairs still land.
+    /// The plan is a pure function of `(self, instances, horizon)`.
+    ///
+    /// # Panics
+    /// Panics if `instances` is zero or `horizon` is zero.
+    pub fn materialize(&self, instances: usize, horizon: SimTime) -> FaultPlan {
+        assert!(instances > 0, "fleet must have at least one instance");
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        // Fields are public; revalidate what the builders promised.
+        assert!(self.mtbf > SimTime::ZERO, "MTBF must be positive");
+        let mut plan = FaultPlan::new();
+        for inst in 0..instances {
+            let key = combine_keys(self.seed, inst as u64);
+            let draw = |counter: &mut u64| {
+                let d = mix_key(combine_keys(key, *counter));
+                *counter += 1;
+                d
+            };
+            let mut counter = 0u64;
+            let mut t = SimTime::ZERO;
+            loop {
+                t += exp_draw(draw(&mut counter), self.mtbf);
+                if t >= horizon {
+                    break;
+                }
+                let is_stall = unit_uniform(draw(&mut counter)) < self.stall_probability;
+                if is_stall {
+                    let duration = exp_draw(draw(&mut counter), self.mean_stall);
+                    plan = plan.stall(t, inst, duration);
+                } else {
+                    plan = plan.kill(t, inst);
+                    if let Some(mttr) = self.mttr {
+                        let back_at = t + exp_draw(draw(&mut counter), mttr);
+                        plan = plan.restart(back_at, inst);
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::fault::FaultEvent;
+
+    const US: u64 = 1_000_000; // ps per microsecond
+
+    #[test]
+    fn same_seed_same_plan() {
+        let fp = FailureProcess::new(7, SimTime::from_ps(50 * US))
+            .with_self_repair(SimTime::from_ps(10 * US))
+            .with_stalls(0.3, SimTime::from_ps(5 * US));
+        let h = SimTime::from_ps(2_000 * US);
+        assert_eq!(fp.materialize(3, h), fp.materialize(3, h));
+        // Different seed, different plan.
+        let other = FailureProcess { seed: 8, ..fp };
+        assert_ne!(fp.materialize(3, h), other.materialize(3, h));
+    }
+
+    #[test]
+    fn per_instance_streams_are_independent_of_fleet_size() {
+        // Growing the fleet must not move a single event of the existing
+        // instances' histories: each stream is keyed by (seed, instance)
+        // alone.
+        let fp = FailureProcess::new(11, SimTime::from_ps(40 * US))
+            .with_self_repair(SimTime::from_ps(8 * US));
+        let h = SimTime::from_ps(1_000 * US);
+        let small = fp.materialize(2, h);
+        let large = fp.materialize(5, h);
+        for inst in 0..2 {
+            let pick = |p: &FaultPlan| -> Vec<FaultEvent> {
+                p.normalized()
+                    .into_iter()
+                    .filter(|e| e.instance() == inst)
+                    .collect()
+            };
+            assert_eq!(pick(&small), pick(&large), "instance {inst}");
+        }
+    }
+
+    #[test]
+    fn failure_times_respect_the_horizon_and_repairs_may_overhang() {
+        let fp = FailureProcess::new(3, SimTime::from_ps(30 * US))
+            .with_self_repair(SimTime::from_ps(US));
+        let h = SimTime::from_ps(500 * US);
+        let plan = fp.materialize(2, h);
+        assert!(!plan.is_empty(), "~16 expected failures per instance");
+        for e in plan.events() {
+            match e {
+                FaultEvent::Kill { at, .. } | FaultEvent::Stall { at, .. } => {
+                    assert!(*at < h, "failure at {at} past horizon {h}");
+                }
+                // Self-repair restarts trail their kill and may pass the
+                // horizon; the fleet drains past it anyway.
+                FaultEvent::Restart { .. } => {}
+            }
+        }
+        // Every kill has exactly one trailing restart under self-repair.
+        let kills = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Kill { .. }))
+            .count();
+        let restarts = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Restart { .. }))
+            .count();
+        assert_eq!(kills, restarts);
+    }
+
+    #[test]
+    fn empirical_failure_rate_tracks_mtbf() {
+        // Statistical sanity, not a distribution test: with MTBF m over
+        // horizon H, expect about H/m failures per instance. 200
+        // expected events keeps ±25% loose enough to never flake.
+        let mtbf = SimTime::from_ps(10 * US);
+        let h = SimTime::from_ps(2_000 * US);
+        let plan = FailureProcess::new(99, mtbf).materialize(10, h);
+        let expected = 10.0 * (h.as_secs_f64() / mtbf.as_secs_f64());
+        let got = plan.len() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "got {got} events, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn stall_mix_fraction_is_respected() {
+        let plan = FailureProcess::new(5, SimTime::from_ps(10 * US))
+            .with_stalls(0.5, SimTime::from_ps(2 * US))
+            .materialize(8, SimTime::from_ps(1_000 * US));
+        let stalls = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Stall { .. }))
+            .count() as f64;
+        let frac = stalls / plan.len() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "stall fraction {frac}");
+        // Stochastic stall durations are positive by construction.
+        for e in plan.events() {
+            if let FaultEvent::Stall { duration, .. } = e {
+                assert!(*duration >= SimTime::from_ps(1));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_uniform_stays_inside_the_open_interval() {
+        for draw in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let u = unit_uniform(draw);
+            assert!(u > 0.0 && u < 1.0, "draw {draw} -> {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_panics() {
+        let _ = FailureProcess::new(1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall probability must be in [0, 1]")]
+    fn bad_stall_probability_panics() {
+        let _ = FailureProcess::new(1, SimTime::from_ps(US)).with_stalls(1.5, SimTime::from_ps(US));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean stall duration must be positive")]
+    fn zero_mean_stall_panics() {
+        let _ = FailureProcess::new(1, SimTime::from_ps(US)).with_stalls(0.5, SimTime::ZERO);
+    }
+}

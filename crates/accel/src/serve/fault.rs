@@ -140,8 +140,19 @@ impl FaultPlan {
     }
 
     /// Adds a [`FaultEvent::Stall`] of `instance` at `at` for `duration`.
+    ///
+    /// A zero-length stall is a **validated no-op**: it is dropped here
+    /// rather than scheduled, so the resulting plan is bit-identical to
+    /// one that never mentioned it (an instant stall cannot refuse any
+    /// dispatch — `stall_until == now` — so scheduling it would only
+    /// perturb event counts). Stochastic stalls from
+    /// [`FailureProcess`](super::FailureProcess) are floored at 1 ps and
+    /// never take this path.
     #[must_use]
     pub fn stall(mut self, at: SimTime, instance: usize, duration: SimTime) -> Self {
+        if duration == SimTime::ZERO {
+            return self;
+        }
         self.events.push(FaultEvent::Stall {
             at,
             instance,
@@ -233,6 +244,21 @@ mod tests {
         assert!(plan.is_empty());
         assert_eq!(plan.len(), 0);
         assert!(plan.normalized().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_stall_is_dropped_at_construction() {
+        let plan = FaultPlan::new().stall(SimTime::from_ns(5), 0, SimTime::ZERO);
+        assert!(plan.is_empty(), "instant stall must not schedule");
+        assert_eq!(plan, FaultPlan::new());
+        // Mixed with real events it vanishes without a trace.
+        let with = FaultPlan::new().kill(SimTime::from_ns(1), 0).stall(
+            SimTime::from_ns(5),
+            0,
+            SimTime::ZERO,
+        );
+        let without = FaultPlan::new().kill(SimTime::from_ns(1), 0);
+        assert_eq!(with.normalized(), without.normalized());
     }
 
     #[test]

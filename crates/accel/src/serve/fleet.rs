@@ -26,19 +26,23 @@
 //! provably never be served drain as
 //! [`RequestOutcome::ShedStranded`] when the fleet settles.
 
+use super::supervisor::{RestartMode, Supervisor};
 use super::{
-    AdmissionPolicy, ArrivalProcess, FaultEvent, FaultPlan, FunctionalServingReport,
-    RequestOutcome, ServingConfig, ServingReport, ShedCounts,
+    AdmissionPolicy, ArrivalProcess, AvailabilityStats, FaultEvent, FaultPlan,
+    FunctionalServingReport, RequestOutcome, ServingConfig, ServingReport, ShedCounts,
 };
 use crate::organization::AcceleratorConfig;
 use crate::perf::{
-    analyze_layer_batched, model_reload_time, record_inference_ops, register_components, LayerPerf,
+    analyze_layer_batched, model_reload_time, model_warm_reload_time, record_inference_ops,
+    register_components, LayerPerf,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sconna_sim::energy::EnergyLedger;
 use sconna_sim::event::EventQueue;
-use sconna_sim::stats::{LatencySamples, LatencySummary, QueueDepthSamples, Utilization};
+use sconna_sim::stats::{
+    GoodputSamples, LatencySamples, LatencySummary, QueueDepthSamples, Utilization,
+};
 use sconna_sim::time::SimTime;
 use sconna_tensor::dataset::Sample;
 use sconna_tensor::engine::VdpEngine;
@@ -193,6 +197,20 @@ enum Ev {
     /// Instance `inst` finishes its weight reload, begun in boot epoch
     /// `epoch`; stale if the instance was killed mid-reload.
     ReloadDone { inst: usize, epoch: u64 },
+    /// The supervisor's backoff for instance `inst` expired: begin the
+    /// supervised reload. Stale if the boot epoch moved on or something
+    /// else (a scripted restart) already began healing the instance.
+    SupRestart { inst: usize, epoch: u64 },
+    /// Instance `inst` stayed up [`Supervisor::reset_after`] since its
+    /// supervised reload finished: its backoff ladder resets. Stale if
+    /// the boot epoch moved on (killed again first).
+    BackoffReset { inst: usize, epoch: u64 },
+    /// The batch dispatched as sequence number `seq` on instance `inst`
+    /// has been in flight [`RetryPolicy::hedge_after`](super::RetryPolicy):
+    /// issue a hedged duplicate if the batch is still running, unhedged,
+    /// no traffic is waiting and an idle instance exists. Stale if the
+    /// batch completed (the sequence number no longer matches).
+    HedgeTimer { inst: usize, seq: u64 },
 }
 
 /// One waiting request.
@@ -210,8 +228,60 @@ struct InFlight {
     /// Dispatch time (busy time accrues `completion - started`, or
     /// `kill - started` for an aborted batch).
     started: SimTime,
-    /// `(request id, arrival time)` in queue order.
+    /// `(request id, arrival time)` in queue order. A hedge holds a
+    /// *copy* of its primary's requests (authoritative only after
+    /// promotion); fleet-level in-flight accounting counts primaries
+    /// only.
     reqs: Vec<(u64, SimTime)>,
+    /// Dispatch sequence number, the [`Ev::HedgeTimer`] staleness guard:
+    /// unlike the boot epoch it changes on every dispatch, so a timer
+    /// armed for one batch can never fire against a later batch on the
+    /// same instance.
+    seq: u64,
+    /// Instance running this batch's hedged duplicate, if any.
+    hedge: Option<usize>,
+    /// This batch *is* the hedged duplicate of the primary running on
+    /// the named instance. Cleared on promotion (primary killed).
+    hedge_of: Option<usize>,
+}
+
+/// Per-instance supervision state (only allocated when the config has a
+/// [`Supervisor`]).
+struct SupState {
+    /// Restart attempts on the current backoff ladder (reset by
+    /// [`Ev::BackoffReset`] after sustained uptime).
+    ladder_attempt: u32,
+    /// Lifetime supervised restarts of this instance — the jitter key,
+    /// so delays stay decorrelated even after ladder resets.
+    ordinal: u64,
+    /// Kill timestamps inside the sliding crash-loop window.
+    recent_kills: VecDeque<SimTime>,
+    /// Permanently benched by crash-loop detection; only a scripted
+    /// [`FaultEvent::Restart`] (the operator override) revives it.
+    benched: bool,
+}
+
+impl SupState {
+    fn fresh() -> Self {
+        Self {
+            ladder_attempt: 0,
+            ordinal: 0,
+            recent_kills: VecDeque::new(),
+            benched: false,
+        }
+    }
+}
+
+/// Supervisor control block: the policy plus the run-wide mutable state.
+struct SupCtl {
+    policy: Supervisor,
+    /// What a supervised reload costs: [`model_reload_time`] for
+    /// [`RestartMode::Cold`], [`model_warm_reload_time`] for
+    /// [`RestartMode::Warm`] (zero on SCONNA).
+    reload: SimTime,
+    /// Remaining restart budget (`None` = unlimited).
+    budget_left: Option<u64>,
+    states: Vec<SupState>,
 }
 
 /// One fleet instance's liveness state.
@@ -328,6 +398,26 @@ struct Scheduler<'a> {
     /// batches at the next opportunity.
     force_flush: bool,
     rng: StdRng,
+    /// Supervision state; `None` without a configured [`Supervisor`].
+    sup: Option<SupCtl>,
+    /// Dispatch attempts per request id (bumped at dispatch; hedged
+    /// duplicates do not count).
+    attempts: Vec<u32>,
+    /// Monotonic dispatch sequence (stamps [`InFlight::seq`]).
+    next_seq: u64,
+    /// Self-healing counters, accumulated as events fire; the
+    /// per-instance downtime and MTTR summary are finalized in
+    /// `into_parts`.
+    avail: AvailabilityStats,
+    /// When each currently-down instance went down (first kill of the
+    /// outage, surviving kills-while-reloading).
+    down_since: Vec<Option<SimTime>>,
+    /// Accrued downtime per instance over completed outages.
+    downtime: Vec<SimTime>,
+    /// Sum of completed outage durations (mean MTTR numerator).
+    mttr_total: SimTime,
+    /// Windowed response series; `None` unless the config enables it.
+    goodput: Option<GoodputSamples>,
 }
 
 impl Scheduler<'_> {
@@ -352,11 +442,17 @@ impl Scheduler<'_> {
         }
     }
 
-    /// Unconditionally samples the queue depth: fault boundaries (kill,
-    /// restart, stall, reload-done, settle) must be visible in the time
-    /// series even when the depth itself did not move.
+    /// Unconditionally samples the queue depth — and extends the goodput
+    /// series — at fault *and supervisor* boundaries (kill, restart,
+    /// stall, reload-done, supervised restart, settle): healing
+    /// transients must be visible in the time series even when the depth
+    /// itself did not move, and an outage tail must show as empty
+    /// goodput windows rather than a truncated series.
     fn note_fault_boundary(&mut self, now: SimTime) {
         self.queue_depth.record(now, self.pending.len());
+        if let Some(g) = &mut self.goodput {
+            g.note(now);
+        }
     }
 
     fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>) {
@@ -380,6 +476,7 @@ impl Scheduler<'_> {
             RequestOutcome::ShedOldest => self.shed.oldest += 1,
             RequestOutcome::ShedDeadline => self.shed.deadline += 1,
             RequestOutcome::ShedStranded => self.shed.stranded += 1,
+            RequestOutcome::ShedRetryBudget => self.shed.retry += 1,
             _ => unreachable!("record_drop takes shed causes only"),
         }
         self.dropped += 1;
@@ -395,6 +492,7 @@ impl Scheduler<'_> {
         self.next_id += 1;
         self.offered += 1;
         self.outcomes.push(None);
+        self.attempts.push(0);
         let full = self
             .queue_bound()
             .is_some_and(|bound| self.pending.len() >= bound);
@@ -547,11 +645,21 @@ impl Scheduler<'_> {
                 let ids: Vec<u64> = reqs.iter().map(|&(id, _)| id).collect();
                 func.execute_batch(inst, &ids, tier_degraded);
             }
+            for &(id, _) in &reqs {
+                let a = &mut self.attempts[id as usize];
+                *a += 1;
+                self.avail.max_attempts_seen = self.avail.max_attempts_seen.max(*a);
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
             let node = &mut self.nodes[inst];
             node.in_flight = Some(InFlight {
                 degraded: tier_degraded,
                 started: now,
                 reqs,
+                seq,
+                hedge: None,
+                hedge_of: None,
             });
             self.batches += 1;
             self.batched_requests += take as u64;
@@ -562,6 +670,11 @@ impl Scheduler<'_> {
                     epoch: node.epoch,
                 },
             );
+            if let Some(h) = self.cfg.retry.hedge_after {
+                // Armed per dispatch; a timer outliving its batch finds
+                // a different sequence number and lapses.
+                q.schedule_in(h, Ev::HedgeTimer { inst, seq });
+            }
             self.note_depth(now);
         }
         if self.pending.is_empty() {
@@ -577,11 +690,16 @@ impl Scheduler<'_> {
 
     /// Kills instance `inst`: bump its boot epoch (in-flight completions
     /// and reloads of the old life become stale), truncate its busy time
-    /// at the kill instant, and requeue the aborted batch's requests at
-    /// the **front** of the pending queue in their original order — then
-    /// let the admission policy settle any overflow. A kill against a
-    /// dead idle instance is a no-op; a kill mid-reload cancels the
-    /// reload.
+    /// at the kill instant, and re-admit the aborted batch's requests at
+    /// the **front** of the pending queue in their original order
+    /// through the [`RetryPolicy`](super::RetryPolicy) — then let the
+    /// admission policy settle any overflow. A batch with a live hedge
+    /// skips the requeue entirely: the hedge is promoted to primary and
+    /// carries the requests to completion. A kill against a dead idle
+    /// instance is a no-op; a kill mid-reload cancels the reload. When a
+    /// supervisor is configured, the kill feeds crash-loop detection and
+    /// (unless the instance is benched or the budget is spent) schedules
+    /// a backed-off supervised restart.
     fn apply_kill(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
         let node = &mut self.nodes[inst];
         if node.up || node.reloading {
@@ -589,32 +707,123 @@ impl Scheduler<'_> {
             node.up = false;
             node.reloading = false;
             node.stall_until = SimTime::ZERO;
-            if let Some(fl) = node.in_flight.take() {
+            self.avail.incidents += 1;
+            // The outage clock starts at the first kill and survives
+            // kills-while-reloading: MTTR measures down-at → back-up.
+            if self.down_since[inst].is_none() {
+                self.down_since[inst] = Some(now);
+            }
+            if let Some(fl) = self.nodes[inst].in_flight.take() {
                 // Wasted work is real work: the dispatch energy stays on
                 // the ledger, but only the busy time actually accrued
                 // counts toward utilization.
                 self.util[inst].add_busy(now - fl.started);
-                if let Some(func) = &mut self.functional {
-                    // The aborted requests never produced a response;
-                    // their (deterministic) predictions are re-computed
-                    // identically if they are re-dispatched.
-                    for &(id, _) in &fl.reqs {
-                        func.predictions[id as usize] = usize::MAX;
+                if let Some(primary) = fl.hedge_of {
+                    // A dying *hedge* costs nothing but its energy: the
+                    // primary still owns the requests — just unlink it.
+                    if let Some(pfl) = self.nodes[primary].in_flight.as_mut() {
+                        pfl.hedge = None;
+                    }
+                } else if let Some(twin) = fl.hedge {
+                    // The hedge pays off: promote the duplicate to
+                    // primary — its request copy becomes authoritative,
+                    // nothing is requeued and the (request-id-keyed)
+                    // predictions recorded at dispatch stay valid.
+                    self.avail.hedges_promoted += 1;
+                    let tfl = self.nodes[twin].in_flight.as_mut().expect(
+                        "invariant: a live hedge pointer names an instance running the duplicate",
+                    );
+                    debug_assert_eq!(tfl.hedge_of, Some(inst));
+                    tfl.hedge_of = None;
+                } else {
+                    if let Some(func) = &mut self.functional {
+                        // The aborted requests never produced a response;
+                        // their (deterministic) predictions are
+                        // re-computed identically if re-dispatched.
+                        for &(id, _) in &fl.reqs {
+                            func.predictions[id as usize] = usize::MAX;
+                        }
+                    }
+                    let tier_degraded = fl.degraded;
+                    let mut refused = 0usize;
+                    for (id, arrived) in fl.reqs.into_iter().rev() {
+                        let over_attempts = self
+                            .cfg
+                            .retry
+                            .max_attempts
+                            .is_some_and(|m| self.attempts[id as usize] >= m);
+                        let budget_spent = self
+                            .cfg
+                            .retry
+                            .retry_budget
+                            .is_some_and(|b| self.avail.retries >= b);
+                        if over_attempts || budget_spent {
+                            // Retry-storm protection: the request is shed
+                            // instead of amplifying the overload.
+                            self.record_drop(id, RequestOutcome::ShedRetryBudget);
+                            refused += 1;
+                        } else {
+                            self.avail.retries += 1;
+                            self.pending.push_front(PendingReq {
+                                id,
+                                arrived,
+                                degraded: tier_degraded,
+                            });
+                        }
+                    }
+                    self.enforce_bound_after_requeue(now);
+                    if refused > 0 {
+                        self.note_depth(now);
+                        self.respawn_clients(now, refused);
                     }
                 }
-                let tier_degraded = fl.degraded;
-                for (id, arrived) in fl.reqs.into_iter().rev() {
-                    self.pending.push_front(PendingReq {
-                        id,
-                        arrived,
-                        degraded: tier_degraded,
-                    });
-                }
-                self.enforce_bound_after_requeue(now);
             }
+            self.supervise_kill(q, now, inst);
         }
         self.note_fault_boundary(now);
         self.try_dispatch(q, now);
+    }
+
+    /// The supervisor's kill hook: slide the crash-loop window, bench
+    /// the instance if it flapped past the limit, otherwise schedule a
+    /// restart after the backoff (consuming restart budget). No-op
+    /// without a supervisor or on a benched instance.
+    fn supervise_kill(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
+        let Some(sup) = &mut self.sup else {
+            return;
+        };
+        let st = &mut sup.states[inst];
+        if st.benched {
+            // Revived by operator override, killed again: stays benched.
+            return;
+        }
+        let cutoff = now.saturating_sub(sup.policy.crash_loop_window);
+        while st.recent_kills.front().is_some_and(|&t| t < cutoff) {
+            st.recent_kills.pop_front();
+        }
+        st.recent_kills.push_back(now);
+        if st.recent_kills.len() as u32 >= sup.policy.crash_loop_limit {
+            st.benched = true;
+            self.avail.benched += 1;
+            return;
+        }
+        if let Some(budget) = sup.budget_left {
+            if budget == 0 {
+                return; // ops capacity exhausted: the instance stays down
+            }
+            sup.budget_left = Some(budget - 1);
+        }
+        let delay = sup.policy.backoff_for(inst, st.ordinal, st.ladder_attempt);
+        st.ordinal += 1;
+        st.ladder_attempt = st.ladder_attempt.saturating_add(1);
+        self.avail.restarts_issued += 1;
+        q.schedule_at(
+            now + delay,
+            Ev::SupRestart {
+                inst,
+                epoch: self.nodes[inst].epoch,
+            },
+        );
     }
 
     /// Re-applies the queue bound after a kill pushed an aborted batch
@@ -665,19 +874,38 @@ impl Scheduler<'_> {
     }
 
     /// Begins rebooting instance `inst`: the reload completes — and the
-    /// instance becomes dispatchable — after [`Self::reload_time`]. A
-    /// restart against a live or already-reloading instance is a no-op.
+    /// instance becomes dispatchable — after `reload`.
+    fn begin_reload(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize, reload: SimTime) {
+        let node = &mut self.nodes[inst];
+        node.reloading = true;
+        q.schedule_at(
+            now + reload,
+            Ev::ReloadDone {
+                inst,
+                epoch: node.epoch,
+            },
+        );
+    }
+
+    /// A scripted [`FaultEvent::Restart`]: reboots a down instance at
+    /// the full cold [`Self::reload_time`]. A restart against a live or
+    /// already-reloading instance is a no-op. This is also the operator
+    /// override for crash-loop benching: a benched instance is given a
+    /// fresh ladder and revived.
     fn apply_restart(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
         let node = &mut self.nodes[inst];
         if !node.up && !node.reloading {
-            node.reloading = true;
-            q.schedule_at(
-                now + self.reload_time,
-                Ev::ReloadDone {
-                    inst,
-                    epoch: node.epoch,
-                },
-            );
+            if let Some(sup) = &mut self.sup {
+                let st = &mut sup.states[inst];
+                if st.benched {
+                    st.benched = false;
+                    st.recent_kills.clear();
+                    st.ladder_attempt = 0;
+                    self.avail.benched -= 1;
+                }
+            }
+            let reload = self.reload_time;
+            self.begin_reload(q, now, inst, reload);
         }
         self.note_fault_boundary(now);
     }
@@ -720,9 +948,29 @@ impl Scheduler<'_> {
                 let fl = self.nodes[inst].in_flight.take().expect(
                     "invariant: a current-epoch BatchDone matches a stored in-flight batch",
                 );
+                // An unpromoted hedge can never get here: it started
+                // strictly after its primary with the same makespan, so
+                // the primary's completion cancelled it (epoch bump)
+                // first.
+                debug_assert!(fl.hedge_of.is_none());
+                if let Some(twin) = fl.hedge {
+                    // The primary won: cancel the duplicate. The epoch
+                    // bump invalidates its scheduled BatchDone; its busy
+                    // time (and its dispatch energy, long since on the
+                    // ledger) was genuinely spent.
+                    if let Some(tfl) = self.nodes[twin].in_flight.take() {
+                        debug_assert_eq!(tfl.hedge_of, Some(inst));
+                        self.util[twin].add_busy(now - tfl.started);
+                        self.nodes[twin].epoch += 1;
+                        self.avail.hedges_cancelled += 1;
+                    }
+                }
                 self.util[inst].add_busy(now - fl.started);
                 self.last_completion = now;
                 let n_done = fl.reqs.len();
+                if let Some(g) = &mut self.goodput {
+                    g.record(now, n_done as u64);
+                }
                 for (id, arrival) in fl.reqs {
                     self.latency.record(now - arrival);
                     if fl.degraded {
@@ -761,10 +1009,116 @@ impl Scheduler<'_> {
                 }
                 node.reloading = false;
                 node.up = true;
+                let boot_epoch = node.epoch;
+                self.avail.recoveries += 1;
+                if let Some(down_at) = self.down_since[inst].take() {
+                    let outage = now - down_at;
+                    self.downtime[inst] += outage;
+                    self.mttr_total += outage;
+                }
+                if let Some(sup) = &self.sup {
+                    // Sustained uptime earns the backoff ladder back.
+                    q.schedule_at(
+                        now + sup.policy.reset_after,
+                        Ev::BackoffReset {
+                            inst,
+                            epoch: boot_epoch,
+                        },
+                    );
+                }
                 self.note_fault_boundary(now);
                 self.try_dispatch(q, now);
             }
+            Ev::SupRestart { inst, epoch } => {
+                let node = &self.nodes[inst];
+                if node.epoch != epoch || node.up || node.reloading {
+                    return; // killed again, or a scripted restart beat us
+                }
+                let reload = self
+                    .sup
+                    .as_ref()
+                    .expect("invariant: SupRestart events are only scheduled with a supervisor")
+                    .reload;
+                self.begin_reload(q, now, inst, reload);
+                // Supervisor restart boundaries are sampled into the
+                // time series like every fault boundary.
+                self.note_fault_boundary(now);
+            }
+            Ev::BackoffReset { inst, epoch } => {
+                let node = &self.nodes[inst];
+                if node.epoch != epoch || !node.up {
+                    return; // killed again before earning the reset
+                }
+                if let Some(sup) = &mut self.sup {
+                    sup.states[inst].ladder_attempt = 0;
+                }
+            }
+            Ev::HedgeTimer { inst, seq } => self.maybe_hedge(q, now, inst, seq),
         }
+    }
+
+    /// Issues a hedged duplicate of the batch dispatched as `seq` on
+    /// `inst`, if it is still in flight, unhedged, not itself a hedge,
+    /// nothing is waiting in the queue (spare capacity goes to real
+    /// traffic first), and an idle instance exists. The duplicate pays
+    /// real dispatch energy but is *not* re-executed functionally —
+    /// predictions are keyed per request id and already recorded — nor
+    /// counted in `batches`/attempts: it is insurance, not traffic.
+    fn maybe_hedge(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize, seq: u64) {
+        if !self.pending.is_empty() {
+            return;
+        }
+        let Some(fl) = self.nodes[inst].in_flight.as_ref() else {
+            return;
+        };
+        if fl.seq != seq || fl.hedge.is_some() || fl.hedge_of.is_some() {
+            return;
+        }
+        let Some(twin) = self.idle_instance(now) else {
+            return;
+        };
+        let degraded = fl.degraded;
+        let reqs = fl.reqs.clone();
+        let (makespan, layers) = if degraded {
+            self.degraded_profiles
+                .as_mut()
+                .expect("invariant: degraded batches only exist with fallback profiles")
+                .get(reqs.len())
+        } else {
+            self.profiles.get(reqs.len())
+        };
+        let makespan = *makespan;
+        let accel = if degraded {
+            self.degraded_accel
+                .expect("invariant: degraded batches only exist with a fallback config")
+        } else {
+            self.cfg.accelerator
+        };
+        record_inference_ops(&mut self.ledger, &accel, layers, self.model, reqs.len());
+        let hedge_seq = self.next_seq;
+        self.next_seq += 1;
+        let twin_epoch = self.nodes[twin].epoch;
+        self.nodes[twin].in_flight = Some(InFlight {
+            degraded,
+            started: now,
+            reqs,
+            seq: hedge_seq,
+            hedge: None,
+            hedge_of: Some(inst),
+        });
+        self.nodes[inst]
+            .in_flight
+            .as_mut()
+            .expect("invariant: checked in flight above")
+            .hedge = Some(twin);
+        self.avail.hedges_dispatched += 1;
+        q.schedule_in(
+            makespan,
+            Ev::BatchDone {
+                inst: twin,
+                epoch: twin_epoch,
+            },
+        );
     }
 }
 
@@ -781,6 +1135,10 @@ pub enum InstanceHealth {
     Down,
     /// Rebooting: paying the weight-reload latency.
     Reloading,
+    /// Permanently benched by the supervisor's crash-loop detection;
+    /// only a scripted [`FaultEvent::Restart`] (operator override)
+    /// revives it.
+    Benched,
 }
 
 /// One instance's state in a [`FleetSnapshot`].
@@ -788,10 +1146,15 @@ pub enum InstanceHealth {
 pub struct InstanceSnapshot {
     /// Liveness at the snapshot instant.
     pub health: InstanceHealth,
-    /// Requests in this instance's in-flight batch (0 when idle).
+    /// Requests in this instance's in-flight batch (0 when idle — and 0
+    /// for a hedged duplicate: its requests are accounted to the
+    /// primary).
     pub in_flight: usize,
     /// The in-flight batch is on the degraded (fallback-model) tier.
     pub degraded_batch: bool,
+    /// The in-flight batch is a hedged duplicate of a batch running on
+    /// another instance.
+    pub hedge_batch: bool,
 }
 
 /// A consistent view of the fleet at a step boundary.
@@ -924,6 +1287,19 @@ impl<'a> Fleet<'a> {
             register_components(&mut ledger, &config.accelerator);
         }
 
+        let sup = config.supervisor.map(|policy| {
+            policy.validate();
+            SupCtl {
+                policy,
+                reload: match policy.restart_mode {
+                    RestartMode::Cold => model_reload_time(&config.accelerator, model),
+                    RestartMode::Warm => model_warm_reload_time(&config.accelerator, model),
+                },
+                budget_left: policy.restart_budget,
+                states: (0..config.instances).map(|_| SupState::fresh()).collect(),
+            }
+        });
+
         let mut sched = Scheduler {
             model,
             profiles: BatchProfiles::new(config.accelerator, model, config.max_batch),
@@ -936,9 +1312,17 @@ impl<'a> Fleet<'a> {
             pending: VecDeque::new(),
             next_id: 0,
             outcomes: Vec::with_capacity(config.requests),
+            attempts: Vec::with_capacity(config.requests),
             nodes: (0..config.instances).map(|_| Instance::fresh()).collect(),
             faults: Vec::new(),
             reload_time: model_reload_time(&config.accelerator, model),
+            sup,
+            next_seq: 0,
+            avail: AvailabilityStats::default(),
+            down_since: vec![None; config.instances],
+            downtime: vec![SimTime::ZERO; config.instances],
+            mttr_total: SimTime::ZERO,
+            goodput: config.goodput_window.map(GoodputSamples::new),
             util: vec![Utilization::new(); config.instances],
             latency: LatencySamples::new(),
             queue_depth: QueueDepthSamples::new(),
@@ -1093,10 +1477,17 @@ impl<'a> Fleet<'a> {
     pub fn snapshot(&self) -> FleetSnapshot {
         let now = self.q.now();
         let s = &self.sched;
+        // Hedged duplicates hold a *copy* of their primary's requests;
+        // counting primaries only keeps the conservation invariant exact.
         let in_flight: u64 = s
             .nodes
             .iter()
-            .map(|n| n.in_flight.as_ref().map_or(0, |f| f.reqs.len() as u64))
+            .map(|n| {
+                n.in_flight
+                    .as_ref()
+                    .filter(|f| f.hedge_of.is_none())
+                    .map_or(0, |f| f.reqs.len() as u64)
+            })
             .sum();
         FleetSnapshot {
             now,
@@ -1113,20 +1504,33 @@ impl<'a> Fleet<'a> {
             instances: s
                 .nodes
                 .iter()
-                .map(|n| InstanceSnapshot {
-                    health: if n.reloading {
-                        InstanceHealth::Reloading
-                    } else if !n.up {
-                        InstanceHealth::Down
-                    } else if n.in_flight.is_some() {
-                        InstanceHealth::Busy
-                    } else if n.stall_until > now {
-                        InstanceHealth::Stalled
-                    } else {
-                        InstanceHealth::Idle
-                    },
-                    in_flight: n.in_flight.as_ref().map_or(0, |f| f.reqs.len()),
-                    degraded_batch: n.in_flight.as_ref().is_some_and(|f| f.degraded),
+                .enumerate()
+                .map(|(i, n)| {
+                    let benched = s.sup.as_ref().is_some_and(|sup| sup.states[i].benched);
+                    InstanceSnapshot {
+                        health: if n.reloading {
+                            InstanceHealth::Reloading
+                        } else if !n.up {
+                            if benched {
+                                InstanceHealth::Benched
+                            } else {
+                                InstanceHealth::Down
+                            }
+                        } else if n.in_flight.is_some() {
+                            InstanceHealth::Busy
+                        } else if n.stall_until > now {
+                            InstanceHealth::Stalled
+                        } else {
+                            InstanceHealth::Idle
+                        },
+                        in_flight: n
+                            .in_flight
+                            .as_ref()
+                            .filter(|f| f.hedge_of.is_none())
+                            .map_or(0, |f| f.reqs.len()),
+                        degraded_batch: n.in_flight.as_ref().is_some_and(|f| f.degraded),
+                        hedge_batch: n.in_flight.as_ref().is_some_and(|f| f.hedge_of.is_some()),
+                    }
                 })
                 .collect(),
         }
@@ -1175,7 +1579,7 @@ impl<'a> Fleet<'a> {
     /// Panics if the fleet was not built with [`Fleet::new_functional`].
     pub fn into_functional_report(mut self) -> FunctionalServingReport {
         self.run_to_completion();
-        let (serving, outcomes, func) = self.into_parts();
+        let (serving, outcomes, attempts, func) = self.into_parts();
         let func = func.expect(
             "invariant: into_functional_report is only called on Fleet::new_functional fleets",
         );
@@ -1200,6 +1604,7 @@ impl<'a> Fleet<'a> {
             accuracy_offered: correct as f64 / serving.offered as f64,
             predictions: func.predictions,
             outcomes,
+            attempts,
             correct,
             serving,
         }
@@ -1211,10 +1616,28 @@ impl<'a> Fleet<'a> {
     ) -> (
         ServingReport,
         Vec<RequestOutcome>,
+        Vec<u32>,
         Option<FunctionalExec<'a>>,
     ) {
         assert!(self.done, "into_parts only after the simulation settled");
-        let sched = self.sched;
+        let final_now = self.q.now();
+        let mut sched = self.sched;
+        // Close the availability books: an instance still down at the
+        // end accrues downtime up to the final event time (but not MTTR
+        // — it never recovered), and capacity is re-estimated over the
+        // instances still serving.
+        for (i, since) in sched.down_since.iter_mut().enumerate() {
+            if let Some(at) = since.take() {
+                sched.downtime[i] += final_now.saturating_sub(at);
+            }
+        }
+        sched.avail.downtime = std::mem::take(&mut sched.downtime);
+        sched.avail.active_instances = sched.nodes.iter().filter(|n| n.up || n.reloading).count();
+        sched.avail.mean_mttr = sched
+            .mttr_total
+            .as_ps()
+            .checked_div(sched.avail.recoveries)
+            .map_or(SimTime::ZERO, SimTime::from_ps);
         let config = &sched.cfg;
         assert_eq!(
             sched.offered as usize, config.requests,
@@ -1299,7 +1722,9 @@ impl<'a> Fleet<'a> {
             } else {
                 0.0
             },
+            availability: sched.avail,
+            goodput_series: sched.goodput,
         };
-        (report, outcomes, sched.functional)
+        (report, outcomes, sched.attempts, sched.functional)
     }
 }

@@ -60,6 +60,19 @@
 //! exactly this surface, asserting request conservation at every step of
 //! seeded chaos runs.
 //!
+//! **Self-healing.** Scripted chaos generalizes to *statistical* chaos:
+//! a [`FailureProcess`] materializes seeded exponential MTBF/MTTR
+//! failure streams into an ordinary [`FaultPlan`], a [`Supervisor`]
+//! restarts killed instances with exponentially backed-off, jittered
+//! delays (benching crash-looping instances permanently), and a
+//! [`RetryPolicy`] re-admits kill-aborted requests under per-request
+//! attempt ceilings and a global retry budget, optionally hedging slow
+//! batches onto idle instances. What a restart costs is the
+//! accelerator's to answer — SCONNA's zero-reprogram warm reload
+//! ([`RestartMode::Warm`]) heals faster than the analog baselines, and
+//! the gap is measured as MTTR in [`AvailabilityStats`]. [`chaos_sweep`]
+//! walks availability and goodput across fault rates.
+//!
 //! Everything runs on one deterministic [`EventQueue`] per simulation, so
 //! a [`ServingReport`] is a pure function of its [`ServingConfig`] (and
 //! fault plan) — bit-identical across runs and across sweep
@@ -68,16 +81,21 @@
 //! [`EventQueue`]: sconna_sim::event::EventQueue
 
 mod config;
+mod failure;
 mod fault;
 mod fleet;
 mod report;
+mod supervisor;
 
-pub use config::{AdmissionPolicy, ArrivalProcess, ServingConfig};
+pub use config::{AdmissionPolicy, ArrivalProcess, RetryPolicy, ServingConfig};
+pub use failure::FailureProcess;
 pub use fault::{FaultEvent, FaultPlan};
 pub use fleet::{Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, InstanceSnapshot};
 pub use report::{
-    FunctionalServingReport, OverloadPoint, RequestOutcome, ServingReport, ShedCounts,
+    AvailabilityStats, FunctionalServingReport, OverloadPoint, RequestOutcome, ServingReport,
+    ShedCounts,
 };
+pub use supervisor::{RestartMode, Supervisor};
 
 use sconna_sim::parallel::parallel_map_with;
 use sconna_tensor::models::CnnModel;
@@ -148,6 +166,53 @@ pub fn overload_sweep(
     parallel_map_with(offered_fps.to_vec(), workers, |rate| OverloadPoint {
         offered_fps: rate,
         report: simulate_serving_functional(&base.clone().with_poisson(rate), model, workload),
+    })
+}
+
+/// One point of a chaos sweep: a stochastic fault rate and what the
+/// fleet made of it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChaosPoint {
+    /// Mean time between failures per instance at this point.
+    pub mtbf: sconna_sim::time::SimTime,
+    /// The serving report under that failure stream, with
+    /// [`ServingReport::availability`] carrying incidents, recoveries,
+    /// measured MTTR and retry/hedge counters.
+    pub report: ServingReport,
+}
+
+/// Sweeps the per-instance fault rate (MTBF) under `base`'s fleet shape,
+/// admission, supervision and retry policies: each point materializes
+/// `process` at that MTBF over `horizon` ([`FailureProcess::materialize`])
+/// and runs one fleet simulation against the resulting plan. Points are
+/// independent simulations parallelized over `workers` threads; every
+/// point is a pure function of `(base, model, process, mtbf, horizon)`,
+/// so the curve is bit-identical for every worker count
+/// (asserted in the `chaos` bench and property-tested in
+/// `tests/scenarios.rs`).
+///
+/// Run it twice — with and without
+/// [`ServingConfig::with_supervisor`] — to measure what supervised
+/// restarts buy: the unsupervised fleet loses instances permanently
+/// (when `process.mttr` is `None`) and strands its tail, while the
+/// supervised fleet heals at the cost of backoff plus the accelerator's
+/// reload time.
+pub fn chaos_sweep(
+    base: &ServingConfig,
+    model: &CnnModel,
+    process: &FailureProcess,
+    mtbfs: &[sconna_sim::time::SimTime],
+    horizon: sconna_sim::time::SimTime,
+    workers: usize,
+) -> Vec<ChaosPoint> {
+    parallel_map_with(mtbfs.to_vec(), workers, |mtbf| {
+        let mut p = *process;
+        p.mtbf = mtbf;
+        let plan = p.materialize(base.instances, horizon);
+        ChaosPoint {
+            mtbf,
+            report: Fleet::new(base, model).with_faults(&plan).into_report(),
+        }
     })
 }
 
@@ -815,6 +880,289 @@ mod tests {
             assert_eq!(r.instances, i + 1);
             assert_eq!(r.completed, 12);
         }
+    }
+
+    /// A zero-jitter warm supervisor whose restart timing is exactly
+    /// predictable in tests: kill at `t` ⇒ back up at `t + 10 µs`.
+    fn exact_supervisor(seed: u64) -> Supervisor {
+        Supervisor {
+            jitter: 0.0,
+            ..Supervisor::new(seed)
+        }
+    }
+
+    #[test]
+    fn redundant_faults_do_not_move_the_accounting() {
+        // The pinned edge-case contract: a kill of an already-dead
+        // instance, a restart of a live instance and a stall of a dead
+        // instance are semantic no-ops — every terminal accounting field
+        // is unchanged. (The observability series still *note* the
+        // boundary, so queue-depth sample counts may differ; that is the
+        // documented exception.)
+        let model = shufflenet_v2();
+        let t = SimTime::from_ns;
+        let base_plan = FaultPlan::new().kill(t(50_000), 0).restart(t(150_000), 0);
+        let noisy_plan = base_plan
+            .clone()
+            .kill(t(80_000), 0) // kill of dead: no-op
+            .stall(t(90_000), 0, t(5_000)) // stall of dead: no-op
+            .restart(t(60_000), 1); // restart of live: no-op
+        let run = |plan: &FaultPlan| {
+            Fleet::new(&small_closed(2, 4, 24), &model)
+                .with_faults(plan)
+                .into_report()
+        };
+        let a = run(&base_plan);
+        let b = run(&noisy_plan);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.availability, b.availability);
+        // One real kill, one real recovery in both runs.
+        assert_eq!(a.availability.incidents, 1);
+        assert_eq!(a.availability.recoveries, 1);
+    }
+
+    #[test]
+    fn supervisor_heals_a_killed_instance() {
+        let model = shufflenet_v2();
+        let plan = FaultPlan::new().kill(SimTime::from_ns(50_000), 0);
+        let cfg = small_closed(2, 4, 37).with_supervisor(exact_supervisor(3));
+        let r = Fleet::new(&cfg, &model).with_faults(&plan).into_report();
+        // Nothing is lost: the aborted batch retried, the instance healed.
+        assert_eq!(r.completed, 37);
+        assert_eq!(r.dropped, 0);
+        let a = &r.availability;
+        assert_eq!(a.incidents, 1);
+        assert_eq!(a.restarts_issued, 1);
+        assert_eq!(a.recoveries, 1);
+        assert_eq!(a.benched, 0);
+        assert_eq!(a.active_instances, 2);
+        // Warm SCONNA restart: MTTR is exactly the 10 µs backoff (the
+        // reload itself is free — zero DKV reprogramming).
+        assert_eq!(a.mean_mttr, SimTime::from_ns(10_000));
+        assert!(a.retries > 0, "the aborted batch must re-admit");
+        assert_eq!(a.max_attempts_seen, 2);
+        assert!(a.downtime[0] >= a.mean_mttr);
+        assert_eq!(a.downtime[1], SimTime::ZERO);
+        // Without the supervisor the same kill is permanent: the fleet
+        // limps on one instance and the report says so.
+        let unsup = Fleet::new(&cfg.clone().without_supervisor(), &model)
+            .with_faults(&plan)
+            .into_report();
+        assert_eq!(unsup.availability.recoveries, 0);
+        assert_eq!(unsup.availability.active_instances, 1);
+        assert!(unsup.makespan > r.makespan, "healing must help the tail");
+    }
+
+    #[test]
+    fn sconna_warm_restart_recovers_faster_than_analog() {
+        // The paper's reload advantage as availability: with identical
+        // warm-restart supervision, SCONNA's measured MTTR is the bare
+        // backoff while the analog MAM baseline pays DKV reprogramming
+        // on top.
+        let model = shufflenet_v2();
+        let plan = FaultPlan::new().kill(SimTime::from_ns(50_000), 0);
+        let sup = exact_supervisor(3);
+        let run = |accel| {
+            let cfg = ServingConfig::saturation(accel, 2, 4, 37).with_supervisor(sup);
+            Fleet::new(&cfg, &model).with_faults(&plan).into_report()
+        };
+        let sconna = run(AcceleratorConfig::sconna());
+        let mam = run(AcceleratorConfig::mam());
+        assert_eq!(sconna.availability.recoveries, 1);
+        assert_eq!(mam.availability.recoveries, 1);
+        assert!(
+            sconna.availability.mean_mttr < mam.availability.mean_mttr,
+            "SCONNA MTTR {} must beat MAM {}",
+            sconna.availability.mean_mttr,
+            mam.availability.mean_mttr
+        );
+    }
+
+    #[test]
+    fn retry_ceiling_sheds_aborted_requests() {
+        // max_attempts = 1 means no second chances: every request aborted
+        // by the kill is shed as ShedRetryBudget instead of re-admitted.
+        let model = shufflenet_v2();
+        let plan = FaultPlan::new()
+            .kill(SimTime::from_ns(50_000), 0)
+            .restart(SimTime::from_ns(150_000), 0);
+        let cfg = small_closed(2, 4, 37).with_retry(RetryPolicy::default().with_max_attempts(1));
+        let r = Fleet::new(&cfg, &model).with_faults(&plan).into_report();
+        assert!(r.shed.retry > 0, "the aborted batch must shed");
+        assert!(r.shed.retry <= 4, "at most one batch was in flight");
+        assert_eq!(r.dropped, r.shed.retry);
+        assert_eq!(r.completed + r.dropped, 37);
+        assert_eq!(r.availability.retries, 0);
+        // Same chaos under an exhausted global budget sheds identically.
+        let budget = small_closed(2, 4, 37).with_retry(RetryPolicy::default().with_retry_budget(0));
+        let b = Fleet::new(&budget, &model).with_faults(&plan).into_report();
+        assert_eq!(b.shed.retry, r.shed.retry);
+        // The default policy re-admits everyone.
+        let free = Fleet::new(&small_closed(2, 4, 37), &model)
+            .with_faults(&plan)
+            .into_report();
+        assert_eq!(free.dropped, 0);
+        assert!(free.availability.retries > 0);
+    }
+
+    #[test]
+    fn hedged_batch_is_cancelled_when_the_primary_wins() {
+        // 3 requests flush as one batch onto instance 0 while instance 1
+        // idles; the hedge duplicates it 5 µs later, loses the race, and
+        // is cancelled. Nothing is double-counted.
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::ClosedLoop { clients: 3 },
+            ..small_closed(2, 8, 3)
+        }
+        .with_retry(RetryPolicy::default().with_hedge_after(SimTime::from_ns(5_000)));
+        let r = simulate_serving(&cfg, &model);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.batches, 1, "hedges are duplicates, not batches");
+        let a = &r.availability;
+        assert_eq!(a.hedges_dispatched, 1);
+        assert_eq!(a.hedges_cancelled, 1);
+        assert_eq!(a.hedges_promoted, 0);
+        assert_eq!(a.retries, 0);
+        // The duplicate dispatch costs real energy.
+        let base = simulate_serving(
+            &ServingConfig {
+                arrivals: ArrivalProcess::ClosedLoop { clients: 3 },
+                ..small_closed(2, 8, 3)
+            },
+            &model,
+        );
+        assert_eq!(base.availability.hedges_dispatched, 0);
+        assert!(r.energy_j > base.energy_j, "hedging must cost energy");
+        assert_eq!(r.completed, base.completed);
+        assert_eq!(r.makespan, base.makespan, "losing hedge changes nothing");
+    }
+
+    #[test]
+    fn kill_of_hedged_primary_promotes_the_hedge() {
+        // The insurance pays out: the primary dies mid-flight, but its
+        // hedge is already running on the other instance — the requests
+        // complete there with no re-queue and no retry.
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::ClosedLoop { clients: 3 },
+            ..small_closed(2, 8, 3)
+        }
+        .with_retry(RetryPolicy::default().with_hedge_after(SimTime::from_ns(5_000)));
+        // Batch flushes at the 100 µs window onto instance 0; hedge at
+        // 105 µs on instance 1; kill the primary at 110 µs.
+        let plan = FaultPlan::new().kill(SimTime::from_ns(110_000), 0);
+        let r = Fleet::new(&cfg, &model).with_faults(&plan).into_report();
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.dropped, 0);
+        let a = &r.availability;
+        assert_eq!(a.hedges_dispatched, 1);
+        assert_eq!(a.hedges_promoted, 1);
+        assert_eq!(a.hedges_cancelled, 0);
+        assert_eq!(a.retries, 0, "promotion is not a retry");
+        assert_eq!(a.incidents, 1);
+    }
+
+    #[test]
+    fn crash_loop_benches_a_flapping_instance() {
+        // Two kills inside the window bench instance 0 permanently; the
+        // survivor drains the queue and the report re-estimates capacity.
+        let model = shufflenet_v2();
+        let sup = Supervisor {
+            crash_loop_limit: 2,
+            crash_loop_window: SimTime::from_ns(10_000_000),
+            ..exact_supervisor(7)
+        };
+        let plan = FaultPlan::new()
+            .kill(SimTime::from_ns(50_000), 0)
+            .kill(SimTime::from_ns(150_000), 0);
+        let cfg = small_closed(2, 4, 37).with_supervisor(sup);
+        let r = Fleet::new(&cfg, &model).with_faults(&plan).into_report();
+        assert_eq!(r.completed, 37, "the survivor serves everyone");
+        let a = &r.availability;
+        assert_eq!(a.incidents, 2);
+        assert_eq!(a.restarts_issued, 1, "the second kill benches instead");
+        assert_eq!(a.recoveries, 1);
+        assert_eq!(a.benched, 1);
+        assert_eq!(a.active_instances, 1);
+        // Benched downtime accrues to the end of the run.
+        assert!(a.downtime[0] > SimTime::from_ns(100_000));
+        // A scripted restart is the operator override: it revives even a
+        // benched instance.
+        let revived = Fleet::new(&cfg, &model)
+            .with_faults(&plan.clone().restart(SimTime::from_ns(250_000), 0))
+            .into_report();
+        assert_eq!(revived.availability.benched, 0);
+        assert_eq!(revived.availability.active_instances, 2);
+        assert_eq!(revived.availability.recoveries, 2);
+    }
+
+    #[test]
+    fn supervisor_restart_boundaries_are_sampled() {
+        // The observability satellite: queue depth and the goodput series
+        // both take a sample at the supervised-restart boundary (60 µs =
+        // kill at 50 µs + exactly 10 µs zero-jitter backoff), so healing
+        // discontinuities are visible even when the depth did not move.
+        let model = shufflenet_v2();
+        let plan = FaultPlan::new().kill(SimTime::from_ns(50_000), 0);
+        let window = SimTime::from_ns(20_000);
+        let cfg = small_closed(2, 4, 37)
+            .with_supervisor(exact_supervisor(3))
+            .with_goodput_window(window);
+        let r = Fleet::new(&cfg, &model).with_faults(&plan).into_report();
+        let boundary = SimTime::from_ns(60_000);
+        assert!(
+            r.queue_depth.samples().iter().any(|&(t, _)| t == boundary),
+            "queue depth must sample the restart boundary"
+        );
+        let g = r.goodput_series.as_ref().expect("series enabled");
+        assert_eq!(g.window(), window);
+        assert!(
+            g.len() > (boundary.as_ps() / window.as_ps()) as usize,
+            "goodput series must extend past the restart boundary"
+        );
+        assert_eq!(g.total(), r.completed + r.degraded);
+        // Off by default: no series unless the config asks.
+        let off = Fleet::new(&small_closed(2, 4, 37), &model).into_report();
+        assert!(off.goodput_series.is_none());
+    }
+
+    #[test]
+    fn chaos_sweep_is_worker_count_invariant() {
+        let model = shufflenet_v2();
+        let base = small_closed(2, 4, 24).with_supervisor(exact_supervisor(5));
+        let process = FailureProcess::new(11, SimTime::from_ns(200_000));
+        let mtbfs = [SimTime::from_ns(200_000), SimTime::from_ns(800_000)];
+        let horizon = SimTime::from_ns(2_000_000);
+        let baseline = chaos_sweep(&base, &model, &process, &mtbfs, horizon, 1);
+        assert_eq!(baseline.len(), 2);
+        for workers in [2usize, 8] {
+            let run = chaos_sweep(&base, &model, &process, &mtbfs, horizon, workers);
+            assert_eq!(
+                format!("{run:?}"),
+                format!("{baseline:?}"),
+                "{workers} workers"
+            );
+        }
+        // Every point conserves requests.
+        for p in &baseline {
+            assert_eq!(
+                p.report.completed + p.report.dropped + p.report.degraded,
+                24
+            );
+        }
+        // The faster fault rate hurts at least as much.
+        assert!(
+            baseline[0].report.availability.incidents >= baseline[1].report.availability.incidents
+        );
     }
 
     #[test]

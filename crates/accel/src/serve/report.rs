@@ -3,7 +3,7 @@
 //! functional extension carrying predictions and accuracy-under-load,
 //! and the overload-sweep point.
 
-use sconna_sim::stats::{LatencySummary, QueueDepthSamples};
+use sconna_sim::stats::{GoodputSamples, LatencySummary, QueueDepthSamples};
 use sconna_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -31,11 +31,17 @@ pub enum RequestOutcome {
     /// drop rather than silently lost. Only a [`FaultPlan`](super::FaultPlan)
     /// that kills every instance without restarting any can produce this.
     ShedStranded,
+    /// Aborted by a kill and refused re-admission by the
+    /// [`RetryPolicy`](super::RetryPolicy): either the request burned
+    /// its per-request attempt ceiling or the global retry budget was
+    /// exhausted (retry-storm protection). Always 0 with the default
+    /// policy, which re-admits unconditionally.
+    ShedRetryBudget,
 }
 
-/// Per-cause shed counters. `newest + oldest + deadline + stranded` is
-/// the dropped total; `degraded` counts requests routed to the fallback
-/// model (they are *served*, not dropped).
+/// Per-cause shed counters. `newest + oldest + deadline + stranded +
+/// retry` is the dropped total; `degraded` counts requests routed to the
+/// fallback model (they are *served*, not dropped).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShedCounts {
     /// Arrivals rejected at a full queue.
@@ -50,6 +56,52 @@ pub struct ShedCounts {
     /// ([`RequestOutcome::ShedStranded`]); always 0 without fault
     /// injection.
     pub stranded: u64,
+    /// Kill-aborted requests refused re-admission by the retry policy
+    /// ([`RequestOutcome::ShedRetryBudget`]); always 0 under the default
+    /// [`RetryPolicy`](super::RetryPolicy).
+    pub retry: u64,
+}
+
+/// Self-healing / availability accounting of one serving run: what the
+/// stochastic failures did, what the supervisor and retry layer did
+/// about it. For a fault-free run every counter is zero and
+/// [`active_instances`](Self::active_instances) equals the fleet size.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Kills that landed on a live instance (kills of already-dead
+    /// instances are no-ops and not counted).
+    pub incidents: u64,
+    /// Reloads completed — instances that came back up, whether healed
+    /// by the supervisor or by a scripted
+    /// [`FaultEvent::Restart`](super::FaultEvent::Restart).
+    pub recoveries: u64,
+    /// Supervised restarts scheduled (each consumes one unit of the
+    /// supervisor's restart budget, when it has one).
+    pub restarts_issued: u64,
+    /// Instances permanently benched by crash-loop detection.
+    pub benched: u64,
+    /// Instances still serving (up or recovering) at the end of the
+    /// run; the fleet's re-estimated capacity is
+    /// `estimated_capacity_fps × active_instances / instances`.
+    pub active_instances: usize,
+    /// Mean measured time-to-recovery over [`Self::recoveries`]
+    /// (down-at to back-up, including backoff *and* reload); ZERO when
+    /// nothing recovered. This is where SCONNA's near-zero warm reload
+    /// shows up against the analog baselines.
+    pub mean_mttr: SimTime,
+    /// Total downtime per instance, instance order. An instance still
+    /// down at the end accrues downtime up to the final event time.
+    pub downtime: Vec<SimTime>,
+    /// Kill-aborted requests re-admitted to the queue.
+    pub retries: u64,
+    /// Highest per-request dispatch-attempt count observed.
+    pub max_attempts_seen: u32,
+    /// Hedged duplicate batches dispatched.
+    pub hedges_dispatched: u64,
+    /// Hedges promoted to primary after their primary was killed.
+    pub hedges_promoted: u64,
+    /// Hedges cancelled because their primary completed first.
+    pub hedges_cancelled: u64,
 }
 
 /// Fleet-level result of one serving simulation.
@@ -113,6 +165,16 @@ pub struct ServingReport {
     pub energy_per_inference_j: f64,
     /// Average fleet power, watts.
     pub avg_power_w: f64,
+    /// Self-healing accounting: incidents, recoveries, measured MTTR,
+    /// per-instance downtime, retry and hedge counters. All-default for
+    /// a fault-free run.
+    pub availability: AvailabilityStats,
+    /// Responses binned into fixed windows
+    /// ([`ServingConfig::with_goodput_window`](super::ServingConfig::with_goodput_window));
+    /// `None` unless the config enables it. Collapse and healing
+    /// transients that the scalar `goodput_fps` averages away are
+    /// visible here.
+    pub goodput_series: Option<GoodputSamples>,
 }
 
 /// [`ServingReport`] plus the functional outputs: what the fleet actually
@@ -128,6 +190,10 @@ pub struct FunctionalServingReport {
     /// Terminal state per request, indexed by request id — the **shed
     /// set** of the run.
     pub outcomes: Vec<RequestOutcome>,
+    /// Dispatch attempts per request, indexed by request id: 1 for a
+    /// request served (or shed) on its first dispatch, `1 + retries`
+    /// after kill-aborts, 0 for a request shed before ever dispatching.
+    pub attempts: Vec<u32>,
     /// Responses (full-fidelity or degraded) whose prediction matched the
     /// sample label.
     pub correct: u64,

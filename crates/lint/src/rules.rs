@@ -450,9 +450,18 @@ mod tests {
         let src = "use std::collections::HashMap; let m: HashMap<u32, u32> = HashMap::new();";
         assert_eq!(rules_fired("crates/sim/src/x.rs", src).len(), 3);
         assert_eq!(rules_fired("crates/sc/src/x.rs", src).len(), 3);
-        // The serve/ submodule split stays in scope (prefix, not file).
+        // The serve/ submodule split stays in scope (prefix, not file) —
+        // including the PR 8 self-healing modules.
         assert_eq!(rules_fired("crates/accel/src/serve/fleet.rs", src).len(), 3);
         assert_eq!(rules_fired("crates/accel/src/serve/fault.rs", src).len(), 3);
+        assert_eq!(
+            rules_fired("crates/accel/src/serve/failure.rs", src).len(),
+            3
+        );
+        assert_eq!(
+            rules_fired("crates/accel/src/serve/supervisor.rs", src).len(),
+            3
+        );
         assert!(rules_fired("crates/tensor/src/x.rs", src).is_empty());
         assert_eq!(
             rules_fired(LIB, "let s = HashSet::new();"),

@@ -31,6 +31,26 @@ fn locked_rng_fixture_fires() {
 }
 
 #[test]
+fn locked_rng_fixture_fires_in_the_self_healing_modules() {
+    // The failure-process and supervisor random streams must stay
+    // counter-keyed: a locked RNG smuggled into either file would break
+    // order/thread independence of the chaos draws, so both new serve
+    // files are pinned inside `no-locked-rng` scope.
+    for rel in [
+        "crates/accel/src/serve/failure.rs",
+        "crates/accel/src/serve/supervisor.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/locked_rng.rs"));
+        assert_eq!(
+            lines_of(&findings, "no-locked-rng"),
+            vec![8, 12, 15, 16],
+            "{rel} fell out of the locked-rng scope"
+        );
+        assert_eq!(findings.len(), 4, "{rel}: {findings:?}");
+    }
+}
+
+#[test]
 fn locked_rng_fixture_is_exempt_in_the_legacy_bench_baseline() {
     let findings = lint_source(
         "crates/bench/src/bin/inference.rs",
@@ -81,9 +101,11 @@ fn fleet_unordered_fixture_fires_throughout_the_serve_submodule() {
     for rel in [
         "crates/accel/src/serve/mod.rs",
         "crates/accel/src/serve/config.rs",
+        "crates/accel/src/serve/failure.rs",
         "crates/accel/src/serve/fault.rs",
         "crates/accel/src/serve/fleet.rs",
         "crates/accel/src/serve/report.rs",
+        "crates/accel/src/serve/supervisor.rs",
     ] {
         let findings = lint_source(rel, include_str!("../fixtures/fleet_unordered.rs"));
         // The use-decl plus both mentions on the declaration line.

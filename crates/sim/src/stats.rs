@@ -262,6 +262,97 @@ impl QueueDepthSamples {
     }
 }
 
+/// Windowed-goodput time series: responses binned into fixed simulated
+/// windows, the availability view of a serving run. Window `i` covers
+/// `[i·window, (i+1)·window)`; a fleet collapse shows up as a run of
+/// empty windows and a supervised recovery as the bins refilling — the
+/// healing transient the scalar goodput figure averages away.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoodputSamples {
+    window: SimTime,
+    counts: Vec<u64>,
+}
+
+impl GoodputSamples {
+    /// Creates an empty series with the given window.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "goodput window must be positive");
+        Self {
+            window,
+            counts: Vec::new(),
+        }
+    }
+
+    fn bucket(&self, at: SimTime) -> usize {
+        (at.as_ps() / self.window.as_ps()) as usize
+    }
+
+    /// Records `n` responses at `at`, growing the series with empty
+    /// windows as needed.
+    pub fn record(&mut self, at: SimTime, n: u64) {
+        let idx = self.bucket(at);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Extends the series (with empty windows) so it covers `at` without
+    /// recording any response — called at fault and supervisor-restart
+    /// boundaries so an outage at the tail of a run is visible as
+    /// trailing zero windows rather than a truncated series.
+    pub fn note(&mut self, at: SimTime) {
+        let idx = self.bucket(at);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+    }
+
+    /// The window every bin covers.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// Responses per window, window order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of windows the series covers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True before anything was recorded or noted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Responses per second in each window.
+    pub fn rates_fps(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.counts.iter().map(|&c| c as f64 / secs).collect()
+    }
+
+    /// The emptiest window's response rate — the depth of the worst
+    /// outage the series saw (0 when some window served nothing).
+    pub fn min_rate_fps(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / secs)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total responses recorded across every window.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Nearest-rank lookup on an already-sorted, non-empty sample slice.
 fn nearest_rank(sorted: &[SimTime], p: f64) -> SimTime {
     assert!(
@@ -511,6 +602,58 @@ mod tests {
         let mut q = QueueDepthSamples::new();
         q.record(SimTime::from_ps(10), 1);
         q.record(SimTime::from_ps(5), 2);
+    }
+
+    #[test]
+    fn goodput_series_bins_by_window() {
+        let mut g = GoodputSamples::new(SimTime::from_ns(10));
+        assert!(g.is_empty());
+        g.record(SimTime::from_ns(1), 2); // window 0
+        g.record(SimTime::from_ns(9), 1); // window 0
+        g.record(SimTime::from_ns(10), 4); // window 1 (half-open bins)
+        g.record(SimTime::from_ns(35), 1); // window 3, windows 2 backfilled empty
+        assert_eq!(g.counts(), &[3, 4, 0, 1]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.total(), 8);
+        let rates = g.rates_fps();
+        // 3 responses in a 10 ns window = 3e8 responses/s.
+        assert!((rates[0] - 3.0e8).abs() < 1e-3);
+        assert_eq!(g.min_rate_fps(), 0.0);
+    }
+
+    #[test]
+    fn goodput_note_extends_without_recording() {
+        let mut g = GoodputSamples::new(SimTime::from_ns(10));
+        g.record(SimTime::from_ns(5), 1);
+        // An outage at the tail: nothing served, but the series must
+        // show the empty windows rather than ending at the last response.
+        g.note(SimTime::from_ns(42));
+        assert_eq!(g.counts(), &[1, 0, 0, 0, 0]);
+        assert_eq!(g.total(), 1);
+        // note() never shrinks the series.
+        g.note(SimTime::from_ns(3));
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn goodput_order_of_records_is_immaterial() {
+        let w = SimTime::from_ns(7);
+        let mut fwd = GoodputSamples::new(w);
+        let mut rev = GoodputSamples::new(w);
+        let events: Vec<(u64, u64)> = (0..50).map(|k| ((k * 977) % 300, k % 3 + 1)).collect();
+        for &(ns, n) in &events {
+            fwd.record(SimTime::from_ns(ns), n);
+        }
+        for &(ns, n) in events.iter().rev() {
+            rev.record(SimTime::from_ns(ns), n);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    #[should_panic(expected = "goodput window must be positive")]
+    fn goodput_rejects_zero_window() {
+        let _ = GoodputSamples::new(SimTime::ZERO);
     }
 
     #[test]

@@ -134,7 +134,13 @@ proptest! {
         // Exhaustive accounting.
         prop_assert_eq!(r.offered, requests as u64);
         prop_assert_eq!(r.completed + r.dropped + r.degraded, r.offered);
-        prop_assert_eq!(r.shed.newest + r.shed.oldest + r.shed.deadline, r.dropped);
+        // No fault injection here, so the stranded and retry causes are
+        // identically zero and the admission causes sum to the total.
+        prop_assert_eq!(r.shed.stranded + r.shed.retry, 0);
+        prop_assert_eq!(
+            r.shed.newest + r.shed.oldest + r.shed.deadline + r.shed.stranded + r.shed.retry,
+            r.dropped
+        );
         prop_assert_eq!(r.shed.degraded, r.degraded);
         prop_assert!((r.drop_rate - r.dropped as f64 / r.offered as f64).abs() < 1e-12);
         prop_assert_eq!(r.latency.count as u64, r.completed + r.degraded);

@@ -27,8 +27,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use sconna::accel::perf::model_reload_time;
 use sconna::accel::serve::{
-    overload_sweep, simulate_serving, simulate_serving_functional, AdmissionPolicy, FaultPlan,
-    Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, ServingConfig,
+    overload_sweep, simulate_serving, simulate_serving_functional, AdmissionPolicy, FailureProcess,
+    FaultPlan, Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, RetryPolicy,
+    ServingConfig, Supervisor,
 };
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::time::SimTime;
@@ -121,22 +122,35 @@ fn check_step(prev: &FleetSnapshot, snap: &FleetSnapshot, cfg: &ServingConfig) {
         }
     }
     assert_eq!(
-        snap.shed.newest + snap.shed.oldest + snap.shed.deadline + snap.shed.stranded,
+        snap.shed.newest
+            + snap.shed.oldest
+            + snap.shed.deadline
+            + snap.shed.stranded
+            + snap.shed.retry,
         snap.dropped,
         "shed breakdown does not sum to the drop total"
     );
+    // Hedged duplicates report in_flight = 0 (their requests are
+    // accounted to the primary), so the per-instance sum still matches
+    // the fleet total exactly.
     let per_instance: u64 = snap.instances.iter().map(|i| i.in_flight as u64).sum();
     assert_eq!(per_instance, snap.in_flight, "per-instance in-flight sum");
     assert_eq!(snap.instances.len(), cfg.instances);
     for inst in &snap.instances {
         assert!(inst.in_flight <= cfg.max_batch, "batch over the limit");
         assert_eq!(
-            inst.in_flight > 0,
+            inst.in_flight > 0 || inst.hedge_batch,
             inst.health == InstanceHealth::Busy,
             "in-flight/health mismatch: {inst:?}"
         );
         if inst.degraded_batch {
-            assert!(inst.in_flight > 0, "degraded flag on an empty batch");
+            assert!(
+                inst.in_flight > 0 || inst.hedge_batch,
+                "degraded flag on an empty batch"
+            );
+        }
+        if inst.hedge_batch {
+            assert_eq!(inst.in_flight, 0, "hedge requests belong to the primary");
         }
     }
 }
@@ -485,7 +499,138 @@ fn killing_every_instance_strands_queued_work_without_losing_it() {
     assert_eq!(report.shed.stranded, fin.shed.stranded);
 }
 
+/// The full self-healing stack at once — stochastic failures, a warm
+/// supervisor, a bounded retry policy and hedged dispatch — on a
+/// functional fleet: conservation at every step, and the whole report
+/// (predictions included) bit-identical across 1 / 2 / 8 workers.
+#[test]
+fn supervised_stochastic_chaos_is_deterministic_across_workers() {
+    let (net, samples) = pin_workload();
+    let engine = SconnaEngine::paper_default(5);
+    let model = shufflenet_v2();
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, 32);
+    let capacity = base.estimated_capacity_fps(&model);
+    let horizon = SimTime::from_ps((32.0 / capacity * 2.0 * 1e12) as u64);
+    let cfg = base
+        .with_supervisor(Supervisor::new(13))
+        .with_retry(
+            RetryPolicy::default()
+                .with_max_attempts(3)
+                .with_retry_budget(24)
+                .with_hedge_after(SimTime::from_ns(30_000)),
+        )
+        .with_goodput_window(SimTime::from_ns(50_000));
+    let plan = FailureProcess::new(41, SimTime::from_ps(horizon.as_ps() / 6))
+        .with_stalls(0.3, SimTime::from_ns(40_000))
+        .materialize(2, horizon);
+    assert!(!plan.is_empty(), "the failure stream must produce chaos");
+
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let workload = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers,
+        };
+        let mut fleet = Fleet::new_functional(&cfg, &model, &workload).with_faults(&plan);
+        let fin = drive_with_invariants(&mut fleet, &cfg);
+        assert_eq!(fin.offered, 32);
+        let r = fleet.into_functional_report();
+        // Attempts account exactly the dispatch history: one per serve
+        // or in-flight shed, plus one per recorded retry.
+        assert_eq!(r.attempts.len(), 32);
+        assert!(r
+            .attempts
+            .iter()
+            .all(|&a| a <= r.serving.availability.max_attempts_seen));
+        assert!(r.serving.availability.retries <= 24);
+        reports.push(format!("{r:?}"));
+    }
+    assert_eq!(reports[0], reports[1], "worker count 2 changed the report");
+    assert_eq!(reports[0], reports[2], "worker count 8 changed the report");
+}
+
 proptest! {
+    /// Stochastic failures under supervision and a bounded retry policy:
+    /// conservation holds at every step, the global retry budget and the
+    /// per-request attempt ceiling are never exceeded, and the seeded
+    /// run replays bit-identically.
+    #[test]
+    fn prop_supervised_chaos_conserves_and_respects_the_retry_budget(
+        fseed in 0u64..=400,
+        sseed in 0u64..=400,
+        mtbf_frac in 2u64..=12,
+        budget in 0u64..=8,
+        max_attempts in 1u32..=4,
+    ) {
+        let model = shufflenet_v2();
+        let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 2, 14);
+        let capacity = base.estimated_capacity_fps(&model);
+        let run_ps = (14.0 / capacity * 1e12) as u64;
+        let mtbf = SimTime::from_ps((run_ps * mtbf_frac / 8).max(1));
+        let cfg = base
+            .with_supervisor(Supervisor::new(sseed))
+            .with_retry(
+                RetryPolicy::default()
+                    .with_max_attempts(max_attempts)
+                    .with_retry_budget(budget),
+            );
+        let plan = FailureProcess::new(fseed, mtbf)
+            .materialize(2, SimTime::from_ps(run_ps * 2));
+        let mut fleet = Fleet::new(&cfg, &model).with_faults(&plan);
+        let fin = drive_with_invariants(&mut fleet, &cfg);
+        prop_assert_eq!(fin.offered, 14);
+        let report = fleet.into_report();
+        let a = &report.availability;
+        prop_assert!(a.retries <= budget, "budget {} exceeded: {}", budget, a.retries);
+        prop_assert!(
+            a.max_attempts_seen <= max_attempts,
+            "attempt ceiling {} exceeded: {}", max_attempts, a.max_attempts_seen
+        );
+        // No self-repair in the process: every recovery is supervised.
+        prop_assert!(a.recoveries <= a.restarts_issued, "spurious recovery");
+        let replay = format!(
+            "{:?}",
+            Fleet::new(&cfg, &model).with_faults(&plan).into_report()
+        );
+        prop_assert_eq!(format!("{report:?}"), replay);
+    }
+
+    /// Crash-loop detection converges: a kill storm against one instance
+    /// benches it after exactly `limit` live kills (restarts stop), and
+    /// the survivor still serves the whole run.
+    #[test]
+    fn prop_crash_loop_detection_converges(
+        seed in 0u64..=300,
+        limit in 1u32..=3,
+    ) {
+        let model = shufflenet_v2();
+        let sup = Supervisor {
+            jitter: 0.0,
+            crash_loop_limit: limit,
+            crash_loop_window: SimTime::from_ns(100_000_000),
+            ..Supervisor::new(seed)
+        };
+        let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 2, 14)
+            .with_supervisor(sup);
+        // Kills every 30 µs: the zero-jitter warm restart takes 10 µs, so
+        // every kill up to the benching one lands on a live instance.
+        let mut plan = FaultPlan::new();
+        for k in 0..8u64 {
+            plan = plan.kill(SimTime::from_ns(20_000 + 30_000 * k), 0);
+        }
+        let mut fleet = Fleet::new(&cfg, &model).with_faults(&plan);
+        let fin = drive_with_invariants(&mut fleet, &cfg);
+        prop_assert_eq!(fin.completed + fin.dropped + fin.degraded, 14);
+        let a = fleet.into_report().availability;
+        prop_assert_eq!(a.benched, 1, "the flapping instance must be benched");
+        prop_assert_eq!(a.restarts_issued, (limit - 1) as u64);
+        prop_assert_eq!(a.active_instances, 1);
+    }
+
     /// An empty fault plan is bit-identical to installing no plan at
     /// all, for every admission policy, queue bound, load and seed.
     #[test]
