@@ -5,6 +5,7 @@
 
 use crate::organization::AcceleratorConfig;
 use crate::perf::analyze_layer_batched;
+use crate::serve::autoscale::AutoscalePolicy;
 use crate::serve::supervisor::Supervisor;
 use sconna_sim::time::SimTime;
 use sconna_tensor::models::CnnModel;
@@ -182,6 +183,12 @@ pub struct ServingConfig {
     /// ([`ServingReport::goodput_series`](super::ServingReport::goodput_series));
     /// `None` disables the series.
     pub goodput_window: Option<SimTime>,
+    /// Reactive autoscaling policy; `None` keeps every provisioned
+    /// instance active (the pre-autoscale behavior, bit-exactly). When
+    /// set, `instances` is the *provisioned* pool and the policy's
+    /// `max` must equal it — only `active` instances take traffic, the
+    /// rest stand by.
+    pub autoscale: Option<AutoscalePolicy>,
 }
 
 impl ServingConfig {
@@ -220,6 +227,7 @@ impl ServingConfig {
             supervisor: None,
             retry: RetryPolicy::default(),
             goodput_window: None,
+            autoscale: None,
         }
     }
 
@@ -325,6 +333,21 @@ impl ServingConfig {
     pub fn with_goodput_window(mut self, window: SimTime) -> Self {
         assert!(window > SimTime::ZERO, "goodput window must be positive");
         self.goodput_window = Some(window);
+        self
+    }
+
+    /// Attaches a reactive autoscaling policy. The policy's `max` must
+    /// equal this config's `instances` (checked at fleet construction).
+    #[must_use]
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// Detaches the autoscaler — every provisioned instance serves.
+    #[must_use]
+    pub fn without_autoscale(mut self) -> Self {
+        self.autoscale = None;
         self
     }
 }

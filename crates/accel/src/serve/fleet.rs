@@ -25,7 +25,23 @@
 //! If the whole fleet dies with no restart coming, requests that can
 //! provably never be served drain as
 //! [`RequestOutcome::ShedStranded`] when the fleet settles.
+//!
+//! Two datacenter-scale mechanisms ride on the same event loop:
+//!
+//! * **Rack routing.** Dispatch no longer scans the node list linearly:
+//!   a two-level bitmap ([`RackRouter`]) groups instances into racks of
+//!   64 under a cluster summary word set, so the lowest-numbered
+//!   dispatchable instance is found with two `trailing_zeros` scans.
+//!   The linear scan survives as a `debug_assert!` parity oracle.
+//! * **Autoscaling.** When the config carries an
+//!   [`AutoscalePolicy`](super::AutoscalePolicy), only part of the
+//!   provisioned pool takes traffic; the rest is **standby**. A
+//!   periodic [`Ev::ScaleTick`] compares demand against per-instance
+//!   capacity and wakes or parks instances through the same
+//!   epoch-guarded reload/drain machinery as fault handling — see
+//!   [`autoscale`](super::autoscale) for the controller.
 
+use super::autoscale::{AutoscaleCtl, ScaleEvent};
 use super::supervisor::{RestartMode, Supervisor};
 use super::{
     AdmissionPolicy, ArrivalProcess, AvailabilityStats, FaultEvent, FaultPlan,
@@ -44,6 +60,7 @@ use sconna_sim::stats::{
     GoodputSamples, LatencySamples, LatencySummary, QueueDepthSamples, Utilization,
 };
 use sconna_sim::time::SimTime;
+use sconna_tensor::arena::BatchArena;
 use sconna_tensor::dataset::Sample;
 use sconna_tensor::engine::VdpEngine;
 use sconna_tensor::models::CnnModel;
@@ -95,6 +112,13 @@ struct FunctionalExec<'a> {
     instances: Vec<PreparedNetwork<'a>>,
     /// Prepared fallback copies, one per instance, when degrading.
     fallback: Option<Vec<PreparedNetwork<'a>>>,
+    /// Per-instance scratch arenas: a long-lived instance reuses its
+    /// im2col patch matrices and activation buffers across batches
+    /// instead of reallocating them per dispatch. Observationally pure —
+    /// recycled buffers are re-zeroed and noise is keyed by coordinates,
+    /// so predictions are bit-identical to fresh allocation
+    /// (property-tested in `tests/batch_parity.rs`).
+    arenas: Vec<BatchArena>,
     /// Prediction per request id (`usize::MAX` = no response).
     predictions: Vec<usize>,
 }
@@ -133,6 +157,7 @@ impl<'a> FunctionalExec<'a> {
                 .map(|_| PreparedNetwork::new(workload.net, workload.engine))
                 .collect(),
             fallback,
+            arenas: (0..instances).map(|_| BatchArena::new()).collect(),
             predictions: vec![usize::MAX; requests],
         }
     }
@@ -154,7 +179,8 @@ impl<'a> FunctionalExec<'a> {
         } else {
             &self.instances
         };
-        let preds = nets[inst].predict_batch(&images, ids, self.workload.workers);
+        let preds =
+            nets[inst].predict_batch_in(&images, ids, self.workload.workers, &self.arenas[inst]);
         for (&id, pred) in ids.iter().zip(preds) {
             self.predictions[id as usize] = pred;
         }
@@ -211,6 +237,12 @@ enum Ev {
     /// no traffic is waiting and an idle instance exists. Stale if the
     /// batch completed (the sequence number no longer matches).
     HedgeTimer { inst: usize, seq: u64 },
+    /// The autoscale controller's periodic decision point: measure
+    /// demand since the last tick and retarget the active pool. Only
+    /// scheduled when the config carries an
+    /// [`AutoscalePolicy`](super::AutoscalePolicy); reschedules itself
+    /// while the run can still make progress.
+    ScaleTick,
 }
 
 /// One waiting request.
@@ -295,6 +327,13 @@ struct Instance {
     epoch: u64,
     /// No new dispatches before this instant ([`FaultEvent::Stall`]).
     stall_until: SimTime,
+    /// Parked by the autoscaler: admin-down (`up` is false), holding no
+    /// loaded weights, outside the active pool until a scale-up wakes it.
+    standby: bool,
+    /// Retiring on scale-down: still up and finishing its in-flight
+    /// batch, but taking no new dispatches; parks into standby at batch
+    /// completion. A scale-up before then reprieves it in place.
+    draining: bool,
     /// The batch this instance is serving, if any.
     in_flight: Option<InFlight>,
 }
@@ -306,12 +345,14 @@ impl Instance {
             reloading: false,
             epoch: 0,
             stall_until: SimTime::ZERO,
+            standby: false,
+            draining: false,
             in_flight: None,
         }
     }
 
     fn dispatchable(&self, now: SimTime) -> bool {
-        self.up && self.in_flight.is_none() && self.stall_until <= now
+        self.up && !self.draining && self.in_flight.is_none() && self.stall_until <= now
     }
 }
 
@@ -349,6 +390,77 @@ impl<'a> BatchProfiles<'a> {
     }
 }
 
+/// Instances per rack word in the [`RackRouter`].
+const RACK_SIZE: usize = 64;
+
+/// Two-level dispatch routing: per-rack occupancy bitmaps under a
+/// cluster summary.
+///
+/// Instances are grouped into racks of [`RACK_SIZE`]; bit `i` of rack
+/// word `r` is set when instance `r·64 + i` is a dispatch *candidate* —
+/// up, not draining, nothing in flight. Bit `r` of summary word `w` is
+/// set when rack `w·64 + r` has any candidate, so the lowest-numbered
+/// candidate is found with two `trailing_zeros` scans instead of a
+/// linear walk over the fleet — O(1) per dispatch at datacenter scale
+/// instead of O(instances).
+///
+/// Stall windows are time-dependent and rare, so they are *not*
+/// tracked in the bitmaps: the router over-approximates dispatchability
+/// and the caller filters candidates lazily at scan time. Every
+/// actually-dispatchable instance always has its bit set (maintained by
+/// [`Scheduler::sync_router`] at every liveness/occupancy transition),
+/// so the first accepted candidate equals the linear-scan answer.
+struct RackRouter {
+    racks: Vec<u64>,
+    summary: Vec<u64>,
+}
+
+impl RackRouter {
+    fn new(instances: usize) -> Self {
+        let racks = vec![0u64; instances.div_ceil(RACK_SIZE)];
+        let summary = vec![0u64; racks.len().div_ceil(64)];
+        Self { racks, summary }
+    }
+
+    /// Records whether `inst` is a dispatch candidate.
+    fn set(&mut self, inst: usize, candidate: bool) {
+        let (r, b) = (inst / RACK_SIZE, inst % RACK_SIZE);
+        if candidate {
+            self.racks[r] |= 1u64 << b;
+        } else {
+            self.racks[r] &= !(1u64 << b);
+        }
+        let (w, s) = (r / 64, r % 64);
+        if self.racks[r] != 0 {
+            self.summary[w] |= 1u64 << s;
+        } else {
+            self.summary[w] &= !(1u64 << s);
+        }
+    }
+
+    /// Lowest-numbered candidate accepted by `admit` (the lazy stall
+    /// filter), scanning summary words, then racks, then instances in
+    /// index order.
+    fn first(&self, mut admit: impl FnMut(usize) -> bool) -> Option<usize> {
+        for (w, &word) in self.summary.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let r = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let mut bits = self.racks[r];
+                while bits != 0 {
+                    let inst = r * RACK_SIZE + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if admit(inst) {
+                        return Some(inst);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Mutable scheduler state threaded through the event handlers.
 struct Scheduler<'a> {
     cfg: ServingConfig,
@@ -373,6 +485,11 @@ struct Scheduler<'a> {
     outcomes: Vec<Option<RequestOutcome>>,
     /// Per-instance liveness + in-flight state.
     nodes: Vec<Instance>,
+    /// Two-level dispatch bitmaps over `nodes` (racks of 64 under a
+    /// cluster summary), kept in sync by [`Self::sync_router`].
+    router: RackRouter,
+    /// Autoscale controller; `None` without a configured policy.
+    auto: Option<AutoscaleCtl>,
     /// The normalized fault schedule ([`Ev::Fault`] indexes into it).
     faults: Vec<FaultEvent>,
     /// Weight-reload latency a restarted instance pays
@@ -421,10 +538,28 @@ struct Scheduler<'a> {
 }
 
 impl Scheduler<'_> {
-    /// Lowest-numbered dispatchable instance, if any: up, idle, and not
-    /// inside a stall window.
+    /// Lowest-numbered dispatchable instance, if any: up, idle, not
+    /// draining, and not inside a stall window. Answered by the rack
+    /// router's bitmap scan; the linear walk it replaced survives as a
+    /// debug-build parity oracle.
     fn idle_instance(&self, now: SimTime) -> Option<usize> {
-        self.nodes.iter().position(|n| n.dispatchable(now))
+        let found = self.router.first(|inst| self.nodes[inst].dispatchable(now));
+        debug_assert_eq!(
+            found,
+            self.nodes.iter().position(|n| n.dispatchable(now)),
+            "rack router diverged from the linear dispatch scan"
+        );
+        found
+    }
+
+    /// Recomputes instance `inst`'s candidate bit after a liveness or
+    /// occupancy transition (dispatch, completion, kill, reload, hedge,
+    /// scale). Stall windows are deliberately not tracked — the router
+    /// over-approximates and [`Self::idle_instance`] filters lazily.
+    fn sync_router(&mut self, inst: usize) {
+        let n = &self.nodes[inst];
+        self.router
+            .set(inst, n.up && !n.draining && n.in_flight.is_none());
     }
 
     /// Shared-queue bound implied by the per-instance `queue_cap`.
@@ -675,6 +810,7 @@ impl Scheduler<'_> {
                 // a different sequence number and lapses.
                 q.schedule_in(h, Ev::HedgeTimer { inst, seq });
             }
+            self.sync_router(inst);
             self.note_depth(now);
         }
         if self.pending.is_empty() {
@@ -778,7 +914,18 @@ impl Scheduler<'_> {
                     }
                 }
             }
-            self.supervise_kill(q, now, inst);
+            if self.nodes[inst].draining {
+                // The kill beat the drain: the instance was retiring
+                // anyway, so it parks into standby instead of entering
+                // the supervised-restart path.
+                let n = &mut self.nodes[inst];
+                n.draining = false;
+                n.standby = true;
+            }
+            if !self.nodes[inst].standby {
+                self.supervise_kill(q, now, inst);
+            }
+            self.sync_router(inst);
         }
         self.note_fault_boundary(now);
         self.try_dispatch(q, now);
@@ -893,6 +1040,12 @@ impl Scheduler<'_> {
     /// override for crash-loop benching: a benched instance is given a
     /// fresh ladder and revived.
     fn apply_restart(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize) {
+        if self.nodes[inst].standby {
+            // The autoscaler owns standby capacity: a scripted restart
+            // targets failures, not deliberately-parked instances.
+            self.note_fault_boundary(now);
+            return;
+        }
         let node = &mut self.nodes[inst];
         if !node.up && !node.reloading {
             if let Some(sup) = &mut self.sup {
@@ -963,9 +1116,30 @@ impl Scheduler<'_> {
                         self.util[twin].add_busy(now - tfl.started);
                         self.nodes[twin].epoch += 1;
                         self.avail.hedges_cancelled += 1;
+                        if self.nodes[twin].draining {
+                            // The twin was marked for retirement while
+                            // running the duplicate: with the hedge
+                            // cancelled (epoch already bumped) it parks.
+                            let t = &mut self.nodes[twin];
+                            t.draining = false;
+                            t.up = false;
+                            t.standby = true;
+                        }
+                        self.sync_router(twin);
                     }
                 }
                 self.util[inst].add_busy(now - fl.started);
+                if self.nodes[inst].draining {
+                    // Drain complete: the batch it was finishing is done,
+                    // so the instance parks into standby; the epoch bump
+                    // lapses any timers of its retired life.
+                    let n = &mut self.nodes[inst];
+                    n.draining = false;
+                    n.up = false;
+                    n.epoch += 1;
+                    n.standby = true;
+                }
+                self.sync_router(inst);
                 self.last_completion = now;
                 let n_done = fl.reqs.len();
                 if let Some(g) = &mut self.goodput {
@@ -1016,6 +1190,7 @@ impl Scheduler<'_> {
                     self.downtime[inst] += outage;
                     self.mttr_total += outage;
                 }
+                self.sync_router(inst);
                 if let Some(sup) = &self.sup {
                     // Sustained uptime earns the backoff ladder back.
                     q.schedule_at(
@@ -1054,7 +1229,141 @@ impl Scheduler<'_> {
                 }
             }
             Ev::HedgeTimer { inst, seq } => self.maybe_hedge(q, now, inst, seq),
+            Ev::ScaleTick => self.handle_scale_tick(q, now),
         }
+    }
+
+    /// Instances currently committed to traffic: up or mid-reload, not
+    /// standby and not draining. This is what the autoscaler compares
+    /// its target against — capacity lost to kills is *not* counted, so
+    /// the controller replaces it from standby at the next tick instead
+    /// of believing it still exists.
+    fn live_pool(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| (n.up || n.reloading) && !n.standby && !n.draining)
+            .count()
+    }
+
+    /// One autoscale decision ([`Ev::ScaleTick`]): measure demand since
+    /// the last tick, retarget the live pool by waking standby (or
+    /// reprieving draining) instances or parking surplus ones, and
+    /// reschedule the next tick while the run can still make progress —
+    /// the tick chain ends once every request is terminal, or once the
+    /// whole fleet is dead with nothing left to wake.
+    fn handle_scale_tick(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+        let current = self.live_pool();
+        let offered = self.offered;
+        let queued = self.pending.len();
+        let (interval, decision, cooled) = {
+            let auto = self
+                .auto
+                .as_mut()
+                .expect("invariant: ScaleTick events are only scheduled with an autoscaler");
+            (
+                auto.policy.check_interval,
+                auto.measure(now, offered, queued),
+                auto.cooled_down(now),
+            )
+        };
+        if let Some((desired, demand_fps)) = decision {
+            if desired != current && cooled {
+                let achieved = if desired > current {
+                    current + self.wake(q, now, desired - current)
+                } else {
+                    current - self.park(current - desired)
+                };
+                if achieved != current {
+                    self.auto
+                        .as_mut()
+                        .expect("invariant: presence was checked above")
+                        .commit(ScaleEvent {
+                            at: now,
+                            from: current,
+                            to: achieved,
+                            demand_fps,
+                        });
+                    // Scale transitions are fault-boundary-like: the
+                    // time series samples the instant the pool moves.
+                    self.note_fault_boundary(now);
+                }
+            }
+        }
+        let all_terminal =
+            self.completed + self.dropped + self.degraded_done >= self.cfg.requests as u64;
+        let fleet_dead = self
+            .nodes
+            .iter()
+            .all(|n| !n.up && !n.reloading && !n.standby);
+        if !all_terminal && !fleet_dead {
+            q.schedule_in(interval, Ev::ScaleTick);
+        }
+    }
+
+    /// Scales up by `delta`: draining instances are reprieved first —
+    /// they still hold loaded weights and rejoin without a reload —
+    /// then standby instances boot lowest-numbered first, each paying
+    /// the full cold weight reload (epoch-guarded [`Ev::ReloadDone`],
+    /// exactly like a fault restart) before taking work. Returns how
+    /// many instances actually joined (bounded by what is parked).
+    fn wake(&mut self, q: &mut EventQueue<Ev>, now: SimTime, mut delta: usize) -> usize {
+        let mut woken = 0usize;
+        for i in 0..self.nodes.len() {
+            if delta == 0 {
+                break;
+            }
+            if self.nodes[i].draining {
+                self.nodes[i].draining = false;
+                self.sync_router(i);
+                delta -= 1;
+                woken += 1;
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if delta == 0 {
+                break;
+            }
+            if self.nodes[i].standby {
+                self.nodes[i].standby = false;
+                let reload = self.reload_time;
+                self.begin_reload(q, now, i, reload);
+                delta -= 1;
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    /// Scales down by `delta`, highest-numbered live instance first: an
+    /// idle (or still-reloading) instance parks into standby immediately
+    /// — the epoch bump lapses its pending timers — while a busy one
+    /// drains: it finishes its in-flight batch and parks at completion.
+    /// Requests are never aborted by scaling. Returns how many instances
+    /// left the live pool.
+    fn park(&mut self, mut delta: usize) -> usize {
+        let mut parked = 0usize;
+        for i in (0..self.nodes.len()).rev() {
+            if delta == 0 {
+                break;
+            }
+            let n = &mut self.nodes[i];
+            if n.standby || n.draining || !(n.up || n.reloading) {
+                continue;
+            }
+            if n.in_flight.is_some() {
+                n.draining = true;
+            } else {
+                n.epoch += 1;
+                n.up = false;
+                n.reloading = false;
+                n.stall_until = SimTime::ZERO;
+                n.standby = true;
+            }
+            self.sync_router(i);
+            delta -= 1;
+            parked += 1;
+        }
+        parked
     }
 
     /// Issues a hedged duplicate of the batch dispatched as `seq` on
@@ -1112,6 +1421,7 @@ impl Scheduler<'_> {
             .expect("invariant: checked in flight above")
             .hedge = Some(twin);
         self.avail.hedges_dispatched += 1;
+        self.sync_router(twin);
         q.schedule_in(
             makespan,
             Ev::BatchDone {
@@ -1139,6 +1449,12 @@ pub enum InstanceHealth {
     /// only a scripted [`FaultEvent::Restart`] (operator override)
     /// revives it.
     Benched,
+    /// Parked by the autoscaler: admin-down, holding no loaded weights,
+    /// outside the active pool until a scale-up wakes it.
+    Standby,
+    /// Retiring on scale-down: up and finishing its in-flight batch, but
+    /// taking no new dispatches; parks into standby at completion.
+    Draining,
 }
 
 /// One instance's state in a [`FleetSnapshot`].
@@ -1287,6 +1603,17 @@ impl<'a> Fleet<'a> {
             register_components(&mut ledger, &config.accelerator);
         }
 
+        let auto = config.autoscale.map(|policy| {
+            policy.validate();
+            assert_eq!(
+                policy.max, config.instances,
+                "autoscale max ({}) must equal the provisioned instance pool ({})",
+                policy.max, config.instances
+            );
+            let per_instance = config.estimated_capacity_fps(model) / config.instances as f64;
+            AutoscaleCtl::new(policy, per_instance)
+        });
+
         let sup = config.supervisor.map(|policy| {
             policy.validate();
             SupCtl {
@@ -1314,6 +1641,8 @@ impl<'a> Fleet<'a> {
             outcomes: Vec::with_capacity(config.requests),
             attempts: Vec::with_capacity(config.requests),
             nodes: (0..config.instances).map(|_| Instance::fresh()).collect(),
+            router: RackRouter::new(config.instances),
+            auto,
             faults: Vec::new(),
             reload_time: model_reload_time(&config.accelerator, model),
             sup,
@@ -1342,6 +1671,17 @@ impl<'a> Fleet<'a> {
             cfg: config.clone(),
         };
 
+        if let Some(auto) = &sched.auto {
+            // Instances beyond the bring-up pool start parked in standby.
+            for node in sched.nodes.iter_mut().skip(auto.policy.initial) {
+                node.up = false;
+                node.standby = true;
+            }
+        }
+        for i in 0..config.instances {
+            sched.sync_router(i);
+        }
+
         let mut q = EventQueue::new();
         match &config.arrivals {
             ArrivalProcess::Poisson { .. } => {
@@ -1367,6 +1707,9 @@ impl<'a> Fleet<'a> {
                     q.schedule_at(t, Ev::Arrive);
                 }
             }
+        }
+        if let Some(auto) = &sched.auto {
+            q.schedule_at(auto.policy.check_interval, Ev::ScaleTick);
         }
 
         Self {
@@ -1473,6 +1816,15 @@ impl<'a> Fleet<'a> {
         self.done
     }
 
+    /// The autoscale controller's decision trace so far, in decision
+    /// order (empty when the config carries no policy).
+    pub fn scale_events(&self) -> &[ScaleEvent] {
+        self.sched
+            .auto
+            .as_ref()
+            .map_or(&[], |a| a.events.as_slice())
+    }
+
     /// A consistent view of the fleet at the current step boundary.
     pub fn snapshot(&self) -> FleetSnapshot {
         let now = self.q.now();
@@ -1508,7 +1860,9 @@ impl<'a> Fleet<'a> {
                 .map(|(i, n)| {
                     let benched = s.sup.as_ref().is_some_and(|sup| sup.states[i].benched);
                     InstanceSnapshot {
-                        health: if n.reloading {
+                        health: if n.standby {
+                            InstanceHealth::Standby
+                        } else if n.reloading {
                             InstanceHealth::Reloading
                         } else if !n.up {
                             if benched {
@@ -1517,7 +1871,11 @@ impl<'a> Fleet<'a> {
                                 InstanceHealth::Down
                             }
                         } else if n.in_flight.is_some() {
-                            InstanceHealth::Busy
+                            if n.draining {
+                                InstanceHealth::Draining
+                            } else {
+                                InstanceHealth::Busy
+                            }
                         } else if n.stall_until > now {
                             InstanceHealth::Stalled
                         } else {

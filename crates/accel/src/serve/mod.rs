@@ -80,6 +80,7 @@
 //!
 //! [`EventQueue`]: sconna_sim::event::EventQueue
 
+mod autoscale;
 mod config;
 mod failure;
 mod fault;
@@ -87,6 +88,7 @@ mod fleet;
 mod report;
 mod supervisor;
 
+pub use autoscale::{AutoscalePolicy, ScaleEvent};
 pub use config::{AdmissionPolicy, ArrivalProcess, RetryPolicy, ServingConfig};
 pub use failure::FailureProcess;
 pub use fault::{FaultEvent, FaultPlan};

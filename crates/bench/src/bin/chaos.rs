@@ -140,8 +140,7 @@ fn main() {
     ];
 
     let run_accel = |accel: &AcceleratorConfig, workers: usize| -> AccelCurve {
-        let base =
-            ServingConfig::saturation(*accel, instances, max_batch, requests).with_seed(17);
+        let base = ServingConfig::saturation(*accel, instances, max_batch, requests).with_seed(17);
         let fault_free = simulate_serving(&base, &model);
         let t = fault_free.makespan;
         // MTBF grid scaled to this accelerator's own fault-free makespan

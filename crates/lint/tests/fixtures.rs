@@ -106,6 +106,7 @@ fn fleet_unordered_fixture_fires_throughout_the_serve_submodule() {
         "crates/accel/src/serve/fleet.rs",
         "crates/accel/src/serve/report.rs",
         "crates/accel/src/serve/supervisor.rs",
+        "crates/accel/src/serve/autoscale.rs",
     ] {
         let findings = lint_source(rel, include_str!("../fixtures/fleet_unordered.rs"));
         // The use-decl plus both mentions on the declaration line.
@@ -115,6 +116,33 @@ fn fleet_unordered_fixture_fires_throughout_the_serve_submodule() {
             "{rel} fell out of the unordered-iteration scope"
         );
         assert_eq!(findings.len(), 3, "{rel}: {findings:?}");
+    }
+}
+
+#[test]
+fn autoscaler_and_event_core_stay_determinism_scoped() {
+    // The bucketed event core orders every event in the simulator and
+    // the autoscaler's decisions must be pure functions of simulated
+    // time — these are exactly the files whose determinism the
+    // fleet-scale replay claims rest on. Pin both inside `no-wallclock`
+    // and `no-unordered-report-iteration` scope so neither can fall out
+    // via a path-scoping regression.
+    for rel in [
+        "crates/accel/src/serve/autoscale.rs",
+        "crates/sim/src/event.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/wallclock.rs"));
+        assert_eq!(
+            lines_of(&findings, "no-wallclock"),
+            vec![4, 7, 8],
+            "{rel} fell out of the wallclock scope"
+        );
+        let findings = lint_source(rel, include_str!("../fixtures/unordered.rs"));
+        assert_eq!(
+            lines_of(&findings, "no-unordered-report-iteration"),
+            vec![5, 8, 8],
+            "{rel} fell out of the unordered-iteration scope"
+        );
     }
 }
 

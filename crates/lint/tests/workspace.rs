@@ -53,6 +53,8 @@ fn workspace_walk_covers_all_crates() {
         "crates/sc/src/lib.rs",
         "crates/accel/src/serve/mod.rs",
         "crates/accel/src/serve/fleet.rs",
+        "crates/accel/src/serve/autoscale.rs",
+        "crates/sim/src/event.rs",
         "crates/sim/src/time.rs",
         "crates/tensor/src/layers.rs",
         "crates/photonics/src/thermal.rs",

@@ -49,7 +49,7 @@
 /// Dense row-major matrix of unsigned operand vectors — the product of an
 /// im2col gather: row `p` is the flattened input patch of one output
 /// position.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PatchMatrix {
     rows: usize,
     cols: usize,
@@ -73,6 +73,17 @@ impl PatchMatrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
         assert_eq!(data.len(), rows * cols, "patch buffer length mismatch");
         Self { rows, cols, data }
+    }
+
+    /// Re-shapes the matrix in place to `rows × cols`, zero-filled —
+    /// observationally identical to a fresh [`PatchMatrix::zeros`], but
+    /// reusing the retained buffer capacity (the arena-reuse hook of
+    /// [`crate::arena::ConvScratch`]).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0);
     }
 
     /// Number of patches.

@@ -9,7 +9,9 @@
 //!
 //! Convolution runs through an **im2col + batched-VDP** hot path: output
 //! rows are cut into fixed blocks, each block's patches are gathered into
-//! a [`PatchMatrix`] once per group, and the whole patch × kernel tile
+//! a [`PatchMatrix`](crate::engine::PatchMatrix) once per group
+//! (arena-reused scratch on the serving path — [`crate::arena`]), and the
+//! whole patch × kernel tile
 //! goes to [`VdpEngine::vdp_batch`] in one call. Blocks are independent,
 //! so they evaluate in parallel (`sconna_sim::parallel`) and — because
 //! every accumulator's noise key is derived from its (layer, group,
@@ -35,7 +37,8 @@
 //!   key, so the stacked result is bit-identical to running the images
 //!   one by one.
 
-use crate::engine::{combine_keys, mix_key, PatchMatrix, PreparedWeights, VdpEngine, WeightMatrix};
+use crate::arena::{BatchArena, ConvScratch};
+use crate::engine::{combine_keys, mix_key, PreparedWeights, VdpEngine, WeightMatrix};
 use crate::quant::Requant;
 use crate::tensor::Tensor;
 use sconna_sim::parallel::{block_ranges, parallel_map_with};
@@ -251,6 +254,32 @@ impl QConv2d {
         })
     }
 
+    /// [`QConv2d::forward_batch_keyed`] with arena-reused im2col scratch
+    /// and output tensors drawn from `arena` — bit-identical (recycled
+    /// buffers are re-zeroed and noise keys are pure coordinate
+    /// functions), but steady-state allocation-free when the caller
+    /// recycles the inputs after the layer.
+    pub fn forward_batch_keyed_in(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&[PreparedWeights]>,
+        base_keys: &[u64],
+        workers: usize,
+        arena: &BatchArena,
+    ) -> Vec<Tensor<u32>> {
+        self.forward_blocks_in(
+            inputs,
+            engine,
+            prepared,
+            base_keys,
+            workers,
+            Some(arena),
+            |dims| arena.tensor(dims),
+            |acc, rq| rq.apply(acc),
+        )
+    }
+
     /// Runs the convolution but keeps **signed pre-activation codes**
     /// (same scale as [`QConv2d::forward`], no ReLU clamp) — what a
     /// residual branch produces before the skip addition.
@@ -440,6 +469,37 @@ impl QConv2d {
     where
         T: Copy + Default + Send,
     {
+        self.forward_blocks_in(
+            inputs,
+            engine,
+            prepared,
+            base_keys,
+            workers,
+            None,
+            Tensor::<T>::zeros,
+            convert,
+        )
+    }
+
+    /// [`QConv2d::forward_blocks`] with optional arena reuse: im2col
+    /// scratch is checked out of `arena` per row block and output tensors
+    /// come from `alloc` (fresh zeros, or recycled arena storage). `None`
+    /// allocates fresh scratch — observationally identical either way.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_blocks_in<T>(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&[PreparedWeights]>,
+        base_keys: &[u64],
+        workers: usize,
+        arena: Option<&BatchArena>,
+        alloc: impl Fn(&[usize]) -> Tensor<T>,
+        convert: impl Fn(f64, &Requant) -> T + Sync,
+    ) -> Vec<Tensor<T>>
+    where
+        T: Copy + Default + Send,
+    {
         assert_eq!(base_keys.len(), inputs.len(), "one base key per image");
         let Some(first) = inputs.first() else {
             // Empty batch: nothing to compute (mirrors the FC batch API).
@@ -473,14 +533,16 @@ impl QConv2d {
         let rows_per_block = (CONV_BLOCK_PATCHES / geo.w_out.max(1)).clamp(1, 16);
         let blocks = block_ranges(geo.h_out, rows_per_block);
         let slabs: Vec<Vec<T>> = parallel_map_with(blocks.clone(), workers, |rows| {
-            self.eval_rows(inputs, engine, prepared, &geo, base_keys, rows, &convert)
+            self.eval_rows(
+                inputs, engine, prepared, &geo, base_keys, rows, arena, &convert,
+            )
         });
 
         // Assemble the row slabs (laid out [image][k][block row][x]) into
         // one output tensor per image.
         let mut outs: Vec<Tensor<T>> = inputs
             .iter()
-            .map(|_| Tensor::<T>::zeros(&[geo.l, geo.h_out, geo.w_out]))
+            .map(|_| alloc(&[geo.l, geo.h_out, geo.w_out]))
             .collect();
         for (rows, slab) in blocks.into_iter().zip(slabs) {
             let bh = rows.len();
@@ -511,6 +573,7 @@ impl QConv2d {
         geo: &ConvGeometry,
         base_keys: &[u64],
         rows: std::ops::Range<usize>,
+        arena: Option<&BatchArena>,
         convert: &(impl Fn(f64, &Requant) -> T + Sync),
     ) -> Vec<T>
     where
@@ -520,8 +583,12 @@ impl QConv2d {
         let n_local = bh * geo.w_out;
         let n_patches = inputs.len() * n_local;
         let mut slab = vec![T::default(); inputs.len() * geo.l * n_local];
-        let mut patches = PatchMatrix::zeros(n_patches, geo.patch_len);
-        let mut keys = vec![0u64; n_patches];
+        // The im2col gather buffers come from the arena when one is
+        // threaded through — checked out per row block, returned after
+        // the tile, zeroed either way.
+        let mut scratch = arena.map_or_else(ConvScratch::default, BatchArena::scratch);
+        scratch.prepare(n_patches, geo.patch_len);
+        let ConvScratch { patches, keys } = &mut scratch;
         let kpg = geo.kernels_per_group;
 
         for g in 0..self.groups {
@@ -550,14 +617,14 @@ impl QConv2d {
                 }
             }
             let accs = match prepared {
-                Some(ps) => engine.vdp_batch_prepared(&patches, &ps[g], &keys),
+                Some(ps) => engine.vdp_batch_prepared(patches, &ps[g], keys),
                 None => {
                     let wslice = &self.weights.as_slice()
                         [g * kpg * geo.patch_len..(g + 1) * kpg * geo.patch_len];
                     engine.vdp_batch(
-                        &patches,
+                        patches,
                         &WeightMatrix::new(wslice, kpg, geo.patch_len),
-                        &keys,
+                        keys,
                     )
                 }
             };
@@ -571,6 +638,9 @@ impl QConv2d {
                     }
                 }
             }
+        }
+        if let Some(arena) = arena {
+            arena.release_scratch(scratch);
         }
         slab
     }
@@ -765,6 +835,31 @@ impl QFc {
         prepared: Option<&PreparedWeights>,
         base_keys: &[u64],
     ) -> Vec<Vec<f32>> {
+        self.forward_logits_batch_core(inputs, engine, prepared, base_keys, None)
+    }
+
+    /// [`QFc::forward_logits_batch_keyed`] with the feature tile built in
+    /// arena-reused scratch — bit-identical, allocation-free in steady
+    /// state.
+    pub fn forward_logits_batch_keyed_in(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&PreparedWeights>,
+        base_keys: &[u64],
+        arena: &BatchArena,
+    ) -> Vec<Vec<f32>> {
+        self.forward_logits_batch_core(inputs, engine, prepared, base_keys, Some(arena))
+    }
+
+    fn forward_logits_batch_core(
+        &self,
+        inputs: &[&Tensor<u32>],
+        engine: &dyn VdpEngine,
+        prepared: Option<&PreparedWeights>,
+        base_keys: &[u64],
+        arena: Option<&BatchArena>,
+    ) -> Vec<Vec<f32>> {
         let [out_f, in_f] = *self.weights.dims() else {
             panic!("fc weights must be rank 2, got {:?}", self.weights.dims());
         };
@@ -775,19 +870,22 @@ impl QFc {
             self.name
         );
         assert_eq!(base_keys.len(), inputs.len(), "one base key per image");
-        let mut data = Vec::with_capacity(inputs.len() * in_f);
-        for input in inputs {
+        let mut scratch = arena.map_or_else(ConvScratch::default, BatchArena::scratch);
+        scratch.prepare(inputs.len(), in_f);
+        for (b, input) in inputs.iter().enumerate() {
             assert_eq!(input.len(), in_f, "{}: input length mismatch", self.name);
-            data.extend_from_slice(input.as_slice());
+            scratch.patches.row_mut(b).copy_from_slice(input.as_slice());
         }
-        let patches = PatchMatrix::from_vec(inputs.len(), in_f, data);
         let accs = match prepared {
-            Some(p) => engine.vdp_batch_prepared(&patches, p, base_keys),
+            Some(p) => engine.vdp_batch_prepared(&scratch.patches, p, base_keys),
             None => {
                 let wm = WeightMatrix::new(self.weights.as_slice(), out_f, in_f);
-                engine.vdp_batch(&patches, &wm, base_keys)
+                engine.vdp_batch(&scratch.patches, &wm, base_keys)
             }
         };
+        if let Some(arena) = arena {
+            arena.release_scratch(scratch);
+        }
         accs.chunks(out_f)
             .map(|row| {
                 row.iter()

@@ -17,6 +17,7 @@
 //! assert_eq!(resnet50().max_vector_len(), 4608);
 //! ```
 
+pub mod arena;
 pub mod dataset;
 pub mod decompose;
 pub mod engine;

@@ -9,6 +9,7 @@
 //! bit-identical to the unprepared paths by the `vdp_batch_prepared`
 //! contract.
 
+use crate::arena::BatchArena;
 use crate::engine::{combine_keys, PreparedWeights, VdpEngine};
 use crate::layers::{GlobalAvgPool, MaxPool2d, QConv2d, QFc};
 use crate::quant::ActivationQuant;
@@ -351,6 +352,27 @@ impl<'a> PreparedNetwork<'a> {
         image_keys: &[u64],
         workers: usize,
     ) -> Vec<Vec<f32>> {
+        // A call-local arena still amortizes buffers across the layer
+        // walk and row blocks; long-lived callers (serving instances)
+        // thread their own through `forward_batch_in` for cross-call
+        // reuse.
+        self.forward_batch_in(images, image_keys, workers, &BatchArena::new())
+    }
+
+    /// [`PreparedNetwork::forward_batch`] drawing every im2col scratch
+    /// tile and activation tensor from `arena`, with each layer's inputs
+    /// recycled as soon as the layer completes. Bit-identical to the
+    /// allocating path (recycled buffers are re-zeroed; noise keys are
+    /// pure coordinate functions — property-tested in
+    /// `tests/batch_parity.rs`): in steady state a serving instance runs
+    /// whole batches without touching the allocator.
+    pub fn forward_batch_in(
+        &self,
+        images: &[&Tensor<f32>],
+        image_keys: &[u64],
+        workers: usize,
+        arena: &BatchArena,
+    ) -> Vec<Vec<f32>> {
         assert_eq!(image_keys.len(), images.len(), "one image key per image");
         if images.is_empty() {
             return Vec::new();
@@ -359,6 +381,13 @@ impl<'a> PreparedNetwork<'a> {
             .iter()
             .map(|im| self.net.input_quant.quantize_tensor(im))
             .collect();
+        // Replaces the current activations and recycles the old set into
+        // the arena for the next layer to draw on.
+        let swap = |acts: &mut Vec<Tensor<u32>>, next: Vec<Tensor<u32>>| {
+            for old in std::mem::replace(acts, next) {
+                arena.recycle(old);
+            }
+        };
         let last = self.net.layers.len() - 1;
         for (i, (layer, prep)) in self.net.layers.iter().zip(&self.layers).enumerate() {
             match (layer, prep) {
@@ -368,19 +397,23 @@ impl<'a> PreparedNetwork<'a> {
                         .map(|&k| combine_keys(k, conv.layer_key()))
                         .collect();
                     let refs: Vec<&Tensor<u32>> = acts.iter().collect();
-                    acts = conv.forward_batch_keyed(
+                    let next = conv.forward_batch_keyed_in(
                         &refs,
                         self.engine,
                         Some(handles),
                         &base_keys,
                         workers,
+                        arena,
                     );
+                    swap(&mut acts, next);
                 }
                 (QLayer::MaxPool(pool), _) => {
-                    acts = acts.iter().map(|a| pool.forward(a)).collect();
+                    let next = acts.iter().map(|a| pool.forward(a)).collect();
+                    swap(&mut acts, next);
                 }
                 (QLayer::GlobalAvgPool, _) => {
-                    acts = acts.iter().map(|a| GlobalAvgPool.forward(a)).collect();
+                    let next = acts.iter().map(|a| GlobalAvgPool.forward(a)).collect();
+                    swap(&mut acts, next);
                 }
                 (QLayer::Fc(fc), PreparedLayer::Fc(handle)) => {
                     assert_eq!(i, last, "FC must be the final layer");
@@ -389,12 +422,15 @@ impl<'a> PreparedNetwork<'a> {
                         .map(|&k| combine_keys(k, fc.layer_key()))
                         .collect();
                     let refs: Vec<&Tensor<u32>> = acts.iter().collect();
-                    return fc.forward_logits_batch_keyed(
+                    let logits = fc.forward_logits_batch_keyed_in(
                         &refs,
                         self.engine,
                         Some(handle),
                         &base_keys,
+                        arena,
                     );
+                    swap(&mut acts, Vec::new());
+                    return logits;
                 }
                 _ => unreachable!("prepared layers are aligned by construction"),
             }
@@ -410,7 +446,20 @@ impl<'a> PreparedNetwork<'a> {
         image_keys: &[u64],
         workers: usize,
     ) -> Vec<usize> {
-        self.forward_batch(images, image_keys, workers)
+        self.predict_batch_in(images, image_keys, workers, &BatchArena::new())
+    }
+
+    /// [`PreparedNetwork::predict_batch`] drawing its scratch from
+    /// `arena` ([`PreparedNetwork::forward_batch_in`]) — the steady-state
+    /// call of a long-lived serving instance.
+    pub fn predict_batch_in(
+        &self,
+        images: &[&Tensor<f32>],
+        image_keys: &[u64],
+        workers: usize,
+        arena: &BatchArena,
+    ) -> Vec<usize> {
+        self.forward_batch_in(images, image_keys, workers, arena)
             .iter()
             .map(|logits| crate::layers::argmax(logits))
             .collect()

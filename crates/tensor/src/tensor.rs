@@ -47,6 +47,12 @@ impl<T: Copy + Default> Tensor<T> {
         }
     }
 
+    /// Consumes the tensor, returning its flat row-major buffer (the
+    /// recycling hook of [`crate::arena::BatchArena`]).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Creates a tensor by evaluating `f` at every flat index.
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
         let len = checked_len(dims);

@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use sconna::accel::SconnaEngine;
 use sconna::photonics::pca::AdcModel;
 use sconna::sc::Precision;
+use sconna::tensor::arena::BatchArena;
 use sconna::tensor::engine::{combine_keys, ExactEngine, PatchMatrix, VdpEngine, WeightMatrix};
 use sconna::tensor::layers::QConv2d;
 use sconna::tensor::quant::{ActivationQuant, Requant, WeightQuant};
@@ -209,5 +210,82 @@ proptest! {
         // Single-image prepared forward is the same contract at batch 1.
         let one = conv.forward_prepared_keyed(&images[0], engine.as_ref(), &prepared, base_keys[0], 2);
         prop_assert_eq!(one.as_slice(), singles[0].as_slice());
+
+        // Arena-reused scratch is observationally pure: running the same
+        // batch repeatedly through one (increasingly dirty) arena, at any
+        // worker count, must reproduce the allocating path bit-for-bit.
+        let arena = BatchArena::new();
+        for workers in [1usize, 2, 8] {
+            let pooled = conv.forward_batch_keyed_in(
+                &refs, engine.as_ref(), Some(&prepared), &base_keys, workers, &arena);
+            for (b, (got, want)) in pooled.iter().zip(&singles).enumerate() {
+                prop_assert_eq!(got.as_slice(), want.as_slice(), "arena image {} workers {}", b, workers);
+            }
+            // Recycle the outputs so the next round draws dirty buffers.
+            for t in pooled {
+                arena.recycle(t);
+            }
+        }
+    }
+
+    /// Whole-network arena threading: `forward_batch_in` through one
+    /// long-lived arena (dirtied across calls, layers and images — the
+    /// serving-instance usage) is bit-identical to the allocating
+    /// `forward_batch`, logits compared exactly.
+    #[test]
+    fn prop_network_forward_batch_in_arena_is_bit_identical(
+        n_images in 1usize..=3,
+        seed in 0u64..=200,
+        noisy in 0u8..=1,
+    ) {
+        let noisy = noisy == 1;
+        let aq = ActivationQuant { scale: 1.0 / 255.0, bits: 8 };
+        let wq = WeightQuant { scale: 1.0 / 127.0, bits: 8 };
+        let net = sconna::tensor::network::QuantizedNetwork {
+            input_quant: aq,
+            layers: vec![
+                sconna::tensor::network::QLayer::Conv(QConv2d {
+                    name: format!("net-c1-{seed}"),
+                    weights: Tensor::from_fn(&[4, 1, 3, 3], |i| ((i as u64 * 29 + seed) % 255) as i32 - 127),
+                    bias: vec![0.0; 4],
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    requant: Requant::new(aq, wq, aq),
+                }),
+                sconna::tensor::network::QLayer::MaxPool(sconna::tensor::layers::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
+                sconna::tensor::network::QLayer::GlobalAvgPool,
+                sconna::tensor::network::QLayer::Fc(sconna::tensor::layers::QFc {
+                    name: format!("net-fc-{seed}"),
+                    weights: Tensor::from_fn(&[3, 4], |i| ((i as u64 * 67 + seed) % 255) as i32 - 127),
+                    bias: vec![0.0; 3],
+                    dequant: aq.scale * wq.scale,
+                }),
+            ],
+        };
+        let engine: Box<dyn VdpEngine> = if noisy {
+            Box::new(SconnaEngine::paper_default(seed))
+        } else {
+            Box::new(ExactEngine)
+        };
+        let prepared = net.prepare(engine.as_ref());
+        let images: Vec<Tensor<f32>> = (0..n_images)
+            .map(|b| Tensor::from_fn(&[1, 12, 12], |i| ((i as u64 * 13 + seed + b as u64 * 71) % 256) as f32 / 255.0))
+            .collect();
+        let refs: Vec<&Tensor<f32>> = images.iter().collect();
+        let keys: Vec<u64> = (0..n_images as u64).map(|b| seed.wrapping_add(b * 977)).collect();
+
+        let want = prepared.forward_batch(&refs, &keys, 1);
+        let arena = BatchArena::new();
+        for round in 0..3 {
+            for workers in [1usize, 2, 8] {
+                let got = prepared.forward_batch_in(&refs, &keys, workers, &arena);
+                prop_assert_eq!(&got, &want, "round {} workers {}", round, workers);
+            }
+        }
     }
 }

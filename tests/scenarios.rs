@@ -138,9 +138,11 @@ fn check_step(prev: &FleetSnapshot, snap: &FleetSnapshot, cfg: &ServingConfig) {
     assert_eq!(snap.instances.len(), cfg.instances);
     for inst in &snap.instances {
         assert!(inst.in_flight <= cfg.max_batch, "batch over the limit");
+        // A draining instance (autoscale scale-down) is the one other
+        // health that carries an in-flight batch.
         assert_eq!(
             inst.in_flight > 0 || inst.hedge_batch,
-            inst.health == InstanceHealth::Busy,
+            matches!(inst.health, InstanceHealth::Busy | InstanceHealth::Draining),
             "in-flight/health mismatch: {inst:?}"
         );
         if inst.degraded_batch {
