@@ -180,6 +180,38 @@ pub fn model_warm_reload_time(cfg: &AcceleratorConfig, model: &CnnModel) -> SimT
     })
 }
 
+/// Co-resident model-swap latency: what an instance pays to switch its
+/// active model to `model` when both models' weight bytes are already
+/// staged in its operand scratchpads (multi-tenant co-location keeps
+/// every resident model's bytes warm, so unlike [`model_reload_time`]
+/// the eDRAM weight traffic is never re-paid). What remains is putting
+/// the incoming model's weights back *on the devices*:
+///
+/// * Analog MAM/AMM must replay the incoming model's full DKV
+///   cell-programming rounds — a swap costs what a warm restart costs
+///   ([`model_warm_reload_time`]), reprogram-dominated.
+/// * SCONNA holds each resident model in its own pre-filled OSM LUT
+///   banks; a swap repoints the bank select, one LUT access per layer —
+///   near-zero, and independent of the model's size.
+///
+/// Unit-pinned against [`model_reload_time`]: a swap never exceeds a
+/// cold reload, and the SCONNA/analog asymmetry here is the paper's
+/// avoided-reprogramming claim measured as multi-tenancy overhead (the
+/// serving scheduler charges this per cross-model dispatch).
+pub fn model_swap_time(cfg: &AcceleratorConfig, model: &CnnModel) -> SimTime {
+    let bank_select = match cfg.kind {
+        AcceleratorKind::Sconna => p::OSM_LUT.latency,
+        _ => SimTime::ZERO,
+    };
+    model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
+        let chunks = cfg.chunks(w.vector_len) as u64;
+        let slices = cfg.bit_slices as u64;
+        let reprogram_events = (w.kernels as u64) * chunks * slices;
+        let rounds = reprogram_events.div_ceil(cfg.total_vdpes as u64);
+        acc + SimTime::from_ps(cfg.dkv_reprogram.as_ps() * rounds) + bank_select
+    })
+}
+
 fn scale_time(unit: SimTime, ops: u64, parallelism: u64) -> SimTime {
     assert!(parallelism > 0, "parallelism must be positive");
     let rounds = ops.div_ceil(parallelism);
@@ -499,6 +531,40 @@ mod tests {
             assert!(
                 model_warm_reload_time(&cfg, &model) <= model_reload_time(&cfg, &model),
                 "{}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn model_swap_is_near_zero_for_sconna_and_reprogram_bound_for_analog() {
+        let model = shufflenet_v2();
+        // SCONNA swaps by repointing OSM LUT banks: one LUT access per
+        // layer, regardless of model size — nonzero but vanishing next
+        // to any reload.
+        let sconna = AcceleratorConfig::sconna();
+        let s = model_swap_time(&sconna, &model);
+        assert!(s > SimTime::ZERO, "bank repointing is not free");
+        assert_eq!(
+            s,
+            SimTime::from_ps(p::OSM_LUT.latency.as_ps() * model.workloads.len() as u64)
+        );
+        // Analog swaps replay cell programming: exactly the warm-reload
+        // cost, since staged weight bytes skip the eDRAM traffic.
+        let mam_cfg = AcceleratorConfig::mam();
+        let m = model_swap_time(&mam_cfg, &model);
+        assert_eq!(m, model_warm_reload_time(&mam_cfg, &model));
+        // The paper's asymmetry as a multi-tenancy number: the analog
+        // swap dwarfs SCONNA's by orders of magnitude.
+        assert!(
+            m > SimTime::from_ps(100 * s.as_ps()),
+            "MAM swap {m} must dwarf SCONNA swap {s}"
+        );
+        // Pin against the reload ladder: swap <= cold reload everywhere.
+        for cfg in AcceleratorConfig::all() {
+            assert!(
+                model_swap_time(&cfg, &model) <= model_reload_time(&cfg, &model),
+                "{}: a swap of staged weights cannot exceed a cold reload",
                 cfg.name
             );
         }

@@ -106,28 +106,37 @@ impl AutoscalePolicy {
     /// Panics on an empty pool range, an `initial` outside `[min, max]`,
     /// a zero check interval, or a non-positive/non-finite headroom.
     pub fn validate(&self) {
-        assert!(self.min >= 1, "autoscale min must be at least 1");
-        assert!(
-            self.min <= self.max,
-            "autoscale min {} exceeds max {}",
-            self.min,
-            self.max
-        );
-        assert!(
-            (self.min..=self.max).contains(&self.initial),
-            "autoscale initial {} outside [{}, {}]",
-            self.initial,
-            self.min,
-            self.max
-        );
-        assert!(
-            self.check_interval > SimTime::ZERO,
-            "autoscale check interval must be positive"
-        );
-        assert!(
-            self.headroom.is_finite() && self.headroom > 0.0,
-            "autoscale headroom must be positive and finite"
-        );
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking form of [`validate`](Self::validate): returns the
+    /// diagnostic instead of aborting, so `ServingConfig::validate` can
+    /// surface it as a [`ServingConfigError`](super::ServingConfigError).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.min < 1 {
+            return Err("autoscale min must be at least 1".into());
+        }
+        if self.min > self.max {
+            return Err(format!(
+                "autoscale min {} exceeds max {}",
+                self.min, self.max
+            ));
+        }
+        if !(self.min..=self.max).contains(&self.initial) {
+            return Err(format!(
+                "autoscale initial {} outside [{}, {}]",
+                self.initial, self.min, self.max
+            ));
+        }
+        if self.check_interval <= SimTime::ZERO {
+            return Err("autoscale check interval must be positive".into());
+        }
+        if !(self.headroom.is_finite() && self.headroom > 0.0) {
+            return Err("autoscale headroom must be positive and finite".into());
+        }
+        Ok(())
     }
 }
 
@@ -243,6 +252,18 @@ mod tests {
         assert_eq!(p.check_interval, SimTime::from_ns(500_000));
         assert_eq!(p.cooldown, SimTime::from_ns(1_000_000));
         assert_eq!(p.headroom, 1.5);
+    }
+
+    #[test]
+    fn try_validate_reports_the_first_defect_without_panicking() {
+        assert!(AutoscalePolicy::new(1, 8).try_validate().is_ok());
+        let err = AutoscalePolicy::new(4, 2).try_validate().unwrap_err();
+        assert!(err.contains("min 4 exceeds max 2"), "{err}");
+        let err = AutoscalePolicy::new(2, 4)
+            .with_headroom(f64::NAN)
+            .try_validate()
+            .unwrap_err();
+        assert!(err.contains("headroom"), "{err}");
     }
 
     #[test]

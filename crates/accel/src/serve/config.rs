@@ -149,6 +149,292 @@ impl RetryPolicy {
     }
 }
 
+/// Latency class of a tenant: how urgently its traffic must turn
+/// around. Under [`TenantScheduler::StrictPriority`] a more urgent
+/// class overtakes a less urgent one at every batch-formation decision;
+/// under the other schedulers the class is recorded in the usage
+/// report but does not move scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// User-facing traffic: overtakes everything else under
+    /// strict-priority scheduling.
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput-oriented background traffic: yields to both other
+    /// classes under strict-priority scheduling.
+    Batch,
+}
+
+impl LatencyClass {
+    /// Scheduling rank: lower overtakes higher.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            LatencyClass::Interactive => 0,
+            LatencyClass::Standard => 1,
+            LatencyClass::Batch => 2,
+        }
+    }
+}
+
+/// How batch-formation slots are shared between tenants. Scheduling is
+/// work-conserving at *batch* granularity: a decision is taken whenever
+/// an instance is idle and at least one tenant has a formable batch,
+/// and batches are never preempted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantScheduler {
+    /// Start-time weighted-fair queueing over per-tenant virtual time:
+    /// tenant `t` carries a virtual clock advanced by
+    /// `batch_size / weight` at every dispatch, a newly-backlogged
+    /// tenant rejoins at the fleet's current virtual time (no hoarded
+    /// credit), and the backlogged tenant with the smallest clock
+    /// dispatches next. Long-run service converges on the weight
+    /// shares; one tenant's overload cannot starve another. The
+    /// default.
+    #[default]
+    WeightedFair,
+    /// Strict priority by [`LatencyClass`] rank, weighted-fair within a
+    /// class: an interactive tenant's formable batch overtakes standard
+    /// and batch-class traffic at every batch-formation decision.
+    StrictPriority,
+    /// The naive shared-queue baseline: tenants' queues are drained in
+    /// global arrival order (earliest waiting head request dispatches
+    /// first), exactly as if everyone shared one FIFO. No isolation —
+    /// an overloaded tenant inflates every other tenant's tail latency.
+    /// The `tenant_sweep` bench quantifies the blowup.
+    SharedFifo,
+}
+
+/// One tenant of a multi-tenant serving fleet: a model, a fair-share
+/// weight, a latency class and a private arrival process. Registered on
+/// [`ServingConfig::with_tenants`]; requests of different tenants wait
+/// in per-tenant bounded queues and are batched per tenant (a batch
+/// never mixes models).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Display name, carried into the per-tenant usage report.
+    pub name: String,
+    /// Index of this tenant's model in the model slice passed to
+    /// [`Fleet::new_multi`](crate::serve::Fleet::new_multi). Tenants may
+    /// share a model index (and then share prepared weights and never
+    /// pay a swap between each other).
+    pub model: usize,
+    /// Weighted-fair share. Service under contention converges on
+    /// `weight / Σ weights`; must be positive and finite.
+    pub weight: f64,
+    /// Latency class ([`TenantScheduler::StrictPriority`] overtake
+    /// order).
+    pub latency_class: LatencyClass,
+    /// This tenant's private arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Requests this tenant offers over the run. The config-level
+    /// `requests` must equal the sum over tenants
+    /// ([`ServingConfig::with_tenants`] maintains this).
+    pub requests: usize,
+    /// Per-instance bound of this tenant's private queue; `None`
+    /// inherits the config-level `queue_cap`.
+    pub queue_cap: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A standard-class, weight-1 tenant of `model` offering `requests`
+    /// requests through `arrivals`.
+    pub fn new(
+        name: impl Into<String>,
+        model: usize,
+        arrivals: ArrivalProcess,
+        requests: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            weight: 1.0,
+            latency_class: LatencyClass::Standard,
+            arrivals,
+            requests,
+            queue_cap: None,
+        }
+    }
+
+    /// Replaces the fair-share weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Replaces the latency class.
+    #[must_use]
+    pub fn with_latency_class(mut self, class: LatencyClass) -> Self {
+        self.latency_class = class;
+        self
+    }
+
+    /// Bounds this tenant's private queue at `cap` requests per
+    /// instance, overriding the config-level cap.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+}
+
+/// Why a [`ServingConfig`] cannot be simulated. Returned by
+/// [`ServingConfig::validate`] and the `Fleet::try_*` constructors;
+/// the panicking constructors panic with this error's message, so the
+/// legacy panic texts are preserved verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingConfigError {
+    /// `instances == 0`.
+    NoInstances,
+    /// `max_batch == 0`.
+    ZeroBatchLimit,
+    /// `requests == 0`.
+    NoRequests,
+    /// `queue_cap == Some(0)` (config-level or on the named tenant).
+    ZeroQueueCap {
+        /// Offending tenant name; `None` for the config-level cap.
+        tenant: Option<String>,
+    },
+    /// A closed loop with zero clients (config-level or tenant).
+    NoClients,
+    /// A trace whose length disagrees with its request budget.
+    TraceLengthMismatch {
+        /// Trace length.
+        trace: usize,
+        /// Request budget it must equal.
+        requests: usize,
+    },
+    /// A Poisson arrival process with a non-positive (or non-finite)
+    /// rate.
+    NonPositiveRate {
+        /// The offending rate.
+        rate_fps: f64,
+    },
+    /// The autoscale policy is internally inconsistent (bounds,
+    /// interval or headroom).
+    Autoscale(String),
+    /// Autoscale `max` disagrees with the provisioned pool.
+    AutoscalePoolMismatch {
+        /// The policy's `max`.
+        max: usize,
+        /// The config's `instances`.
+        instances: usize,
+    },
+    /// A zero goodput window.
+    ZeroGoodputWindow,
+    /// A tenant with a non-positive or non-finite weight.
+    TenantWeight {
+        /// Offending tenant name.
+        tenant: String,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A tenant offering zero requests.
+    TenantNoRequests {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// The config-level request budget disagrees with the sum over
+    /// tenants.
+    TenantRequestSum {
+        /// Sum of tenant request budgets.
+        sum: usize,
+        /// Config-level `requests`.
+        requests: usize,
+    },
+    /// A tenant naming a model index outside the model slice (checked
+    /// at fleet construction, when the slice is known).
+    TenantModelOutOfRange {
+        /// Offending tenant name.
+        tenant: String,
+        /// The out-of-range model index.
+        model: usize,
+        /// Number of models provided.
+        models: usize,
+    },
+}
+
+impl std::fmt::Display for ServingConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoInstances => write!(f, "need at least one instance"),
+            Self::ZeroBatchLimit => write!(f, "max_batch must be positive"),
+            Self::NoRequests => write!(f, "need at least one request"),
+            Self::ZeroQueueCap { tenant: None } => {
+                write!(f, "queue_cap must be positive (use None for unbounded)")
+            }
+            Self::ZeroQueueCap { tenant: Some(t) } => write!(
+                f,
+                "tenant {t:?}: queue_cap must be positive (use None to inherit)"
+            ),
+            Self::NoClients => write!(f, "closed loop needs at least one client"),
+            Self::TraceLengthMismatch { trace, requests } => write!(
+                f,
+                "trace length must equal the request count ({trace} vs {requests})"
+            ),
+            Self::NonPositiveRate { rate_fps } => {
+                write!(f, "Poisson rate must be positive (got {rate_fps})")
+            }
+            Self::Autoscale(msg) => write!(f, "{msg}"),
+            Self::AutoscalePoolMismatch { max, instances } => write!(
+                f,
+                "autoscale max ({max}) must equal the provisioned instance pool ({instances})"
+            ),
+            Self::ZeroGoodputWindow => write!(f, "goodput window must be positive"),
+            Self::TenantWeight { tenant, weight } => write!(
+                f,
+                "tenant {tenant:?}: weight must be positive and finite (got {weight})"
+            ),
+            Self::TenantNoRequests { tenant } => {
+                write!(f, "tenant {tenant:?}: need at least one request")
+            }
+            Self::TenantRequestSum { sum, requests } => write!(
+                f,
+                "requests ({requests}) must equal the sum over tenants ({sum}); \
+                 use with_tenants to keep them in sync"
+            ),
+            Self::TenantModelOutOfRange {
+                tenant,
+                model,
+                models,
+            } => write!(
+                f,
+                "tenant {tenant:?} names model {model} of a {models}-model slice"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServingConfigError {}
+
+fn validate_arrivals(arrivals: &ArrivalProcess, requests: usize) -> Result<(), ServingConfigError> {
+    match arrivals {
+        ArrivalProcess::Poisson { rate_fps } => {
+            if !(*rate_fps > 0.0 && rate_fps.is_finite()) {
+                return Err(ServingConfigError::NonPositiveRate {
+                    rate_fps: *rate_fps,
+                });
+            }
+        }
+        ArrivalProcess::ClosedLoop { clients } => {
+            if *clients == 0 {
+                return Err(ServingConfigError::NoClients);
+            }
+        }
+        ArrivalProcess::Trace { times } => {
+            if times.len() != requests {
+                return Err(ServingConfigError::TraceLengthMismatch {
+                    trace: times.len(),
+                    requests,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One serving experiment: a fleet, a scheduler policy, a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingConfig {
@@ -189,6 +475,17 @@ pub struct ServingConfig {
     /// `max` must equal it — only `active` instances take traffic, the
     /// rest stand by.
     pub autoscale: Option<AutoscalePolicy>,
+    /// The tenant roster. Empty (the default and every legacy config)
+    /// means single-tenant: the fleet synthesizes one weight-1 tenant
+    /// from the config-level `arrivals`/`requests`/`queue_cap` fields
+    /// and behaves bit-identically to the pre-tenant scheduler. When
+    /// non-empty, the config-level `arrivals` is ignored and `requests`
+    /// must equal the sum of tenant budgets
+    /// ([`ServingConfig::with_tenants`] keeps them in sync).
+    pub tenants: Vec<TenantSpec>,
+    /// How batch-formation slots are shared between tenants. Irrelevant
+    /// (but harmless) with fewer than two tenants.
+    pub tenant_scheduler: TenantScheduler,
 }
 
 impl ServingConfig {
@@ -228,7 +525,77 @@ impl ServingConfig {
             retry: RetryPolicy::default(),
             goodput_window: None,
             autoscale: None,
+            tenants: Vec::new(),
+            tenant_scheduler: TenantScheduler::WeightedFair,
         }
+    }
+
+    /// Checks every model-independent invariant a fleet construction
+    /// relies on, returning the first violation instead of the
+    /// downstream panic or mid-run hang it used to cause (a zero queue
+    /// cap, a zero batch limit, a non-positive Poisson rate, an
+    /// autoscale `max` that disagrees with the pool, ...). Tenant model
+    /// indices are checked at fleet construction, where the model slice
+    /// is known.
+    pub fn validate(&self) -> Result<(), ServingConfigError> {
+        if self.instances == 0 {
+            return Err(ServingConfigError::NoInstances);
+        }
+        if self.max_batch == 0 {
+            return Err(ServingConfigError::ZeroBatchLimit);
+        }
+        if self.requests == 0 {
+            return Err(ServingConfigError::NoRequests);
+        }
+        if self.queue_cap == Some(0) {
+            return Err(ServingConfigError::ZeroQueueCap { tenant: None });
+        }
+        if self.goodput_window == Some(SimTime::ZERO) {
+            return Err(ServingConfigError::ZeroGoodputWindow);
+        }
+        if let Some(policy) = self.autoscale {
+            policy
+                .try_validate()
+                .map_err(ServingConfigError::Autoscale)?;
+            if policy.max != self.instances {
+                return Err(ServingConfigError::AutoscalePoolMismatch {
+                    max: policy.max,
+                    instances: self.instances,
+                });
+            }
+        }
+        if self.tenants.is_empty() {
+            validate_arrivals(&self.arrivals, self.requests)?;
+        } else {
+            let mut sum = 0usize;
+            for t in &self.tenants {
+                if !(t.weight > 0.0 && t.weight.is_finite()) {
+                    return Err(ServingConfigError::TenantWeight {
+                        tenant: t.name.clone(),
+                        weight: t.weight,
+                    });
+                }
+                if t.requests == 0 {
+                    return Err(ServingConfigError::TenantNoRequests {
+                        tenant: t.name.clone(),
+                    });
+                }
+                if t.queue_cap == Some(0) {
+                    return Err(ServingConfigError::ZeroQueueCap {
+                        tenant: Some(t.name.clone()),
+                    });
+                }
+                validate_arrivals(&t.arrivals, t.requests)?;
+                sum += t.requests;
+            }
+            if sum != self.requests {
+                return Err(ServingConfigError::TenantRequestSum {
+                    sum,
+                    requests: self.requests,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Closed-form service-capacity estimate: `instances × max_batch`
@@ -239,9 +606,25 @@ impl ServingConfig {
     /// runs measure slightly below it) and the knee of the open-loop
     /// overload sweep — pinned against both in this module's tests so
     /// the estimate and the simulator cannot silently diverge.
+    ///
+    /// The estimate reflects the tier mix the config actually runs:
+    /// under [`AdmissionPolicy::Degrade`] sustained overload keeps the
+    /// queue pinned at its cap, so admitted traffic lands on the faster
+    /// `fallback_bits` tier and the absorbable rate is the *fallback*
+    /// operating point's ([`AcceleratorConfig::with_native_bits`]) —
+    /// estimating from the full-fidelity timing alone under-states
+    /// capacity and made the autoscaler over-scale a degraded fleet.
+    /// Every other policy serves full-fidelity only and uses the native
+    /// timing, bit-identically to the pre-fix estimate.
     pub fn estimated_capacity_fps(&self, model: &CnnModel) -> f64 {
+        let accel = match self.admission {
+            AdmissionPolicy::Degrade { fallback_bits } => {
+                self.accelerator.with_native_bits(fallback_bits)
+            }
+            _ => self.accelerator,
+        };
         let makespan = model.workloads.iter().fold(SimTime::ZERO, |acc, w| {
-            acc + analyze_layer_batched(&self.accelerator, w, self.max_batch).total
+            acc + analyze_layer_batched(&accel, w, self.max_batch).total
         });
         (self.instances * self.max_batch) as f64 / makespan.as_secs_f64()
     }
@@ -350,6 +733,24 @@ impl ServingConfig {
         self.autoscale = None;
         self
     }
+
+    /// Registers the tenant roster and syncs the config-level request
+    /// budget to the sum over tenants (the invariant
+    /// [`ServingConfig::validate`] checks). The config-level `arrivals`
+    /// becomes irrelevant; per-tenant arrivals drive the run.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.requests = tenants.iter().map(|t| t.requests).sum();
+        self.tenants = tenants;
+        self
+    }
+
+    /// Replaces the inter-tenant scheduler.
+    #[must_use]
+    pub fn with_tenant_scheduler(mut self, scheduler: TenantScheduler) -> Self {
+        self.tenant_scheduler = scheduler;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -410,5 +811,163 @@ mod tests {
             .with_queue_cap(5)
             .with_unbounded_queue();
         assert_eq!(cfg.queue_cap, None);
+    }
+
+    fn base() -> ServingConfig {
+        ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, 32)
+    }
+
+    #[test]
+    fn validate_accepts_every_saturation_shape() {
+        assert_eq!(base().validate(), Ok(()));
+        assert_eq!(base().with_poisson(100.0).validate(), Ok(()));
+        assert_eq!(
+            base()
+                .with_requests(3)
+                .with_arrivals(ArrivalProcess::trace(vec![SimTime::ZERO; 3]))
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes_with_the_legacy_messages() {
+        // Each rejection used to be a downstream panic (or, for the
+        // Poisson rate, a mid-run assert); the error Display carries
+        // the exact legacy message so panicking callers see no change.
+        let cases: Vec<(ServingConfig, &str)> = vec![
+            (
+                ServingConfig {
+                    instances: 0,
+                    ..base()
+                },
+                "need at least one instance",
+            ),
+            (
+                ServingConfig {
+                    max_batch: 0,
+                    ..base()
+                },
+                "max_batch must be positive",
+            ),
+            (base().with_requests(0), "need at least one request"),
+            (
+                base().with_queue_cap(0),
+                "queue_cap must be positive (use None for unbounded)",
+            ),
+            (
+                base().with_arrivals(ArrivalProcess::closed_loop(0)),
+                "closed loop needs at least one client",
+            ),
+            (
+                base().with_arrivals(ArrivalProcess::trace(vec![SimTime::ZERO; 3])),
+                "trace length must equal the request count",
+            ),
+            (base().with_poisson(0.0), "Poisson rate must be positive"),
+            (
+                base().with_poisson(f64::NAN),
+                "Poisson rate must be positive",
+            ),
+            (
+                base().with_autoscale(AutoscalePolicy::new(1, 8)),
+                "must equal the provisioned instance pool",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(needle);
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_tenant_rosters() {
+        let t = |w: f64, requests: usize| TenantSpec {
+            weight: w,
+            ..TenantSpec::new("a", 0, ArrivalProcess::closed_loop(2), requests)
+        };
+        let bad_weight = base().with_tenants(vec![t(0.0, 8)]);
+        assert!(bad_weight
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("weight"));
+        let no_requests = ServingConfig {
+            requests: 8,
+            tenants: vec![t(1.0, 0)],
+            ..base()
+        };
+        assert!(matches!(
+            no_requests.validate(),
+            Err(ServingConfigError::TenantNoRequests { .. })
+        ));
+        let bad_sum = ServingConfig {
+            requests: 99,
+            tenants: vec![t(1.0, 8)],
+            ..base()
+        };
+        assert!(matches!(
+            bad_sum.validate(),
+            Err(ServingConfigError::TenantRequestSum {
+                sum: 8,
+                requests: 99
+            })
+        ));
+        let zero_cap = base().with_tenants(vec![t(1.0, 8).with_queue_cap(0)]);
+        assert!(matches!(
+            zero_cap.validate(),
+            Err(ServingConfigError::ZeroQueueCap { tenant: Some(_) })
+        ));
+    }
+
+    #[test]
+    fn with_tenants_syncs_the_request_budget() {
+        let cfg = base().with_tenants(vec![
+            TenantSpec::new("a", 0, ArrivalProcess::closed_loop(2), 10),
+            TenantSpec::new("b", 1, ArrivalProcess::poisson(50.0), 22),
+        ]);
+        assert_eq!(cfg.requests, 32);
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(cfg.tenant_scheduler, TenantScheduler::WeightedFair);
+        let strict = cfg.with_tenant_scheduler(TenantScheduler::StrictPriority);
+        assert_eq!(strict.tenant_scheduler, TenantScheduler::StrictPriority);
+    }
+
+    #[test]
+    fn degrade_capacity_reflects_the_fallback_tier() {
+        // The satellite bugfix pin: under Degrade the absorbable rate in
+        // the shedding regime is the fallback operating point's — faster
+        // streams, higher capacity. Every other policy keeps the native
+        // estimate bit-identically.
+        let model = sconna_tensor::models::shufflenet_v2();
+        let native = base().estimated_capacity_fps(&model);
+        let degrade = base()
+            .with_admission(AdmissionPolicy::Degrade { fallback_bits: 4 })
+            .estimated_capacity_fps(&model);
+        assert!(
+            degrade > 2.0 * native,
+            "4-bit fallback capacity {degrade} must dwarf native {native}"
+        );
+        // The fix is exactly "estimate at the fallback operating point".
+        let repointed = ServingConfig {
+            accelerator: AcceleratorConfig::sconna().with_native_bits(4),
+            ..base()
+        }
+        .estimated_capacity_fps(&model);
+        assert_eq!(degrade.to_bits(), repointed.to_bits());
+        // Non-Degrade policies are untouched by the fix.
+        let drop_oldest = base()
+            .with_admission(AdmissionPolicy::DropOldest)
+            .estimated_capacity_fps(&model);
+        assert_eq!(native.to_bits(), drop_oldest.to_bits());
+    }
+
+    #[test]
+    fn latency_classes_rank_interactive_first() {
+        assert!(LatencyClass::Interactive.rank() < LatencyClass::Standard.rank());
+        assert!(LatencyClass::Standard.rank() < LatencyClass::Batch.rank());
+        assert_eq!(LatencyClass::default(), LatencyClass::Standard);
     }
 }

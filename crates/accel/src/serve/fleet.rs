@@ -42,6 +42,8 @@
 //!   [`autoscale`](super::autoscale) for the controller.
 
 use super::autoscale::{AutoscaleCtl, ScaleEvent};
+use super::config::{ServingConfigError, TenantScheduler, TenantSpec};
+use super::report::{TenantAccuracy, TenantUsage};
 use super::supervisor::{RestartMode, Supervisor};
 use super::{
     AdmissionPolicy, ArrivalProcess, AvailabilityStats, FaultEvent, FaultPlan,
@@ -49,8 +51,8 @@ use super::{
 };
 use crate::organization::AcceleratorConfig;
 use crate::perf::{
-    analyze_layer_batched, model_reload_time, model_warm_reload_time, record_inference_ops,
-    register_components, LayerPerf,
+    analyze_layer_batched, model_reload_time, model_swap_time, model_warm_reload_time,
+    record_inference_ops, register_components, LayerPerf,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -103,15 +105,21 @@ pub struct FunctionalWorkload<'a> {
 }
 
 /// Per-instance functional execution state: each instance owns a
-/// prepared (weight-stationary) copy of the model — and, under
-/// [`AdmissionPolicy::Degrade`], of the fallback model — loaded once at
-/// fleet bring-up, plus the request-id-indexed prediction ledger.
+/// **co-resident** prepared (weight-stationary) copy of every model of
+/// the fleet — and, under [`AdmissionPolicy::Degrade`], of each
+/// fallback model — loaded once at fleet bring-up, plus the
+/// request-id-indexed prediction ledger. A single-model fleet (every
+/// legacy entry point) holds exactly one prepared copy per instance,
+/// as before; a multi-tenant fleet keeps one per model so a swap costs
+/// only the analytic [`model_swap_time`], never a functional rebuild.
 struct FunctionalExec<'a> {
-    workload: &'a FunctionalWorkload<'a>,
-    /// One engine-backed prepared model per instance.
-    instances: Vec<PreparedNetwork<'a>>,
-    /// Prepared fallback copies, one per instance, when degrading.
-    fallback: Option<Vec<PreparedNetwork<'a>>>,
+    /// One workload per model index, parallel to the fleet's model
+    /// slice.
+    workloads: Vec<&'a FunctionalWorkload<'a>>,
+    /// Engine-backed prepared models, `[instance][model]`.
+    nets: Vec<Vec<PreparedNetwork<'a>>>,
+    /// Prepared fallback copies, `[instance][model]`, when degrading.
+    fallback: Option<Vec<Vec<PreparedNetwork<'a>>>>,
     /// Per-instance scratch arenas: a long-lived instance reuses its
     /// im2col patch matrices and activation buffers across batches
     /// instead of reallocating them per dispatch. Observationally pure —
@@ -125,73 +133,90 @@ struct FunctionalExec<'a> {
 
 impl<'a> FunctionalExec<'a> {
     fn new(
-        workload: &'a FunctionalWorkload<'a>,
+        workloads: Vec<&'a FunctionalWorkload<'a>>,
         instances: usize,
         requests: usize,
         degrading: bool,
     ) -> Self {
-        assert!(
-            !workload.samples.is_empty(),
-            "functional serving needs samples"
-        );
-        assert!(workload.workers > 0, "need at least one worker");
+        for w in &workloads {
+            assert!(!w.samples.is_empty(), "functional serving needs samples");
+            assert!(w.workers > 0, "need at least one worker");
+        }
         let fallback = if degrading {
-            let fb = workload.fallback.expect(
-                "invariant: Degrade admission requires FunctionalWorkload::fallback (documented)",
-            );
-            let engine = workload.fallback_engine.unwrap_or(workload.engine);
             Some(
                 (0..instances)
-                    .map(|_| PreparedNetwork::new(fb, engine))
+                    .map(|_| {
+                        workloads
+                            .iter()
+                            .map(|w| {
+                                let fb = w.fallback.expect(
+                                    "invariant: Degrade admission requires FunctionalWorkload::fallback (documented)",
+                                );
+                                let engine = w.fallback_engine.unwrap_or(w.engine);
+                                PreparedNetwork::new(fb, engine)
+                            })
+                            .collect()
+                    })
                     .collect(),
             )
         } else {
             None
         };
         Self {
-            workload,
-            // Model load: every instance prepares the weights once —
-            // per-layer DKV/LUT stream conversion, narrow GEMM forms —
-            // before the first request arrives.
-            instances: (0..instances)
-                .map(|_| PreparedNetwork::new(workload.net, workload.engine))
+            // Model load: every instance prepares every model's weights
+            // once — per-layer DKV/LUT stream conversion, narrow GEMM
+            // forms — before the first request arrives; later swaps
+            // repoint, they never re-prepare.
+            nets: (0..instances)
+                .map(|_| {
+                    workloads
+                        .iter()
+                        .map(|w| PreparedNetwork::new(w.net, w.engine))
+                        .collect()
+                })
                 .collect(),
             fallback,
             arenas: (0..instances).map(|_| BatchArena::new()).collect(),
             predictions: vec![usize::MAX; requests],
+            workloads,
         }
     }
 
     /// Executes one dispatched batch on instance `inst`: the whole
     /// batch's images run through stacked `vdp_batch` tiles, keyed per
-    /// request id — on the primary or the fallback prepared copy
-    /// according to the batch's tier.
-    fn execute_batch(&mut self, inst: usize, ids: &[u64], degraded: bool) {
-        let samples = self.workload.samples;
+    /// request id — on the primary or the fallback prepared copy of
+    /// `model` according to the batch's tier.
+    fn execute_batch(&mut self, inst: usize, model: usize, ids: &[u64], degraded: bool) {
+        let w = self.workloads[model];
+        let samples = w.samples;
         let images: Vec<&Tensor<f32>> = ids
             .iter()
             .map(|&id| &samples[id as usize % samples.len()].image)
             .collect();
-        let nets = if degraded {
-            self.fallback.as_ref().expect(
+        let net = if degraded {
+            &self.fallback.as_ref().expect(
                 "invariant: degraded batches are only dispatched after fallback nets were built",
-            )
+            )[inst][model]
         } else {
-            &self.instances
+            &self.nets[inst][model]
         };
-        let preds =
-            nets[inst].predict_batch_in(&images, ids, self.workload.workers, &self.arenas[inst]);
+        let preds = net.predict_batch_in(&images, ids, w.workers, &self.arenas[inst]);
         for (&id, pred) in ids.iter().zip(preds) {
             self.predictions[id as usize] = pred;
         }
     }
 
     /// Correct responses over the run: predictions matching their sample
-    /// label, counted only for requests that reached a response terminal
-    /// state. Computed from the final ledger (not incrementally) so a
-    /// batch aborted by a kill and re-executed is counted exactly once.
-    fn correct_responses(&self, outcomes: &[RequestOutcome]) -> u64 {
-        let samples = self.workload.samples;
+    /// label (looked up through `model_of`, the request-id → model-index
+    /// map of the tenant roster), counted only for requests that reached
+    /// a response terminal state. Computed from the final ledger (not
+    /// incrementally) so a batch aborted by a kill and re-executed is
+    /// counted exactly once.
+    fn correct_responses(
+        &self,
+        outcomes: &[RequestOutcome],
+        model_of: impl Fn(usize) -> usize,
+    ) -> u64 {
         self.predictions
             .iter()
             .enumerate()
@@ -199,7 +224,10 @@ impl<'a> FunctionalExec<'a> {
                 matches!(
                     outcomes[id],
                     RequestOutcome::Served | RequestOutcome::Degraded
-                ) && pred == samples[id % samples.len()].label
+                ) && {
+                    let samples = self.workloads[model_of(id)].samples;
+                    pred == samples[id % samples.len()].label
+                }
             })
             .count() as u64
     }
@@ -207,8 +235,8 @@ impl<'a> FunctionalExec<'a> {
 
 /// Scheduler events.
 enum Ev {
-    /// A request enters the queue.
-    Arrive,
+    /// A request of tenant `.0` enters that tenant's queue.
+    Arrive(u32),
     /// The batching window of epoch `.0` expired.
     Flush(u64),
     /// Instance `inst` finished the batch it dispatched in boot epoch
@@ -255,6 +283,9 @@ struct PendingReq {
 
 /// A batch occupying an instance.
 struct InFlight {
+    /// Tenant whose queue this batch was formed from (batches are
+    /// single-tenant: one batch runs one resident model).
+    tenant: u32,
     /// Fallback-tier batch.
     degraded: bool,
     /// Dispatch time (busy time accrues `completion - started`, or
@@ -307,10 +338,11 @@ impl SupState {
 /// Supervisor control block: the policy plus the run-wide mutable state.
 struct SupCtl {
     policy: Supervisor,
-    /// What a supervised reload costs: [`model_reload_time`] for
+    /// What a supervised reload costs, per model index (the restarted
+    /// instance reloads its resident model): [`model_reload_time`] for
     /// [`RestartMode::Cold`], [`model_warm_reload_time`] for
     /// [`RestartMode::Warm`] (zero on SCONNA).
-    reload: SimTime,
+    reload: Vec<SimTime>,
     /// Remaining restart budget (`None` = unlimited).
     budget_left: Option<u64>,
     states: Vec<SupState>,
@@ -334,12 +366,18 @@ struct Instance {
     /// batch, but taking no new dispatches; parks into standby at batch
     /// completion. A scale-up before then reprieves it in place.
     draining: bool,
+    /// Model index currently programmed into this instance's weight
+    /// banks. Dispatching a batch of a different model charges
+    /// [`model_swap_time`] (near-zero LUT repointing on SCONNA,
+    /// cell-reprogramming-dominated on the analog baselines) before the
+    /// batch runs; restarts and wakes reload this model.
+    resident: usize,
     /// The batch this instance is serving, if any.
     in_flight: Option<InFlight>,
 }
 
 impl Instance {
-    fn fresh() -> Self {
+    fn fresh(resident: usize) -> Self {
         Self {
             up: true,
             reloading: false,
@@ -347,6 +385,7 @@ impl Instance {
             stall_until: SimTime::ZERO,
             standby: false,
             draining: false,
+            resident,
             in_flight: None,
         }
     }
@@ -387,6 +426,90 @@ impl<'a> BatchProfiles<'a> {
         }
         slot.as_ref()
             .expect("invariant: slot was filled by the branch above")
+    }
+}
+
+/// Everything the scheduler knows about one servable model: the model,
+/// its per-batch-size timing profiles (native and fallback tier), and
+/// what it costs to swap it into — or cold-reload it onto — an
+/// instance.
+struct ModelCtx<'a> {
+    model: &'a CnnModel,
+    profiles: BatchProfiles<'a>,
+    /// Fallback-tier profiles ([`AdmissionPolicy::Degrade`] only), on
+    /// the reduced-precision accelerator operating point.
+    degraded_profiles: Option<BatchProfiles<'a>>,
+    /// Cost of swapping this model into an instance whose scratchpads
+    /// already stage its weights ([`model_swap_time`]): OSM-LUT bank
+    /// repointing on SCONNA, full cell reprogramming on the analog
+    /// baselines — the paper's reprogramming asymmetry at
+    /// batch-formation granularity.
+    swap_time: SimTime,
+    /// Cold weight-reload latency a restart or scale-up wake pays
+    /// ([`model_reload_time`]).
+    reload_time: SimTime,
+}
+
+/// Run-wide mutable state of one tenant: its spec, its weighted-fair
+/// virtual clock, its private arrival stream, and the usage counters
+/// that become its [`TenantUsage`] record. (The per-origin usage-record
+/// shape follows the traffic-accounting idiom: every counter the
+/// operator bills or SLO-audits lives on the tenant, and the fleet
+/// totals are provably the sum over tenants.)
+struct TenantRt {
+    spec: TenantSpec,
+    /// Weighted-fair virtual finish time: advanced `batch / weight` per
+    /// dispatched batch; a tenant rejoining the backlog is bumped to
+    /// the fleet's virtual clock so idle time earns no credit.
+    vtime: f64,
+    /// Private arrival RNG (tenant 0 owns the config seed, so a
+    /// single-tenant roster replays the legacy arrival stream
+    /// bit-identically).
+    rng: StdRng,
+    /// Requests issued into this tenant's arrival process so far.
+    issued: usize,
+    offered: u64,
+    completed: u64,
+    degraded_done: u64,
+    dropped: u64,
+    shed: ShedCounts,
+    latency: LatencySamples,
+    batches: u64,
+    batched_requests: u64,
+    /// Model swaps instances paid to serve this tenant.
+    swaps: u64,
+    /// Total simulated time those swaps cost.
+    swap_time: SimTime,
+    /// Dynamic energy attributed to this tenant's dispatches, joules.
+    energy_j: f64,
+}
+
+impl TenantRt {
+    fn new(spec: TenantSpec, index: usize, seed: u64) -> Self {
+        Self {
+            spec,
+            vtime: 0.0,
+            // Tenant 0 inherits the config seed verbatim (single-tenant
+            // bit-identity); later tenants decorrelate by a golden-ratio
+            // stride.
+            rng: StdRng::seed_from_u64(if index == 0 {
+                seed
+            } else {
+                seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }),
+            issued: 0,
+            offered: 0,
+            completed: 0,
+            degraded_done: 0,
+            dropped: 0,
+            shed: ShedCounts::default(),
+            latency: LatencySamples::new(),
+            batches: 0,
+            batched_requests: 0,
+            swaps: 0,
+            swap_time: SimTime::ZERO,
+            energy_j: 0.0,
+        }
     }
 }
 
@@ -464,21 +587,30 @@ impl RackRouter {
 /// Mutable scheduler state threaded through the event handlers.
 struct Scheduler<'a> {
     cfg: ServingConfig,
-    model: &'a CnnModel,
-    profiles: BatchProfiles<'a>,
-    /// Fallback-tier profiles ([`AdmissionPolicy::Degrade`] only), on the
-    /// reduced-precision accelerator operating point.
-    degraded_profiles: Option<BatchProfiles<'a>>,
+    /// The servable models, index order of the tenant specs' `model`
+    /// field. Single-model fleets hold exactly one entry.
+    models: Vec<ModelCtx<'a>>,
+    /// The resolved tenant roster: the config's tenants, or one
+    /// synthesized tenant mirroring the config-level
+    /// arrivals/requests/queue-cap for every legacy entry point.
+    tenants: Vec<TenantRt>,
     /// The reduced-precision operating point degraded batches record
     /// their energy against.
     degraded_accel: Option<AcceleratorConfig>,
     /// Functional execution state; `None` runs the analytic-only model.
     functional: Option<FunctionalExec<'a>>,
     ledger: EnergyLedger,
-    /// Requests waiting to be batched, arrival order. Ids are assigned in
+    /// Per-tenant bounded queues of requests waiting to be batched,
+    /// arrival order within each queue. Ids are assigned in global
     /// arrival order, so id `r` always denotes the `r`-th request to
-    /// enter the system regardless of the arrival process.
-    pending: VecDeque<PendingReq>,
+    /// enter the system regardless of the arrival process or tenant.
+    pending: Vec<VecDeque<PendingReq>>,
+    /// Tenant index per request id.
+    tenant_of: Vec<u32>,
+    /// The fleet's weighted-fair virtual clock: the virtual start time
+    /// of the most recent dispatch, to which newly-backlogged tenants
+    /// are synced.
+    vclock: f64,
     /// Next request id to assign.
     next_id: u64,
     /// Terminal state per request id (`None` while in flight).
@@ -492,13 +624,9 @@ struct Scheduler<'a> {
     auto: Option<AutoscaleCtl>,
     /// The normalized fault schedule ([`Ev::Fault`] indexes into it).
     faults: Vec<FaultEvent>,
-    /// Weight-reload latency a restarted instance pays
-    /// ([`model_reload_time`] of this config and model).
-    reload_time: SimTime,
     util: Vec<Utilization>,
     latency: LatencySamples,
     queue_depth: QueueDepthSamples,
-    issued: usize,
     offered: u64,
     completed: u64,
     dropped: u64,
@@ -514,7 +642,6 @@ struct Scheduler<'a> {
     /// The window expired with requests still queued: dispatch partial
     /// batches at the next opportunity.
     force_flush: bool,
-    rng: StdRng,
     /// Supervision state; `None` without a configured [`Supervisor`].
     sup: Option<SupCtl>,
     /// Dispatch attempts per request id (bumped at dispatch; hedged
@@ -562,18 +689,39 @@ impl Scheduler<'_> {
             .set(inst, n.up && !n.draining && n.in_flight.is_none());
     }
 
-    /// Shared-queue bound implied by the per-instance `queue_cap`.
-    fn queue_bound(&self) -> Option<usize> {
-        self.cfg
+    /// Tenant `t`'s queue bound implied by its per-instance cap (the
+    /// tenant override, else the config-level `queue_cap`).
+    fn queue_bound(&self, t: usize) -> Option<usize> {
+        self.tenants[t]
+            .spec
             .queue_cap
+            .or(self.cfg.queue_cap)
             .map(|c| c.saturating_mul(self.cfg.instances))
     }
 
-    /// Records the queue depth if it changed.
+    /// Requests waiting across every tenant queue.
+    fn total_queued(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Records the (fleet-total) queue depth if it changed.
     fn note_depth(&mut self, now: SimTime) {
-        let depth = self.pending.len();
+        let depth = self.total_queued();
         if self.queue_depth.last_depth() != Some(depth) {
             self.queue_depth.record(now, depth);
+        }
+    }
+
+    /// Syncs tenant `t`'s virtual clock to the fleet's before it rejoins
+    /// the backlog: an idle tenant earns no credit, so its next dispatch
+    /// competes from the current virtual time, not from however long it
+    /// sat out. No-op unless the tenant's queue is empty.
+    fn backlog_vtime(&mut self, t: usize) {
+        if self.pending[t].is_empty() {
+            let tr = &mut self.tenants[t];
+            if tr.vtime < self.vclock {
+                tr.vtime = self.vclock;
+            }
         }
     }
 
@@ -584,55 +732,79 @@ impl Scheduler<'_> {
     /// itself did not move, and an outage tail must show as empty
     /// goodput windows rather than a truncated series.
     fn note_fault_boundary(&mut self, now: SimTime) {
-        self.queue_depth.record(now, self.pending.len());
+        let depth = self.total_queued();
+        self.queue_depth.record(now, depth);
         if let Some(g) = &mut self.goodput {
             g.note(now);
         }
     }
 
-    fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>) {
-        if self.issued >= self.cfg.requests {
+    fn schedule_poisson_arrival(&mut self, q: &mut EventQueue<Ev>, t: usize) {
+        let tr = &mut self.tenants[t];
+        if tr.issued >= tr.spec.requests {
             return;
         }
-        let ArrivalProcess::Poisson { rate_fps } = self.cfg.arrivals else {
+        let ArrivalProcess::Poisson { rate_fps } = tr.spec.arrivals else {
             return;
         };
         assert!(rate_fps > 0.0, "Poisson rate must be positive");
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = tr.rng.gen_range(f64::EPSILON..1.0);
         let dt = -u.ln() / rate_fps;
-        self.issued += 1;
-        q.schedule_in(SimTime::from_secs_f64(dt), Ev::Arrive);
+        tr.issued += 1;
+        q.schedule_in(SimTime::from_secs_f64(dt), Ev::Arrive(t as u32));
     }
 
-    /// Marks request `id` shed for `cause` (a drop, not a response).
+    /// Marks request `id` shed for `cause` (a drop, not a response),
+    /// on both the fleet ledger and its tenant's.
     fn record_drop(&mut self, id: u64, cause: RequestOutcome) {
+        let t = self.tenant_of[id as usize] as usize;
+        let ts = &mut self.tenants[t];
         match cause {
-            RequestOutcome::ShedNewest => self.shed.newest += 1,
-            RequestOutcome::ShedOldest => self.shed.oldest += 1,
-            RequestOutcome::ShedDeadline => self.shed.deadline += 1,
-            RequestOutcome::ShedStranded => self.shed.stranded += 1,
-            RequestOutcome::ShedRetryBudget => self.shed.retry += 1,
+            RequestOutcome::ShedNewest => {
+                self.shed.newest += 1;
+                ts.shed.newest += 1;
+            }
+            RequestOutcome::ShedOldest => {
+                self.shed.oldest += 1;
+                ts.shed.oldest += 1;
+            }
+            RequestOutcome::ShedDeadline => {
+                self.shed.deadline += 1;
+                ts.shed.deadline += 1;
+            }
+            RequestOutcome::ShedStranded => {
+                self.shed.stranded += 1;
+                ts.shed.stranded += 1;
+            }
+            RequestOutcome::ShedRetryBudget => {
+                self.shed.retry += 1;
+                ts.shed.retry += 1;
+            }
             _ => unreachable!("record_drop takes shed causes only"),
         }
+        ts.dropped += 1;
         self.dropped += 1;
         self.outcomes[id as usize] = Some(cause);
     }
 
-    /// Admits one fresh arrival at `now` under the admission policy.
-    /// Returns how many requests were shed in the process (0 or 1): the
-    /// newcomer (`DropNewest`/`Deadline` at a full queue) or an evicted
-    /// older waiter (`DropOldest`).
-    fn admit(&mut self, now: SimTime) -> usize {
+    /// Admits one fresh arrival of tenant `t` at `now` under the
+    /// admission policy. Returns how many requests were shed in the
+    /// process (0 or 1): the newcomer (`DropNewest`/`Deadline` at a full
+    /// queue) or an evicted older waiter (`DropOldest`).
+    fn admit(&mut self, now: SimTime, t: usize) -> usize {
         let id = self.next_id;
         self.next_id += 1;
         self.offered += 1;
+        self.tenants[t].offered += 1;
         self.outcomes.push(None);
         self.attempts.push(0);
+        self.tenant_of.push(t as u32);
         let full = self
-            .queue_bound()
-            .is_some_and(|bound| self.pending.len() >= bound);
+            .queue_bound(t)
+            .is_some_and(|bound| self.pending[t].len() >= bound);
         let shed = if !full {
-            self.pending.push_back(PendingReq {
+            self.backlog_vtime(t);
+            self.pending[t].push_back(PendingReq {
                 id,
                 arrived: now,
                 degraded: false,
@@ -645,12 +817,11 @@ impl Scheduler<'_> {
                     1
                 }
                 AdmissionPolicy::DropOldest => {
-                    let old = self
-                        .pending
+                    let old = self.pending[t]
                         .pop_front()
                         .expect("invariant: the queue is full here, so it has a head");
                     self.record_drop(old.id, RequestOutcome::ShedOldest);
-                    self.pending.push_back(PendingReq {
+                    self.pending[t].push_back(PendingReq {
                         id,
                         arrived: now,
                         degraded: false,
@@ -662,7 +833,8 @@ impl Scheduler<'_> {
                     // request keeps its place in line and its client gets
                     // a (coarser) answer.
                     self.shed.degraded += 1;
-                    self.pending.push_back(PendingReq {
+                    self.tenants[t].shed.degraded += 1;
+                    self.pending[t].push_back(PendingReq {
                         id,
                         arrived: now,
                         degraded: true,
@@ -675,94 +847,160 @@ impl Scheduler<'_> {
         shed
     }
 
-    /// Admits `n` fresh arrivals at `now`. In the closed loop every shed
-    /// frees a client, which immediately fires its next request — so
-    /// admission keeps going until nothing was shed or the request
-    /// budget is exhausted.
-    fn admit_arrivals(&mut self, now: SimTime, mut n: usize) {
-        let closed = matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. });
+    /// Admits `n` fresh arrivals of tenant `t` at `now`. In the closed
+    /// loop every shed frees a client, which immediately fires its next
+    /// request — so admission keeps going until nothing was shed or the
+    /// tenant's request budget is exhausted.
+    fn admit_arrivals(&mut self, now: SimTime, t: usize, mut n: usize) {
+        let closed = matches!(
+            self.tenants[t].spec.arrivals,
+            ArrivalProcess::ClosedLoop { .. }
+        );
         while n > 0 {
             n -= 1;
-            let shed = self.admit(now);
-            if closed && shed > 0 && self.issued < self.cfg.requests {
-                self.issued += 1;
+            let shed = self.admit(now, t);
+            if closed && shed > 0 && self.tenants[t].issued < self.tenants[t].spec.requests {
+                self.tenants[t].issued += 1;
                 n += 1;
             }
         }
     }
 
-    /// Closed-loop client replacement: `freed` clients got a terminal
-    /// answer (completion or shed), so each fires its next request —
-    /// capped by the remaining request budget. No-op for open-loop and
-    /// trace arrivals.
-    fn respawn_clients(&mut self, now: SimTime, freed: usize) {
-        if !matches!(self.cfg.arrivals, ArrivalProcess::ClosedLoop { .. }) {
+    /// Closed-loop client replacement for tenant `t`: `freed` of its
+    /// clients got a terminal answer (completion or shed), so each fires
+    /// its next request — capped by the tenant's remaining request
+    /// budget. No-op for open-loop and trace arrivals.
+    fn respawn_clients(&mut self, now: SimTime, t: usize, freed: usize) {
+        if !matches!(
+            self.tenants[t].spec.arrivals,
+            ArrivalProcess::ClosedLoop { .. }
+        ) {
             return;
         }
-        let replacements = freed.min(self.cfg.requests.saturating_sub(self.issued));
-        self.issued += replacements;
-        self.admit_arrivals(now, replacements);
+        let tr = &self.tenants[t];
+        let replacements = freed.min(tr.spec.requests.saturating_sub(tr.issued));
+        self.tenants[t].issued += replacements;
+        self.admit_arrivals(now, t, replacements);
+    }
+
+    /// Whether tenant `t` can form a batch right now: returns the batch
+    /// size and its tier if so. Full batches always go; partial batches
+    /// when the window expired (`force_flush`) or when a tier boundary
+    /// caps the head run (it can never grow — later arrivals queue
+    /// behind the other tier).
+    fn formable(&self, t: usize) -> Option<(usize, bool)> {
+        let front = self.pending[t].front()?;
+        let tier_degraded = front.degraded;
+        // The head run of same-tier requests, scanned only as far as
+        // the batch limit needs.
+        let scan = self.pending[t]
+            .iter()
+            .take(self.cfg.max_batch + 1)
+            .take_while(|r| r.degraded == tier_degraded)
+            .count();
+        let take = scan.min(self.cfg.max_batch);
+        let dispatchable =
+            take == self.cfg.max_batch || scan < self.pending[t].len() || self.force_flush;
+        dispatchable.then_some((take, tier_degraded))
+    }
+
+    /// Picks the next tenant to serve under the configured
+    /// [`TenantScheduler`], among tenants that can form a batch.
+    /// Weighted-fair: smallest virtual finish time. Strict-priority:
+    /// best latency class first, virtual time as the tiebreak within a
+    /// class. Shared-FIFO: oldest head-of-line request fleet-wide, as if
+    /// all tenants fed one queue. Every tie falls to the lowest tenant
+    /// index, keeping the choice deterministic.
+    fn pick_tenant(&self) -> Option<(usize, usize, bool)> {
+        let strict = matches!(self.cfg.tenant_scheduler, TenantScheduler::StrictPriority);
+        let shared = matches!(self.cfg.tenant_scheduler, TenantScheduler::SharedFifo);
+        let mut best: Option<(usize, usize, bool)> = None;
+        let mut fifo_key: Option<(SimTime, u64)> = None;
+        let mut wfq_key: (u8, f64) = (u8::MAX, f64::INFINITY);
+        for t in 0..self.tenants.len() {
+            let Some((take, tier)) = self.formable(t) else {
+                continue;
+            };
+            if shared {
+                let head = self.pending[t]
+                    .front()
+                    .expect("invariant: formable tenants have a queue head");
+                let key = (head.arrived, head.id);
+                if fifo_key.is_none_or(|k| key < k) {
+                    fifo_key = Some(key);
+                    best = Some((t, take, tier));
+                }
+            } else {
+                let rank = if strict {
+                    self.tenants[t].spec.latency_class.rank()
+                } else {
+                    0
+                };
+                let vt = self.tenants[t].vtime;
+                if rank < wfq_key.0 || (rank == wfq_key.0 && vt.total_cmp(&wfq_key.1).is_lt()) {
+                    wfq_key = (rank, vt);
+                    best = Some((t, take, tier));
+                }
+            }
+        }
+        best
     }
 
     /// Dispatches as many batches as idle instances and pending requests
-    /// allow. Full batches always go; partial batches when the window
-    /// expired (`force_flush`) or when a tier boundary caps the head run
-    /// (it can never grow — later arrivals queue behind the other tier).
+    /// allow, choosing tenants through [`Self::pick_tenant`]. Batches
+    /// are single-tenant: one batch runs one resident model, and an
+    /// instance switching tenants pays that model's swap cost up front.
     /// Under [`AdmissionPolicy::Deadline`] requests whose wait already
-    /// exceeds the SLO are shed first — FIFO order means only a queue
-    /// prefix can have expired.
+    /// exceeds the SLO are shed first — FIFO order within each tenant
+    /// means only a queue prefix can have expired.
     fn try_dispatch(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
         if let AdmissionPolicy::Deadline { slo } = self.cfg.admission {
-            let mut expired = 0usize;
-            while let Some(front) = self.pending.front() {
-                if now - front.arrived > slo {
-                    let r = self
-                        .pending
-                        .pop_front()
-                        .expect("invariant: front() returned Some above");
-                    self.record_drop(r.id, RequestOutcome::ShedDeadline);
-                    expired += 1;
-                } else {
-                    break;
+            for t in 0..self.tenants.len() {
+                let mut expired = 0usize;
+                while let Some(front) = self.pending[t].front() {
+                    if now - front.arrived > slo {
+                        let r = self.pending[t]
+                            .pop_front()
+                            .expect("invariant: front() returned Some above");
+                        self.record_drop(r.id, RequestOutcome::ShedDeadline);
+                        expired += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if expired > 0 {
+                    self.note_depth(now);
+                    // Each shed frees a client for its next request.
+                    self.respawn_clients(now, t, expired);
                 }
             }
-            if expired > 0 {
-                self.note_depth(now);
-                // Each shed frees a client for its next request.
-                self.respawn_clients(now, expired);
-            }
         }
-        while let Some(front) = self.pending.front() {
-            let tier_degraded = front.degraded;
-            // The head run of same-tier requests, scanned only as far as
-            // the batch limit needs.
-            let scan = self
-                .pending
-                .iter()
-                .take(self.cfg.max_batch + 1)
-                .take_while(|r| r.degraded == tier_degraded)
-                .count();
-            let take = scan.min(self.cfg.max_batch);
-            let dispatchable =
-                take == self.cfg.max_batch || scan < self.pending.len() || self.force_flush;
-            if !dispatchable {
-                break;
-            }
+        while let Some((t, take, tier_degraded)) = self.pick_tenant() {
             let Some(inst) = self.idle_instance(now) else {
                 break;
             };
-            let reqs: Vec<(u64, SimTime)> = self
-                .pending
+            if !matches!(self.cfg.tenant_scheduler, TenantScheduler::SharedFifo) {
+                // Charge the virtual clock: the tenant's next turn moves
+                // out proportionally to work taken over weight.
+                let vt = self.tenants[t].vtime;
+                self.vclock = self.vclock.max(vt);
+                self.tenants[t].vtime = vt + take as f64 / self.tenants[t].spec.weight;
+            }
+            let reqs: Vec<(u64, SimTime)> = self.pending[t]
                 .drain(..take)
                 .map(|r| (r.id, r.arrived))
                 .collect();
+            let midx = self.tenants[t].spec.model;
+            let model = self.models[midx].model;
+            let energy_before = self.ledger.dynamic_energy_j();
             let (makespan, layers) = if tier_degraded {
-                self.degraded_profiles
+                self.models[midx]
+                    .degraded_profiles
                     .as_mut()
                     .expect("invariant: the degraded tier is only entered after fallback profiles were built")
                     .get(take)
             } else {
-                self.profiles.get(take)
+                self.models[midx].profiles.get(take)
             };
             let makespan = *makespan;
             let accel = if tier_degraded {
@@ -772,13 +1010,26 @@ impl Scheduler<'_> {
             } else {
                 self.cfg.accelerator
             };
-            record_inference_ops(&mut self.ledger, &accel, layers, self.model, take);
+            record_inference_ops(&mut self.ledger, &accel, layers, model, take);
+            self.tenants[t].energy_j += self.ledger.dynamic_energy_j() - energy_before;
+            let swap = if self.nodes[inst].resident != midx {
+                // Co-resident weights: switching models repoints (SCONNA)
+                // or reprograms (analog) the arrays before the batch runs.
+                self.nodes[inst].resident = midx;
+                let swap = self.models[midx].swap_time;
+                self.tenants[t].swaps += 1;
+                self.tenants[t].swap_time += swap;
+                swap
+            } else {
+                SimTime::ZERO
+            };
             if let Some(func) = &mut self.functional {
                 // Run the real inference the analytic model is timing:
                 // the whole batch through one stack of prepared tiles on
-                // this instance's model copy (primary or fallback).
+                // this instance's copy of the tenant's model (primary or
+                // fallback).
                 let ids: Vec<u64> = reqs.iter().map(|&(id, _)| id).collect();
-                func.execute_batch(inst, &ids, tier_degraded);
+                func.execute_batch(inst, midx, &ids, tier_degraded);
             }
             for &(id, _) in &reqs {
                 let a = &mut self.attempts[id as usize];
@@ -789,6 +1040,7 @@ impl Scheduler<'_> {
             self.next_seq += 1;
             let node = &mut self.nodes[inst];
             node.in_flight = Some(InFlight {
+                tenant: t as u32,
                 degraded: tier_degraded,
                 started: now,
                 reqs,
@@ -798,8 +1050,10 @@ impl Scheduler<'_> {
             });
             self.batches += 1;
             self.batched_requests += take as u64;
+            self.tenants[t].batches += 1;
+            self.tenants[t].batched_requests += take as u64;
             q.schedule_in(
-                makespan,
+                swap + makespan,
                 Ev::BatchDone {
                     inst,
                     epoch: node.epoch,
@@ -813,7 +1067,7 @@ impl Scheduler<'_> {
             self.sync_router(inst);
             self.note_depth(now);
         }
-        if self.pending.is_empty() {
+        if self.total_queued() == 0 {
             // Window satisfied; stale timers are invalidated by the epoch.
             self.force_flush = false;
             self.flush_armed = false;
@@ -881,7 +1135,9 @@ impl Scheduler<'_> {
                         }
                     }
                     let tier_degraded = fl.degraded;
+                    let t = fl.tenant as usize;
                     let mut refused = 0usize;
+                    self.backlog_vtime(t);
                     for (id, arrived) in fl.reqs.into_iter().rev() {
                         let over_attempts = self
                             .cfg
@@ -900,17 +1156,17 @@ impl Scheduler<'_> {
                             refused += 1;
                         } else {
                             self.avail.retries += 1;
-                            self.pending.push_front(PendingReq {
+                            self.pending[t].push_front(PendingReq {
                                 id,
                                 arrived,
                                 degraded: tier_degraded,
                             });
                         }
                     }
-                    self.enforce_bound_after_requeue(now);
+                    self.enforce_bound_after_requeue(now, t);
                     if refused > 0 {
                         self.note_depth(now);
-                        self.respawn_clients(now, refused);
+                        self.respawn_clients(now, t, refused);
                     }
                 }
             }
@@ -973,22 +1229,21 @@ impl Scheduler<'_> {
         );
     }
 
-    /// Re-applies the queue bound after a kill pushed an aborted batch
-    /// back onto the queue: the overflow passes through the same
-    /// admission policy as arriving traffic — the tail is shed under
-    /// `DropNewest`/`Deadline`, the head under `DropOldest`, and under
-    /// `Degrade` everything beyond the bound is (re)marked for the
+    /// Re-applies tenant `t`'s queue bound after a kill pushed an
+    /// aborted batch back onto its queue: the overflow passes through
+    /// the same admission policy as arriving traffic — the tail is shed
+    /// under `DropNewest`/`Deadline`, the head under `DropOldest`, and
+    /// under `Degrade` everything beyond the bound is (re)marked for the
     /// fallback tier instead of shed.
-    fn enforce_bound_after_requeue(&mut self, now: SimTime) {
-        let Some(bound) = self.queue_bound() else {
+    fn enforce_bound_after_requeue(&mut self, now: SimTime, t: usize) {
+        let Some(bound) = self.queue_bound(t) else {
             return;
         };
         let mut freed = 0usize;
         match self.cfg.admission {
             AdmissionPolicy::DropNewest | AdmissionPolicy::Deadline { .. } => {
-                while self.pending.len() > bound {
-                    let r = self
-                        .pending
+                while self.pending[t].len() > bound {
+                    let r = self.pending[t]
                         .pop_back()
                         .expect("invariant: over-bound queue is non-empty");
                     self.record_drop(r.id, RequestOutcome::ShedNewest);
@@ -996,9 +1251,8 @@ impl Scheduler<'_> {
                 }
             }
             AdmissionPolicy::DropOldest => {
-                while self.pending.len() > bound {
-                    let r = self
-                        .pending
+                while self.pending[t].len() > bound {
+                    let r = self.pending[t]
                         .pop_front()
                         .expect("invariant: over-bound queue is non-empty");
                     self.record_drop(r.id, RequestOutcome::ShedOldest);
@@ -1006,17 +1260,18 @@ impl Scheduler<'_> {
                 }
             }
             AdmissionPolicy::Degrade { .. } => {
-                for r in self.pending.iter_mut().skip(bound) {
+                for r in self.pending[t].iter_mut().skip(bound) {
                     if !r.degraded {
                         r.degraded = true;
                         self.shed.degraded += 1;
+                        self.tenants[t].shed.degraded += 1;
                     }
                 }
             }
         }
         if freed > 0 {
             self.note_depth(now);
-            self.respawn_clients(now, freed);
+            self.respawn_clients(now, t, freed);
         }
     }
 
@@ -1035,7 +1290,7 @@ impl Scheduler<'_> {
     }
 
     /// A scripted [`FaultEvent::Restart`]: reboots a down instance at
-    /// the full cold [`Self::reload_time`]. A restart against a live or
+    /// its resident model's full cold reload time. A restart against a live or
     /// already-reloading instance is a no-op. This is also the operator
     /// override for crash-loop benching: a benched instance is given a
     /// fresh ladder and revived.
@@ -1057,7 +1312,7 @@ impl Scheduler<'_> {
                     self.avail.benched -= 1;
                 }
             }
-            let reload = self.reload_time;
+            let reload = self.models[self.nodes[inst].resident].reload_time;
             self.begin_reload(q, now, inst, reload);
         }
         self.note_fault_boundary(now);
@@ -1081,9 +1336,10 @@ impl Scheduler<'_> {
 
     fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
         match ev {
-            Ev::Arrive => {
-                self.admit_arrivals(now, 1);
-                self.schedule_poisson_arrival(q);
+            Ev::Arrive(t) => {
+                let t = t as usize;
+                self.admit_arrivals(now, t, 1);
+                self.schedule_poisson_arrival(q, t);
                 self.try_dispatch(q, now);
             }
             Ev::Flush(epoch) => {
@@ -1141,22 +1397,26 @@ impl Scheduler<'_> {
                 }
                 self.sync_router(inst);
                 self.last_completion = now;
+                let t = fl.tenant as usize;
                 let n_done = fl.reqs.len();
                 if let Some(g) = &mut self.goodput {
                     g.record(now, n_done as u64);
                 }
                 for (id, arrival) in fl.reqs {
                     self.latency.record(now - arrival);
+                    self.tenants[t].latency.record(now - arrival);
                     if fl.degraded {
                         self.degraded_done += 1;
+                        self.tenants[t].degraded_done += 1;
                         self.outcomes[id as usize] = Some(RequestOutcome::Degraded);
                     } else {
                         self.completed += 1;
+                        self.tenants[t].completed += 1;
                         self.outcomes[id as usize] = Some(RequestOutcome::Served);
                     }
                 }
                 // Each completed client immediately re-requests.
-                self.respawn_clients(now, n_done);
+                self.respawn_clients(now, t, n_done);
                 self.try_dispatch(q, now);
             }
             Ev::Fault(idx) => match self.faults[idx] {
@@ -1213,7 +1473,7 @@ impl Scheduler<'_> {
                     .sup
                     .as_ref()
                     .expect("invariant: SupRestart events are only scheduled with a supervisor")
-                    .reload;
+                    .reload[self.nodes[inst].resident];
                 self.begin_reload(q, now, inst, reload);
                 // Supervisor restart boundaries are sampled into the
                 // time series like every fault boundary.
@@ -1254,7 +1514,7 @@ impl Scheduler<'_> {
     fn handle_scale_tick(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
         let current = self.live_pool();
         let offered = self.offered;
-        let queued = self.pending.len();
+        let queued = self.total_queued();
         let (interval, decision, cooled) = {
             let auto = self
                 .auto
@@ -1325,7 +1585,7 @@ impl Scheduler<'_> {
             }
             if self.nodes[i].standby {
                 self.nodes[i].standby = false;
-                let reload = self.reload_time;
+                let reload = self.models[self.nodes[i].resident].reload_time;
                 self.begin_reload(q, now, i, reload);
                 delta -= 1;
                 woken += 1;
@@ -1374,7 +1634,7 @@ impl Scheduler<'_> {
     /// predictions are keyed per request id and already recorded — nor
     /// counted in `batches`/attempts: it is insurance, not traffic.
     fn maybe_hedge(&mut self, q: &mut EventQueue<Ev>, now: SimTime, inst: usize, seq: u64) {
-        if !self.pending.is_empty() {
+        if self.total_queued() != 0 {
             return;
         }
         let Some(fl) = self.nodes[inst].in_flight.as_ref() else {
@@ -1386,15 +1646,21 @@ impl Scheduler<'_> {
         let Some(twin) = self.idle_instance(now) else {
             return;
         };
+        let tenant = fl.tenant;
+        let t = tenant as usize;
         let degraded = fl.degraded;
         let reqs = fl.reqs.clone();
+        let midx = self.tenants[t].spec.model;
+        let model = self.models[midx].model;
+        let energy_before = self.ledger.dynamic_energy_j();
         let (makespan, layers) = if degraded {
-            self.degraded_profiles
+            self.models[midx]
+                .degraded_profiles
                 .as_mut()
                 .expect("invariant: degraded batches only exist with fallback profiles")
                 .get(reqs.len())
         } else {
-            self.profiles.get(reqs.len())
+            self.models[midx].profiles.get(reqs.len())
         };
         let makespan = *makespan;
         let accel = if degraded {
@@ -1403,11 +1669,23 @@ impl Scheduler<'_> {
         } else {
             self.cfg.accelerator
         };
-        record_inference_ops(&mut self.ledger, &accel, layers, self.model, reqs.len());
+        record_inference_ops(&mut self.ledger, &accel, layers, model, reqs.len());
+        self.tenants[t].energy_j += self.ledger.dynamic_energy_j() - energy_before;
+        let swap = if self.nodes[twin].resident != midx {
+            // The duplicate needs the tenant's model resident too.
+            self.nodes[twin].resident = midx;
+            let swap = self.models[midx].swap_time;
+            self.tenants[t].swaps += 1;
+            self.tenants[t].swap_time += swap;
+            swap
+        } else {
+            SimTime::ZERO
+        };
         let hedge_seq = self.next_seq;
         self.next_seq += 1;
         let twin_epoch = self.nodes[twin].epoch;
         self.nodes[twin].in_flight = Some(InFlight {
+            tenant,
             degraded,
             started: now,
             reqs,
@@ -1423,7 +1701,7 @@ impl Scheduler<'_> {
         self.avail.hedges_dispatched += 1;
         self.sync_router(twin);
         q.schedule_in(
-            makespan,
+            swap + makespan,
             Ev::BatchDone {
                 inst: twin,
                 epoch: twin_epoch,
@@ -1473,6 +1751,35 @@ pub struct InstanceSnapshot {
     pub hedge_batch: bool,
 }
 
+/// One tenant's request accounting at a step boundary. The per-tenant
+/// conservation invariant mirrors the fleet-wide one:
+/// [`TenantSnapshot::accounted`] `== offered`, and summing any field
+/// over tenants reproduces the fleet total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Requests of this tenant that entered the system so far.
+    pub offered: u64,
+    /// Full-fidelity responses so far.
+    pub completed: u64,
+    /// Drops so far.
+    pub dropped: u64,
+    /// Degraded (fallback-tier) responses so far.
+    pub degraded: u64,
+    /// Requests waiting in this tenant's pending queue.
+    pub queued: u64,
+    /// Requests inside dispatched, unfinished batches.
+    pub in_flight: u64,
+}
+
+impl TenantSnapshot {
+    /// Requests in a terminal or tracked transient state — the
+    /// per-tenant conservation check compares this against
+    /// [`TenantSnapshot::offered`].
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.dropped + self.degraded + self.queued + self.in_flight
+    }
+}
+
 /// A consistent view of the fleet at a step boundary.
 ///
 /// The conservation invariant the scenario harness asserts at every step:
@@ -1506,6 +1813,9 @@ pub struct FleetSnapshot {
     pub batches: u64,
     /// Per-instance liveness and in-flight state, instance order.
     pub instances: Vec<InstanceSnapshot>,
+    /// Per-tenant accounting, roster order. A single-tenant run has
+    /// exactly one entry whose fields equal the fleet totals.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 impl FleetSnapshot {
@@ -1554,9 +1864,41 @@ impl<'a> Fleet<'a> {
     /// # Panics
     /// Panics on degenerate configurations: zero instances, zero batch
     /// limit, zero requests, a zero queue cap, a non-positive Poisson
-    /// rate, or a trace whose length disagrees with `requests`.
+    /// rate, or a trace whose length disagrees with `requests`. Use
+    /// [`Fleet::try_new`] for a recoverable error instead.
     pub fn new(config: &ServingConfig, model: &'a CnnModel) -> Self {
-        Self::new_inner(config, model, None)
+        Self::try_new(config, model).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Fleet::new`]: degenerate configurations surface as a
+    /// descriptive [`ServingConfigError`] instead of a panic.
+    pub fn try_new(
+        config: &ServingConfig,
+        model: &'a CnnModel,
+    ) -> Result<Self, ServingConfigError> {
+        Self::build(config, vec![model], None)
+    }
+
+    /// Builds a steppable **multi-tenant** fleet: `config.tenants` name
+    /// their models by index into `models`, every instance can host any
+    /// of them co-resident, and switching the active model pays
+    /// [`model_swap_time`]. With an empty roster this is exactly
+    /// [`Fleet::new`] over `models[0]`.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (see [`Fleet::try_new_multi`]).
+    pub fn new_multi(config: &ServingConfig, models: &[&'a CnnModel]) -> Self {
+        Self::try_new_multi(config, models).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Fleet::new_multi`]: degenerate configurations —
+    /// including a tenant whose model index falls outside `models` —
+    /// surface as a descriptive [`ServingConfigError`].
+    pub fn try_new_multi(
+        config: &ServingConfig,
+        models: &[&'a CnnModel],
+    ) -> Result<Self, ServingConfigError> {
+        Self::build(config, models.to_vec(), None)
     }
 
     /// Builds a steppable **functional** fleet: every instance owns a
@@ -1573,22 +1915,78 @@ impl<'a> Fleet<'a> {
         model: &'a CnnModel,
         workload: &'a FunctionalWorkload<'a>,
     ) -> Self {
-        Self::new_inner(config, model, Some(workload))
+        Self::try_new_functional(config, model, workload).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn new_inner(
+    /// Fallible [`Fleet::new_functional`].
+    pub fn try_new_functional(
         config: &ServingConfig,
         model: &'a CnnModel,
-        workload: Option<&'a FunctionalWorkload<'a>>,
+        workload: &'a FunctionalWorkload<'a>,
+    ) -> Result<Self, ServingConfigError> {
+        Self::build(config, vec![model], Some(vec![workload]))
+    }
+
+    /// Builds a steppable multi-tenant **functional** fleet:
+    /// `workloads[i]` carries the samples and prepared-network source
+    /// for `models[i]`, and every instance holds co-resident prepared
+    /// copies of *all* models.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations or when `workloads` and
+    /// `models` disagree in length.
+    pub fn new_multi_functional(
+        config: &ServingConfig,
+        models: &[&'a CnnModel],
+        workloads: &[&'a FunctionalWorkload<'a>],
     ) -> Self {
-        assert!(config.instances > 0, "need at least one instance");
-        assert!(config.max_batch > 0, "max_batch must be positive");
-        assert!(config.requests > 0, "need at least one request");
-        if let Some(cap) = config.queue_cap {
-            assert!(
-                cap > 0,
-                "queue_cap must be positive (use None for unbounded)"
-            );
+        Self::try_new_multi_functional(config, models, workloads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Fleet::new_multi_functional`].
+    pub fn try_new_multi_functional(
+        config: &ServingConfig,
+        models: &[&'a CnnModel],
+        workloads: &[&'a FunctionalWorkload<'a>],
+    ) -> Result<Self, ServingConfigError> {
+        assert_eq!(
+            models.len(),
+            workloads.len(),
+            "one functional workload per model"
+        );
+        Self::build(config, models.to_vec(), Some(workloads.to_vec()))
+    }
+
+    fn build(
+        config: &ServingConfig,
+        models: Vec<&'a CnnModel>,
+        workloads: Option<Vec<&'a FunctionalWorkload<'a>>>,
+    ) -> Result<Self, ServingConfigError> {
+        config.validate()?;
+        assert!(!models.is_empty(), "need at least one model");
+
+        // A single-tenant run is a one-tenant roster carrying the
+        // config's own arrival process and budget: the legacy path *is*
+        // the multi-tenant path, so both stay bit-identical by
+        // construction.
+        let roster: Vec<TenantSpec> = if config.tenants.is_empty() {
+            vec![TenantSpec::new(
+                "default",
+                0,
+                config.arrivals.clone(),
+                config.requests,
+            )]
+        } else {
+            config.tenants.clone()
+        };
+        for t in &roster {
+            if t.model >= models.len() {
+                return Err(ServingConfigError::TenantModelOutOfRange {
+                    tenant: t.name.clone(),
+                    model: t.model,
+                    models: models.len(),
+                });
+            }
         }
 
         let degrading = matches!(config.admission, AdmissionPolicy::Degrade { .. });
@@ -1604,13 +2002,24 @@ impl<'a> Fleet<'a> {
         }
 
         let auto = config.autoscale.map(|policy| {
-            policy.validate();
-            assert_eq!(
-                policy.max, config.instances,
-                "autoscale max ({}) must equal the provisioned instance pool ({})",
-                policy.max, config.instances
-            );
-            let per_instance = config.estimated_capacity_fps(model) / config.instances as f64;
+            // With one tenant the per-instance estimate is the legacy
+            // formula verbatim; a mixed roster takes the weighted
+            // harmonic mean of the tenants' capacities — the rate a
+            // weighted-fair server actually sustains across the mix.
+            let per_instance = if roster.len() == 1 {
+                config.estimated_capacity_fps(models[roster[0].model]) / config.instances as f64
+            } else {
+                let wsum: f64 = roster.iter().map(|t| t.weight).sum();
+                let inv: f64 = roster
+                    .iter()
+                    .map(|t| {
+                        let cap = config.estimated_capacity_fps(models[t.model])
+                            / config.instances as f64;
+                        t.weight / cap
+                    })
+                    .sum();
+                wsum / inv
+            };
             AutoscaleCtl::new(policy, per_instance)
         });
 
@@ -1618,33 +2027,57 @@ impl<'a> Fleet<'a> {
             policy.validate();
             SupCtl {
                 policy,
-                reload: match policy.restart_mode {
-                    RestartMode::Cold => model_reload_time(&config.accelerator, model),
-                    RestartMode::Warm => model_warm_reload_time(&config.accelerator, model),
-                },
+                reload: models
+                    .iter()
+                    .map(|m| match policy.restart_mode {
+                        RestartMode::Cold => model_reload_time(&config.accelerator, m),
+                        RestartMode::Warm => model_warm_reload_time(&config.accelerator, m),
+                    })
+                    .collect(),
                 budget_left: policy.restart_budget,
                 states: (0..config.instances).map(|_| SupState::fresh()).collect(),
             }
         });
 
+        let model_ctxs: Vec<ModelCtx<'a>> = models
+            .iter()
+            .map(|m| ModelCtx {
+                model: m,
+                profiles: BatchProfiles::new(config.accelerator, m, config.max_batch),
+                degraded_profiles: degraded_accel
+                    .map(|cfg| BatchProfiles::new(cfg, m, config.max_batch)),
+                swap_time: model_swap_time(&config.accelerator, m),
+                reload_time: model_reload_time(&config.accelerator, m),
+            })
+            .collect();
+        let tenants: Vec<TenantRt> = roster
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TenantRt::new(spec.clone(), i, config.seed))
+            .collect();
+
         let mut sched = Scheduler {
-            model,
-            profiles: BatchProfiles::new(config.accelerator, model, config.max_batch),
-            degraded_profiles: degraded_accel
-                .map(|cfg| BatchProfiles::new(cfg, model, config.max_batch)),
+            models: model_ctxs,
             degraded_accel,
-            functional: workload
-                .map(|w| FunctionalExec::new(w, config.instances, config.requests, degrading)),
+            functional: workloads
+                .map(|ws| FunctionalExec::new(ws, config.instances, config.requests, degrading)),
             ledger,
-            pending: VecDeque::new(),
+            pending: (0..roster.len()).map(|_| VecDeque::new()).collect(),
+            tenants,
+            tenant_of: Vec::with_capacity(config.requests),
+            vclock: 0.0,
             next_id: 0,
             outcomes: Vec::with_capacity(config.requests),
             attempts: Vec::with_capacity(config.requests),
-            nodes: (0..config.instances).map(|_| Instance::fresh()).collect(),
+            nodes: (0..config.instances)
+                // Round-robin bring-up residency: instance i starts
+                // holding the model of tenant i mod roster. One tenant →
+                // every instance already resident → no swaps, ever.
+                .map(|i| Instance::fresh(roster[i % roster.len()].model))
+                .collect(),
             router: RackRouter::new(config.instances),
             auto,
             faults: Vec::new(),
-            reload_time: model_reload_time(&config.accelerator, model),
             sup,
             next_seq: 0,
             avail: AvailabilityStats::default(),
@@ -1655,7 +2088,6 @@ impl<'a> Fleet<'a> {
             util: vec![Utilization::new(); config.instances],
             latency: LatencySamples::new(),
             queue_depth: QueueDepthSamples::new(),
-            issued: 0,
             offered: 0,
             completed: 0,
             dropped: 0,
@@ -1667,7 +2099,6 @@ impl<'a> Fleet<'a> {
             flush_epoch: 0,
             flush_armed: false,
             force_flush: false,
-            rng: StdRng::seed_from_u64(config.seed),
             cfg: config.clone(),
         };
 
@@ -1683,28 +2114,25 @@ impl<'a> Fleet<'a> {
         }
 
         let mut q = EventQueue::new();
-        match &config.arrivals {
-            ArrivalProcess::Poisson { .. } => {
-                // Seed the first arrival; each arrival schedules the next.
-                sched.schedule_poisson_arrival(&mut q);
-            }
-            ArrivalProcess::ClosedLoop { clients } => {
-                assert!(*clients > 0, "closed loop needs at least one client");
-                let initial = (*clients).min(config.requests);
-                for _ in 0..initial {
-                    sched.issued += 1;
-                    q.schedule_at(SimTime::ZERO, Ev::Arrive);
+        for t in 0..sched.tenants.len() {
+            match sched.tenants[t].spec.arrivals.clone() {
+                ArrivalProcess::Poisson { .. } => {
+                    // Seed the first arrival; each arrival schedules the
+                    // next.
+                    sched.schedule_poisson_arrival(&mut q, t);
                 }
-            }
-            ArrivalProcess::Trace { times } => {
-                assert_eq!(
-                    times.len(),
-                    config.requests,
-                    "trace length must equal the request count"
-                );
-                sched.issued = times.len();
-                for &t in times {
-                    q.schedule_at(t, Ev::Arrive);
+                ArrivalProcess::ClosedLoop { clients } => {
+                    let initial = clients.min(sched.tenants[t].spec.requests);
+                    for _ in 0..initial {
+                        sched.tenants[t].issued += 1;
+                        q.schedule_at(SimTime::ZERO, Ev::Arrive(t as u32));
+                    }
+                }
+                ArrivalProcess::Trace { times } => {
+                    sched.tenants[t].issued = times.len();
+                    for &at in &times {
+                        q.schedule_at(at, Ev::Arrive(t as u32));
+                    }
                 }
             }
         }
@@ -1712,11 +2140,11 @@ impl<'a> Fleet<'a> {
             q.schedule_at(auto.policy.check_interval, Ev::ScaleTick);
         }
 
-        Self {
+        Ok(Self {
             sched,
             q,
             done: false,
-        }
+        })
     }
 
     /// Installs a fault plan: schedules every event of the plan's
@@ -1841,6 +2269,12 @@ impl<'a> Fleet<'a> {
                     .map_or(0, |f| f.reqs.len() as u64)
             })
             .sum();
+        let mut tin = vec![0u64; s.tenants.len()];
+        for n in &s.nodes {
+            if let Some(f) = n.in_flight.as_ref().filter(|f| f.hedge_of.is_none()) {
+                tin[f.tenant as usize] += f.reqs.len() as u64;
+            }
+        }
         FleetSnapshot {
             now,
             events_processed: self.q.processed(),
@@ -1850,7 +2284,7 @@ impl<'a> Fleet<'a> {
             dropped: s.dropped,
             degraded: s.degraded_done,
             shed: s.shed,
-            queued: s.pending.len() as u64,
+            queued: s.total_queued() as u64,
             in_flight,
             batches: s.batches,
             instances: s
@@ -1891,6 +2325,19 @@ impl<'a> Fleet<'a> {
                     }
                 })
                 .collect(),
+            tenants: s
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(t, tr)| TenantSnapshot {
+                    offered: tr.offered,
+                    completed: tr.completed,
+                    dropped: tr.dropped,
+                    degraded: tr.degraded_done,
+                    queued: s.pending[t].len() as u64,
+                    in_flight: tin[t],
+                })
+                .collect(),
         }
     }
 
@@ -1902,7 +2349,8 @@ impl<'a> Fleet<'a> {
     /// as [`RequestOutcome::ShedStranded`] (in the closed loop, the
     /// freed clients' remaining request budget strands the same way).
     fn settle(&mut self) {
-        if self.sched.pending.is_empty() && self.sched.offered as usize == self.sched.cfg.requests {
+        if self.sched.total_queued() == 0 && self.sched.offered as usize == self.sched.cfg.requests
+        {
             return;
         }
         assert!(
@@ -1910,16 +2358,23 @@ impl<'a> Fleet<'a> {
             "invariant: the queue only drains with work outstanding when the whole fleet is dead"
         );
         let now = self.q.now();
-        while !self.sched.pending.is_empty() {
-            let mut freed = 0usize;
-            while let Some(r) = self.sched.pending.pop_front() {
-                self.sched.record_drop(r.id, RequestOutcome::ShedStranded);
-                freed += 1;
+        loop {
+            let mut any = false;
+            for t in 0..self.sched.tenants.len() {
+                let mut freed = 0usize;
+                while let Some(r) = self.sched.pending[t].pop_front() {
+                    self.sched.record_drop(r.id, RequestOutcome::ShedStranded);
+                    freed += 1;
+                }
+                // Closed-loop clients freed by the strand fire their next
+                // requests — into the same dead fleet, stranding in turn,
+                // until the tenant's request budget is spent.
+                self.sched.respawn_clients(now, t, freed);
+                any |= freed > 0;
             }
-            // Closed-loop clients freed by the strand fire their next
-            // requests — into the same dead fleet, stranding in turn,
-            // until the request budget is spent.
-            self.sched.respawn_clients(now, freed);
+            if !any {
+                break;
+            }
         }
         self.sched.note_fault_boundary(now);
     }
@@ -1928,21 +2383,22 @@ impl<'a> Fleet<'a> {
     /// [`ServingReport`].
     pub fn into_report(mut self) -> ServingReport {
         self.run_to_completion();
-        self.into_parts().0
+        self.into_parts().report
     }
 
     /// Runs to completion and builds the [`FunctionalServingReport`].
     ///
     /// # Panics
-    /// Panics if the fleet was not built with [`Fleet::new_functional`].
+    /// Panics if the fleet was not built with [`Fleet::new_functional`]
+    /// or [`Fleet::new_multi_functional`].
     pub fn into_functional_report(mut self) -> FunctionalServingReport {
         self.run_to_completion();
-        let (serving, outcomes, attempts, func) = self.into_parts();
-        let func = func.expect(
-            "invariant: into_functional_report is only called on Fleet::new_functional fleets",
-        );
+        let fin = self.into_parts();
+        let func = fin
+            .functional
+            .expect("invariant: into_functional_report is only called on functional fleets");
         debug_assert!(
-            outcomes
+            fin.outcomes
                 .iter()
                 .zip(&func.predictions)
                 .all(
@@ -1951,32 +2407,72 @@ impl<'a> Fleet<'a> {
                 ),
             "exactly the responses must have been executed"
         );
-        let correct = func.correct_responses(&outcomes);
+        let model_of: Vec<usize> = fin
+            .tenant_of
+            .iter()
+            .map(|&t| fin.tenant_models[t as usize])
+            .collect();
+        let correct = func.correct_responses(&fin.outcomes, |id| model_of[id]);
+        let serving = fin.report;
         let responses = serving.completed + serving.degraded;
+        // Per-tenant correctness: walk the responses once, crediting the
+        // tenant that owns each request id.
+        let mut t_correct = vec![0u64; serving.tenants.len()];
+        for (id, o) in fin.outcomes.iter().enumerate() {
+            if !matches!(o, RequestOutcome::Served | RequestOutcome::Degraded) {
+                continue;
+            }
+            let t = fin.tenant_of[id] as usize;
+            let w = func.workloads[fin.tenant_models[t]];
+            let label = w.samples[id % w.samples.len()].label;
+            if func.predictions[id] == label {
+                t_correct[t] += 1;
+            }
+        }
+        let tenant_accuracy: Vec<TenantAccuracy> = serving
+            .tenants
+            .iter()
+            .zip(&t_correct)
+            .map(|(tu, &correct)| {
+                let responses = tu.completed + tu.degraded;
+                TenantAccuracy {
+                    name: tu.name.clone(),
+                    correct,
+                    accuracy_under_load: if responses == 0 {
+                        0.0
+                    } else {
+                        correct as f64 / responses as f64
+                    },
+                    accuracy_offered: if tu.offered == 0 {
+                        0.0
+                    } else {
+                        correct as f64 / tu.offered as f64
+                    },
+                }
+            })
+            .collect();
         FunctionalServingReport {
             accuracy_under_load: if responses == 0 {
                 0.0
             } else {
                 correct as f64 / responses as f64
             },
-            accuracy_offered: correct as f64 / serving.offered as f64,
+            accuracy_offered: if serving.offered == 0 {
+                0.0
+            } else {
+                correct as f64 / serving.offered as f64
+            },
             predictions: func.predictions,
-            outcomes,
-            attempts,
+            outcomes: fin.outcomes,
+            attempts: fin.attempts,
             correct,
+            tenant_accuracy,
             serving,
         }
     }
 
     /// Final accounting: terminal asserts plus report construction.
-    fn into_parts(
-        self,
-    ) -> (
-        ServingReport,
-        Vec<RequestOutcome>,
-        Vec<u32>,
-        Option<FunctionalExec<'a>>,
-    ) {
+    fn into_parts(self) -> FinishedRun<'a> {
         assert!(self.done, "into_parts only after the simulation settled");
         let final_now = self.q.now();
         let mut sched = self.sched;
@@ -2023,9 +2519,58 @@ impl<'a> Fleet<'a> {
         let makespan = sched.last_completion;
         let secs = makespan.as_secs_f64();
         let energy_j = sched.ledger.total_energy_j(makespan);
+        let model_names: Vec<&str> = sched.models.iter().map(|m| m.model.name.as_str()).collect();
+        let tenants: Vec<TenantUsage> = sched
+            .tenants
+            .iter()
+            .map(|tr| {
+                let responses = tr.completed + tr.degraded_done;
+                TenantUsage {
+                    name: tr.spec.name.clone(),
+                    model: model_names[tr.spec.model].to_string(),
+                    weight: tr.spec.weight,
+                    latency_class: tr.spec.latency_class,
+                    offered: tr.offered,
+                    completed: tr.completed,
+                    dropped: tr.dropped,
+                    degraded: tr.degraded_done,
+                    shed: tr.shed,
+                    drop_rate: if tr.offered == 0 {
+                        0.0
+                    } else {
+                        tr.dropped as f64 / tr.offered as f64
+                    },
+                    latency: summarize(&tr.latency),
+                    served_fps: if secs > 0.0 {
+                        tr.completed as f64 / secs
+                    } else {
+                        0.0
+                    },
+                    goodput_fps: if secs > 0.0 {
+                        responses as f64 / secs
+                    } else {
+                        0.0
+                    },
+                    batches: tr.batches,
+                    mean_batch_fill: if tr.batches == 0 {
+                        0.0
+                    } else {
+                        tr.batched_requests as f64 / tr.batches as f64
+                    },
+                    model_swaps: tr.swaps,
+                    swap_time: tr.swap_time,
+                    energy_j: tr.energy_j,
+                    energy_per_inference_j: if responses > 0 {
+                        tr.energy_j / responses as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
         let report = ServingReport {
             accelerator: config.accelerator.name,
-            model: sched.model.name.clone(),
+            model: model_names.join("+"),
             instances: config.instances,
             max_batch: config.max_batch,
             offered: sched.offered,
@@ -2033,7 +2578,11 @@ impl<'a> Fleet<'a> {
             dropped: sched.dropped,
             degraded: sched.degraded_done,
             shed: sched.shed,
-            drop_rate: sched.dropped as f64 / sched.offered as f64,
+            drop_rate: if sched.offered == 0 {
+                0.0
+            } else {
+                sched.dropped as f64 / sched.offered as f64
+            },
             batches: sched.batches,
             mean_batch_fill: if sched.batches == 0 {
                 0.0
@@ -2051,18 +2600,7 @@ impl<'a> Fleet<'a> {
             } else {
                 0.0
             },
-            latency: if sched.latency.is_empty() {
-                LatencySummary {
-                    count: 0,
-                    p50: SimTime::ZERO,
-                    p95: SimTime::ZERO,
-                    p99: SimTime::ZERO,
-                    mean: SimTime::ZERO,
-                    max: SimTime::ZERO,
-                }
-            } else {
-                sched.latency.summary()
-            },
+            latency: summarize(&sched.latency),
             queue_depth: sched.queue_depth,
             utilization: if makespan > SimTime::ZERO {
                 sched.util.iter().map(|u| u.ratio(makespan)).collect()
@@ -2082,7 +2620,45 @@ impl<'a> Fleet<'a> {
             },
             availability: sched.avail,
             goodput_series: sched.goodput,
+            tenants,
         };
-        (report, outcomes, sched.attempts, sched.functional)
+        FinishedRun {
+            report,
+            outcomes,
+            attempts: sched.attempts,
+            functional: sched.functional,
+            tenant_of: sched.tenant_of,
+            tenant_models: sched.tenants.iter().map(|tr| tr.spec.model).collect(),
+        }
+    }
+}
+
+/// Everything a settled run yields, before report-flavour packaging.
+struct FinishedRun<'a> {
+    report: ServingReport,
+    outcomes: Vec<RequestOutcome>,
+    attempts: Vec<u32>,
+    functional: Option<FunctionalExec<'a>>,
+    /// Owning tenant per request id.
+    tenant_of: Vec<u32>,
+    /// Model index per tenant, roster order.
+    tenant_models: Vec<usize>,
+}
+
+/// [`LatencySummary`] of possibly-empty samples: the all-zero summary
+/// when nothing was recorded (degenerate all-shed runs), the real one
+/// otherwise.
+fn summarize(samples: &LatencySamples) -> LatencySummary {
+    if samples.is_empty() {
+        LatencySummary {
+            count: 0,
+            p50: SimTime::ZERO,
+            p95: SimTime::ZERO,
+            p99: SimTime::ZERO,
+            mean: SimTime::ZERO,
+            max: SimTime::ZERO,
+        }
+    } else {
+        samples.summary()
     }
 }

@@ -73,6 +73,26 @@
 //! the gap is measured as MTTR in [`AvailabilityStats`]. [`chaos_sweep`]
 //! walks availability and goodput across fault rates.
 //!
+//! **Multi-tenant serving.** A fleet can host several *tenants* —
+//! [`TenantSpec`] names a model (by index into the co-resident model
+//! slice), a fair-share weight, a [`LatencyClass`] and its own arrival
+//! process — built via [`Fleet::new_multi`] /
+//! [`Fleet::new_multi_functional`]. Each tenant owns a bounded FIFO of
+//! its own; a pluggable [`TenantScheduler`] picks which tenant's head
+//! batch dispatches next: weighted-fair queueing on a virtual clock
+//! (default), strict latency-class priority, or a naive shared FIFO
+//! baseline with no isolation at all. Every instance holds prepared
+//! copies of *all* models co-resident, so switching tenants costs
+//! [`model_swap_time`](crate::perf::model_swap_time) — near-zero for
+//! SCONNA (repointing OSM LUT banks), reprogram-dominated for the analog
+//! baselines — not a cold reload. [`ServingReport::tenants`] carries a
+//! [`TenantUsage`] per tenant (offered/served/degraded, per-cause sheds,
+//! latency percentiles, joules, swap counts), functional runs add
+//! per-tenant accuracy-under-load, and [`FleetSnapshot::tenants`]
+//! extends the conservation invariant per tenant. A config with an empty
+//! roster is exactly a one-tenant fleet: the single-tenant entry points
+//! are thin wrappers and stay bit-identical to their pre-tenant reports.
+//!
 //! Everything runs on one deterministic [`EventQueue`] per simulation, so
 //! a [`ServingReport`] is a pure function of its [`ServingConfig`] (and
 //! fault plan) — bit-identical across runs and across sweep
@@ -89,13 +109,18 @@ mod report;
 mod supervisor;
 
 pub use autoscale::{AutoscalePolicy, ScaleEvent};
-pub use config::{AdmissionPolicy, ArrivalProcess, RetryPolicy, ServingConfig};
+pub use config::{
+    AdmissionPolicy, ArrivalProcess, LatencyClass, RetryPolicy, ServingConfig, ServingConfigError,
+    TenantScheduler, TenantSpec,
+};
 pub use failure::FailureProcess;
 pub use fault::{FaultEvent, FaultPlan};
-pub use fleet::{Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, InstanceSnapshot};
+pub use fleet::{
+    Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, InstanceSnapshot, TenantSnapshot,
+};
 pub use report::{
     AvailabilityStats, FunctionalServingReport, OverloadPoint, RequestOutcome, ServingReport,
-    ShedCounts,
+    ShedCounts, TenantAccuracy, TenantUsage,
 };
 pub use supervisor::{RestartMode, Supervisor};
 
@@ -1200,5 +1225,282 @@ mod tests {
         // Past the knee the bounded queue sheds; below it nothing does.
         assert_eq!(baseline[0].report.serving.dropped, 0);
         assert!(baseline[1].report.serving.dropped > 0);
+    }
+
+    #[test]
+    fn single_tenant_report_carries_one_default_row_matching_fleet_totals() {
+        // The legacy path *is* a one-tenant roster: its report grows
+        // exactly one TenantUsage row that restates the fleet totals,
+        // with zero model swaps (every instance is resident from
+        // bring-up).
+        let model = shufflenet_v2();
+        let r = simulate_serving(&small_closed(2, 4, 37), &model);
+        assert_eq!(r.tenants.len(), 1);
+        let t = &r.tenants[0];
+        assert_eq!(t.name, "default");
+        assert_eq!(t.model, r.model);
+        assert_eq!(t.offered, r.offered);
+        assert_eq!(t.completed, r.completed);
+        assert_eq!(t.dropped, r.dropped);
+        assert_eq!(t.degraded, r.degraded);
+        assert_eq!(t.latency, r.latency);
+        assert_eq!(t.batches, r.batches);
+        assert_eq!(t.mean_batch_fill, r.mean_batch_fill);
+        assert_eq!(t.served_fps, r.fps);
+        assert_eq!(t.goodput_fps, r.goodput_fps);
+        assert_eq!(t.model_swaps, 0);
+        assert_eq!(t.swap_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn explicit_one_tenant_roster_is_bit_identical_to_the_single_tenant_path() {
+        // Spelling the default tenant out by hand must not move a bit:
+        // same name, model, arrivals and budget → the same report.
+        let model = shufflenet_v2();
+        let base = small_closed(2, 4, 29);
+        let implicit = simulate_serving(&base, &model);
+        let spec = TenantSpec::new("default", 0, base.arrivals.clone(), base.requests);
+        let explicit = Fleet::new_multi(&base.clone().with_tenants(vec![spec]), &[&model]);
+        let explicit = explicit.into_report();
+        assert_eq!(format!("{explicit:?}"), format!("{implicit:?}"));
+    }
+
+    #[test]
+    fn multi_tenant_conservation_holds_per_tenant_at_every_step() {
+        // Two co-located tenants on different models under pressure:
+        // each tenant's offered == accounted at every step boundary, and
+        // the per-tenant snapshot columns sum to the fleet totals.
+        let shuffle = shufflenet_v2();
+        let goog = googlenet();
+        let cfg = ServingConfig {
+            queue_cap: Some(2),
+            ..small_closed(2, 2, 40)
+        }
+        .with_tenants(vec![
+            TenantSpec::new("a", 0, ArrivalProcess::ClosedLoop { clients: 6 }, 24).with_weight(3.0),
+            TenantSpec::new("b", 1, ArrivalProcess::ClosedLoop { clients: 4 }, 16),
+        ]);
+        let mut fleet = Fleet::new_multi(&cfg, &[&shuffle, &goog]);
+        loop {
+            let more = fleet.step();
+            let snap = fleet.snapshot();
+            assert_eq!(snap.accounted(), snap.offered);
+            assert_eq!(snap.tenants.len(), 2);
+            for ts in &snap.tenants {
+                assert_eq!(ts.accounted(), ts.offered);
+            }
+            let sum = |f: fn(&TenantSnapshot) -> u64| snap.tenants.iter().map(f).sum::<u64>();
+            assert_eq!(sum(|t| t.offered), snap.offered);
+            assert_eq!(sum(|t| t.completed), snap.completed);
+            assert_eq!(sum(|t| t.dropped), snap.dropped);
+            assert_eq!(sum(|t| t.degraded), snap.degraded);
+            assert_eq!(sum(|t| t.queued), snap.queued);
+            assert_eq!(sum(|t| t.in_flight), snap.in_flight);
+            if !more {
+                break;
+            }
+        }
+        let r = fleet.into_report();
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.model, "ShuffleNet_V2+GoogleNet");
+        assert_eq!(r.tenants.iter().map(|t| t.offered).sum::<u64>(), r.offered);
+        assert_eq!(
+            r.tenants.iter().map(|t| t.completed).sum::<u64>(),
+            r.completed
+        );
+        assert_eq!(r.tenants.iter().map(|t| t.batches).sum::<u64>(), r.batches);
+        assert_eq!(
+            r.tenants[0].latency.count + r.tenants[1].latency.count,
+            r.latency.count
+        );
+        // Both tenants ran on both instances at some point, so model
+        // swaps happened and each cost the swapped-in model's swap time.
+        let swaps: u64 = r.tenants.iter().map(|t| t.model_swaps).sum();
+        assert!(swaps > 0, "co-located tenants must swap at least once");
+        let accel = AcceleratorConfig::sconna();
+        for (t, m) in r.tenants.iter().zip([&shuffle, &goog]) {
+            let per_swap = crate::perf::model_swap_time(&accel, m);
+            assert_eq!(t.swap_time.as_ps(), per_swap.as_ps() * t.model_swaps);
+        }
+        // Per-tenant energy splits the dynamic ledger: the sum stays
+        // below the fleet total (which adds static power over makespan).
+        let dyn_sum: f64 = r.tenants.iter().map(|t| t.energy_j).sum();
+        assert!(dyn_sum > 0.0 && dyn_sum < r.energy_j);
+    }
+
+    #[test]
+    fn strict_priority_serves_interactive_ahead_of_batch() {
+        // Same model, same load, opposite latency classes: under
+        // StrictPriority the Interactive tenant's p99 must beat the
+        // Batch tenant's; under SharedFifo the two are symmetric.
+        let model = shufflenet_v2();
+        let mk = |sched: TenantScheduler| {
+            let cfg = ServingConfig {
+                queue_cap: Some(4),
+                ..small_closed(1, 2, 48)
+            }
+            .with_tenants(vec![
+                TenantSpec::new("fg", 0, ArrivalProcess::ClosedLoop { clients: 4 }, 24)
+                    .with_latency_class(LatencyClass::Interactive),
+                TenantSpec::new("bg", 0, ArrivalProcess::ClosedLoop { clients: 4 }, 24)
+                    .with_latency_class(LatencyClass::Batch),
+            ])
+            .with_tenant_scheduler(sched);
+            Fleet::new_multi(&cfg, &[&model]).into_report()
+        };
+        let strict = mk(TenantScheduler::StrictPriority);
+        assert!(
+            strict.tenants[0].latency.p99 < strict.tenants[1].latency.p99,
+            "interactive p99 {:?} must beat batch p99 {:?}",
+            strict.tenants[0].latency.p99,
+            strict.tenants[1].latency.p99
+        );
+        // One model, both tenants resident everywhere: never a swap.
+        assert_eq!(strict.tenants[0].model_swaps, 0);
+        assert_eq!(strict.tenants[1].model_swaps, 0);
+    }
+
+    #[test]
+    fn multi_tenant_functional_reports_per_tenant_accuracy() {
+        let (net, samples) = tiny_workload();
+        let engine = SconnaEngine::paper_default(5);
+        let w = |workers| FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers,
+        };
+        let (wa, wb) = (w(1), w(2));
+        let shuffle = shufflenet_v2();
+        let goog = googlenet();
+        let cfg = small_closed(2, 2, 20).with_tenants(vec![
+            TenantSpec::new("a", 0, ArrivalProcess::ClosedLoop { clients: 3 }, 12),
+            TenantSpec::new("b", 1, ArrivalProcess::ClosedLoop { clients: 2 }, 8),
+        ]);
+        let r = Fleet::new_multi_functional(&cfg, &[&shuffle, &goog], &[&wa, &wb])
+            .into_functional_report();
+        assert_eq!(r.tenant_accuracy.len(), 2);
+        assert_eq!(
+            r.tenant_accuracy.iter().map(|t| t.correct).sum::<u64>(),
+            r.correct
+        );
+        for (ta, tu) in r.tenant_accuracy.iter().zip(&r.serving.tenants) {
+            assert_eq!(ta.name, tu.name);
+            let responses = tu.completed + tu.degraded;
+            assert_eq!(
+                ta.accuracy_under_load,
+                if responses == 0 {
+                    0.0
+                } else {
+                    ta.correct as f64 / responses as f64
+                }
+            );
+        }
+        // Predictions stay keyed per request id regardless of tenancy.
+        for (id, &pred) in r.predictions.iter().enumerate() {
+            if r.outcomes[id] == RequestOutcome::Served {
+                let s = &samples[id % samples.len()];
+                let offline =
+                    sconna_tensor::layers::argmax(&net.forward_keyed(&s.image, &engine, id as u64));
+                assert_eq!(pred, offline, "request {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_shed_run_reports_finite_zero_rates() {
+        // Satellite pin: a run whose every request strands (fleet killed
+        // at t=0, nothing ever completes) has makespan ZERO and zero
+        // responses — every rate metric must come out a finite 0.0, not
+        // NaN or infinity.
+        let model = shufflenet_v2();
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess::Trace {
+                times: vec![SimTime::from_ns(10); 8],
+            },
+            ..small_closed(1, 4, 8)
+        };
+        let plan = FaultPlan::new().kill(SimTime::ZERO, 0);
+        let mut fleet = Fleet::new(&cfg, &model).with_faults(&plan);
+        fleet.run_to_completion();
+        let r = fleet.into_report();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.dropped, 8);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.fps, 0.0);
+        assert_eq!(r.goodput_fps, 0.0);
+        assert_eq!(r.drop_rate, 1.0);
+        assert_eq!(r.energy_per_inference_j, 0.0);
+        assert_eq!(r.avg_power_w, 0.0);
+        assert_eq!(r.mean_batch_fill, 0.0);
+        assert!(r.utilization.iter().all(|&u| u == 0.0));
+        assert_eq!(r.latency.count, 0);
+        assert_eq!(r.latency.p99, SimTime::ZERO);
+        let t = &r.tenants[0];
+        assert_eq!(t.drop_rate, 1.0);
+        assert_eq!(t.served_fps, 0.0);
+        assert_eq!(t.goodput_fps, 0.0);
+        assert_eq!(t.mean_batch_fill, 0.0);
+        assert_eq!(t.energy_per_inference_j, 0.0);
+        assert!([r.fps, r.goodput_fps, t.served_fps, t.goodput_fps]
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_configs_surface_as_descriptive_errors() {
+        // Satellite pin: construction-time validation returns
+        // ServingConfigError (with the legacy panic substrings) instead
+        // of panicking deep inside the scheduler.
+        let model = shufflenet_v2();
+        let cases = [
+            (
+                ServingConfig {
+                    instances: 0,
+                    ..small_closed(1, 4, 8)
+                },
+                "need at least one instance",
+            ),
+            (
+                ServingConfig {
+                    max_batch: 0,
+                    ..small_closed(1, 4, 8)
+                },
+                "max_batch must be positive",
+            ),
+            (
+                ServingConfig {
+                    queue_cap: Some(0),
+                    ..small_closed(1, 4, 8)
+                },
+                "queue_cap must be positive",
+            ),
+            (
+                ServingConfig {
+                    arrivals: ArrivalProcess::Poisson { rate_fps: 0.0 },
+                    ..small_closed(1, 4, 8)
+                },
+                "Poisson rate must be positive",
+            ),
+        ];
+        for (cfg, want) in cases {
+            let err = Fleet::try_new(&cfg, &model).err().expect(want).to_string();
+            assert!(err.contains(want), "{err:?} should contain {want:?}");
+        }
+        // A tenant naming a model outside the slice is only checkable at
+        // fleet construction, where the slice is known.
+        let cfg = small_closed(1, 4, 8).with_tenants(vec![TenantSpec::new(
+            "t",
+            3,
+            ArrivalProcess::ClosedLoop { clients: 1 },
+            8,
+        )]);
+        let err = Fleet::try_new_multi(&cfg, &[&model])
+            .err()
+            .expect("out-of-range model index")
+            .to_string();
+        assert!(err.contains("names model 3 of a 1-model slice"), "{err:?}");
     }
 }

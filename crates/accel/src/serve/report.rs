@@ -7,6 +7,8 @@ use sconna_sim::stats::{GoodputSamples, LatencySummary, QueueDepthSamples};
 use sconna_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+use super::config::LatencyClass;
+
 /// The terminal state of one offered request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RequestOutcome {
@@ -104,6 +106,84 @@ pub struct AvailabilityStats {
     pub hedges_cancelled: u64,
 }
 
+/// Per-tenant usage record of one serving run — the accounting a
+/// multi-tenant operator bills and SLO-audits from. One entry per
+/// [`TenantSpec`](super::TenantSpec), roster order (the order is part of
+/// the deterministic-replay contract: reports must be bit-identical
+/// across worker counts and trace shuffles, so the tenant list is a
+/// `Vec`, never a hash map).
+///
+/// Per-tenant accuracy lives on
+/// [`FunctionalServingReport::tenant_accuracy`] — the analytic-only run
+/// computes no predictions, and its report must stay bit-identical to
+/// the functional run's embedded [`ServingReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantUsage {
+    /// Tenant display name from the [`TenantSpec`](super::TenantSpec).
+    pub name: String,
+    /// Model served for this tenant.
+    pub model: String,
+    /// Weighted-fair share weight.
+    pub weight: f64,
+    /// SLO tier used by the strict-priority scheduler.
+    pub latency_class: LatencyClass,
+    /// Requests this tenant offered (`= completed + dropped + degraded`).
+    pub offered: u64,
+    /// Requests served to completion at full fidelity.
+    pub completed: u64,
+    /// Requests shed with no response.
+    pub dropped: u64,
+    /// Requests served on the low-precision fallback model.
+    pub degraded: u64,
+    /// Per-cause shed breakdown for this tenant alone.
+    pub shed: ShedCounts,
+    /// `dropped / offered`; 0 when the tenant offered nothing.
+    pub drop_rate: f64,
+    /// End-to-end latency distribution of this tenant's responses.
+    pub latency: LatencySummary,
+    /// Full-fidelity served throughput over the fleet makespan.
+    pub served_fps: f64,
+    /// Responses per second (full-fidelity + degraded) over the
+    /// makespan; 0 for a zero-length run.
+    pub goodput_fps: f64,
+    /// Batches dispatched carrying this tenant's requests. Batches are
+    /// single-tenant (the scheduler never mixes tenants in one batch,
+    /// because a batch runs one resident model), so these sum to the
+    /// fleet total.
+    pub batches: u64,
+    /// Mean requests per dispatched batch for this tenant.
+    pub mean_batch_fill: f64,
+    /// Times an instance had to swap its resident model *to* this
+    /// tenant's model before dispatching for it. This is where the
+    /// paper's reprogramming asymmetry lands: near-zero cost per swap
+    /// for SCONNA's LUT repointing, cell-programming-dominated for the
+    /// analog baselines.
+    pub model_swaps: u64,
+    /// Total simulated time spent in model swaps charged to this
+    /// tenant's dispatches.
+    pub swap_time: SimTime,
+    /// Dynamic energy attributed to this tenant's batches, joules.
+    pub energy_j: f64,
+    /// `energy_j` per response; 0 when the tenant got no responses.
+    pub energy_per_inference_j: f64,
+}
+
+/// Per-tenant functional accuracy, parallel to
+/// [`ServingReport::tenants`]. Lives on the functional report only: the
+/// analytic run computes no predictions, and the two reports' embedded
+/// [`ServingReport`]s must stay bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantAccuracy {
+    /// Tenant display name.
+    pub name: String,
+    /// Responses whose prediction matched the sample label.
+    pub correct: u64,
+    /// `correct / (completed + degraded)`; 0 when nothing was served.
+    pub accuracy_under_load: f64,
+    /// `correct / offered`; 0 when the tenant offered nothing.
+    pub accuracy_offered: f64,
+}
+
 /// Fleet-level result of one serving simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -175,6 +255,10 @@ pub struct ServingReport {
     /// transients that the scalar `goodput_fps` averages away are
     /// visible here.
     pub goodput_series: Option<GoodputSamples>,
+    /// Per-tenant usage records, roster order. A single-tenant run (every
+    /// legacy entry point) carries exactly one record whose counters
+    /// mirror the fleet totals.
+    pub tenants: Vec<TenantUsage>,
 }
 
 /// [`ServingReport`] plus the functional outputs: what the fleet actually
@@ -202,8 +286,12 @@ pub struct FunctionalServingReport {
     /// served).
     pub accuracy_under_load: f64,
     /// Top-1 accuracy over **offered** traffic: `correct / offered` — a
-    /// dropped request is an answer nobody got, so it scores as wrong.
+    /// dropped request is an answer nobody got, so it scores as wrong
+    /// (0 when nothing was offered).
     pub accuracy_offered: f64,
+    /// Per-tenant accuracy, parallel to
+    /// [`ServingReport::tenants`](ServingReport::tenants).
+    pub tenant_accuracy: Vec<TenantAccuracy>,
 }
 
 /// One point of an overload sweep: an offered load and what the fleet

@@ -1,0 +1,33 @@
+// Fixture: seeded `no-unordered-report-iteration` violations shaped like
+// per-tenant usage accounting, linted under the pseudo-paths of the
+// multi-tenant serve files to pin that the per-tenant report path stays
+// inside the rule's scope. A `HashMap` keyed by tenant here would leak
+// its randomized iteration order straight into the order of the
+// `TenantUsage` rows — the real fleet indexes tenants by roster
+// position in plain `Vec`s.
+
+use std::collections::HashMap; // violation: unordered map in scope
+
+struct Usage {
+    completed: u64,
+}
+
+fn usage_rows(names: &[&str], completed: &[u64]) -> Vec<(String, u64)> {
+    let mut by_tenant: HashMap<String, Usage> = HashMap::new(); // violations: two mentions
+    for (name, &done) in names.iter().zip(completed) {
+        by_tenant.insert((*name).to_string(), Usage { completed: done });
+    }
+    by_tenant // order leaks into the report's tenant rows
+        .into_iter()
+        .map(|(name, u)| (name, u.completed))
+        .collect()
+}
+
+fn usage_rows_deterministically(names: &[&str], completed: &[u64]) -> Vec<(String, u64)> {
+    // Roster order is the deterministic form the real fleet uses.
+    names
+        .iter()
+        .zip(completed)
+        .map(|(name, &done)| ((*name).to_string(), done))
+        .collect()
+}

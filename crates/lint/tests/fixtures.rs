@@ -147,6 +147,44 @@ fn autoscaler_and_event_core_stay_determinism_scoped() {
 }
 
 #[test]
+fn tenant_unordered_fixture_fires_on_the_per_tenant_report_path() {
+    // PR 10 threads per-tenant accounting through config -> fleet ->
+    // report: a `HashMap` keyed by tenant anywhere on that path would
+    // leak its randomized iteration order into the order of the
+    // `TenantUsage` rows. The rule keys on the `crates/accel/src/`
+    // prefix; this pins every file that builds or carries per-tenant
+    // report state inside that scope.
+    for rel in [
+        "crates/accel/src/serve/config.rs",
+        "crates/accel/src/serve/fleet.rs",
+        "crates/accel/src/serve/report.rs",
+    ] {
+        let findings = lint_source(rel, include_str!("../fixtures/tenant_unordered.rs"));
+        // The use-decl plus both mentions on the declaration line.
+        assert_eq!(
+            lines_of(&findings, "no-unordered-report-iteration"),
+            vec![9, 16, 16],
+            "{rel} fell out of the unordered-iteration scope"
+        );
+        assert_eq!(findings.len(), 3, "{rel}: {findings:?}");
+    }
+}
+
+#[test]
+fn tenant_unordered_fixture_is_exempt_in_the_tenant_bench() {
+    // The bench bin assembles BENCH_tenants.json rows itself; bins are
+    // not report-library code and stay carved out.
+    let findings = lint_source(
+        "crates/bench/src/bin/tenant_sweep.rs",
+        include_str!("../fixtures/tenant_unordered.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "bench bins are carved out: {findings:?}"
+    );
+}
+
+#[test]
 fn fleet_unordered_fixture_is_exempt_in_the_scenario_harness() {
     // tests/ may use unordered containers — only library report code is
     // determinism-scoped.

@@ -1,0 +1,117 @@
+//! Two tenants sharing one SCONNA fleet: weighted-fair isolation and
+//! the co-located model-swap cost.
+//!
+//! Demonstrates the multi-tenant serving layer:
+//!
+//! 1. per-tenant accounting: every `TenantUsage` row is exhaustive
+//!    (`offered == completed + dropped + degraded`) and the rows sum to
+//!    the fleet totals,
+//! 2. **isolation**: an aggressor tenant offering far more than its
+//!    fair share cannot inflate a well-behaved tenant's p99 under
+//!    weighted-fair scheduling, while the shared-FIFO baseline lets it,
+//! 3. **swap cost**: co-locating two models on one instance is nearly
+//!    free on SCONNA (OSM LUT bank repointing) and reprogramming-bound
+//!    on the analog MAM baseline.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use sconna::accel::serve::{ArrivalProcess, Fleet, ServingConfig, TenantScheduler, TenantSpec};
+use sconna::accel::AcceleratorConfig;
+use sconna::tensor::models::{googlenet, shufflenet_v2};
+
+fn main() {
+    let shuffle = shufflenet_v2();
+    let google = googlenet();
+
+    // --- 1+2. Isolation: a polite tenant vs an overloaded one -------
+    //
+    // Both tenants run ShuffleNet on 8 instances with equal weights, so
+    // each is entitled to half the fleet. "polite" offers a quarter of
+    // its share as Poisson traffic; "greedy" floods the fleet with 3x
+    // its share. Only the scheduler changes between the two runs.
+    let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 8, 1, 0)
+        .with_unbounded_queue()
+        .with_seed(42);
+    let capacity = base.estimated_capacity_fps(&shuffle);
+    let share = capacity / 2.0;
+    let tenants = |polite_rate: f64| {
+        vec![
+            TenantSpec::new("polite", 0, ArrivalProcess::poisson(polite_rate), 256),
+            TenantSpec::new("greedy", 0, ArrivalProcess::poisson(3.0 * share), 3072),
+        ]
+    };
+    println!("isolation: 8 instances, equal weights, greedy tenant at 3x its share\n");
+    let mut p99 = Vec::new();
+    for scheduler in [TenantScheduler::WeightedFair, TenantScheduler::SharedFifo] {
+        let cfg = base
+            .clone()
+            .with_tenant_scheduler(scheduler)
+            .with_tenants(tenants(0.25 * share));
+        let mut fleet = Fleet::new(&cfg, &shuffle);
+        fleet.run_to_completion();
+        let report = fleet.into_report();
+
+        // Per-tenant rows are exhaustive and sum to the fleet totals.
+        let mut total = 0;
+        for t in &report.tenants {
+            assert_eq!(t.offered, t.completed + t.dropped + t.degraded);
+            total += t.offered;
+        }
+        assert_eq!(total, report.offered);
+
+        println!("  {scheduler:?}:");
+        for t in &report.tenants {
+            println!(
+                "    {:>6}: {:>5} served | p50 {:>12} | p99 {:>12}",
+                t.name, t.completed, t.latency.p50, t.latency.p99
+            );
+        }
+        p99.push(report.tenants[0].latency.p99);
+    }
+    let (wfq, fifo) = (p99[0], p99[1]);
+    assert!(
+        fifo.as_secs_f64() > 4.0 * wfq.as_secs_f64(),
+        "shared FIFO must inflate the polite tenant's p99 (wfq {wfq}, fifo {fifo})"
+    );
+    println!(
+        "\n  weighted-fair holds the polite tenant at {wfq}; shared FIFO lets the greedy\n  tenant push it to {fifo}\n"
+    );
+
+    // --- 3. Swap cost: two models alternating on one instance -------
+    let co_located = |accel: AcceleratorConfig| {
+        ServingConfig::saturation(accel, 1, 4, 0)
+            .with_seed(42)
+            .with_tenants(vec![
+                TenantSpec::new("shuffle", 0, ArrivalProcess::closed_loop(4), 64),
+                TenantSpec::new("google", 1, ArrivalProcess::closed_loop(4), 64),
+            ])
+    };
+    println!("swap cost: ShuffleNet_V2 + GoogleNet alternating on one instance\n");
+    let mut swap_time = Vec::new();
+    for (name, accel) in [
+        ("SCONNA", AcceleratorConfig::sconna()),
+        ("MAM", AcceleratorConfig::mam()),
+    ] {
+        let mut fleet = Fleet::new_multi(&co_located(accel), &[&shuffle, &google]);
+        fleet.run_to_completion();
+        let report = fleet.into_report();
+        let swaps: u64 = report.tenants.iter().map(|t| t.model_swaps).sum();
+        let time: f64 = report
+            .tenants
+            .iter()
+            .map(|t| t.swap_time.as_secs_f64())
+            .sum();
+        assert!(swaps > 0, "co-located models must swap");
+        println!(
+            "  {name:>6}: {swaps} swaps costing {:.3} us total (makespan {})",
+            time * 1e6,
+            report.makespan
+        );
+        swap_time.push(time);
+    }
+    assert!(
+        swap_time[1] > 100.0 * swap_time[0],
+        "MAM's cell-programming swaps must dwarf SCONNA's LUT repointing"
+    );
+    println!("\n  the paper's reprogramming asymmetry, measured as a multi-tenancy cost");
+}

@@ -355,12 +355,19 @@ fn killed_capacity_is_replaced_from_standby_without_a_supervisor() {
 }
 
 /// A policy whose `max` disagrees with the provisioned pool is a
-/// configuration bug, caught at fleet construction.
+/// configuration bug, surfaced as a descriptive construction error (the
+/// panicking constructors quote the same message).
 #[test]
-#[should_panic(expected = "must equal the provisioned instance pool")]
 fn autoscale_max_must_equal_the_provisioned_pool() {
     let model = shufflenet_v2();
     let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 4, 2, 8)
         .with_autoscale(AutoscalePolicy::new(1, 2));
-    let _ = Fleet::new(&cfg, &model);
+    let err = Fleet::try_new(&cfg, &model)
+        .err()
+        .expect("mismatched autoscale max must not build")
+        .to_string();
+    assert!(
+        err.contains("autoscale max (2) must equal the provisioned instance pool (4)"),
+        "{err:?}"
+    );
 }

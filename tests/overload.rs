@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sconna::accel::serve::{
-    overload_sweep, simulate_serving, AdmissionPolicy, ArrivalProcess, FunctionalWorkload,
-    ServingConfig,
+    overload_sweep, simulate_serving, AdmissionPolicy, ArrivalProcess, Fleet, FunctionalWorkload,
+    ServingConfig, TenantScheduler, TenantSpec,
 };
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::time::SimTime;
@@ -217,6 +217,89 @@ proptest! {
         prop_assert_eq!(format!("{unbounded:?}"), format!("{infinite:?}"));
         prop_assert_eq!(unbounded.dropped + unbounded.degraded, 0);
         prop_assert_eq!(unbounded.completed, requests as u64);
+    }
+
+    /// Terminal-state accounting holds *per tenant* under every
+    /// admission policy, scheduler and mixed arrival processes: each
+    /// tenant's served + dropped + degraded == its offered == its
+    /// request budget, its shed breakdown sums to its drop total, and
+    /// every column sums over tenants to the fleet figure.
+    #[test]
+    fn prop_multi_tenant_shed_accounting_is_exhaustive_per_tenant(
+        policy_idx in 0usize..=3,
+        sched_idx in 0usize..=2,
+        split in 1usize..=23,
+        cap in 0usize..=3, // 0 = unbounded
+        arrival_b in 0u8..=1, // tenant b: 0 closed loop, 1 Poisson
+        load_x10 in 3u64..=40,
+        seed in 0u64..=1000,
+    ) {
+        let model = shufflenet_v2();
+        let requests = 24usize;
+        let slo = SimTime::from_ns(50_000 * (1 + seed % 8));
+        let admission = [
+            AdmissionPolicy::DropNewest,
+            AdmissionPolicy::DropOldest,
+            AdmissionPolicy::Deadline { slo },
+            AdmissionPolicy::Degrade { fallback_bits: 4 },
+        ][policy_idx];
+        let scheduler = [
+            TenantScheduler::WeightedFair,
+            TenantScheduler::StrictPriority,
+            TenantScheduler::SharedFifo,
+        ][sched_idx];
+        let base = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 2, requests);
+        let capacity = base.estimated_capacity_fps(&model);
+        let arrivals_b = if arrival_b == 0 {
+            ArrivalProcess::ClosedLoop { clients: 1 + (seed % 4) as usize }
+        } else {
+            ArrivalProcess::Poisson { rate_fps: capacity * load_x10 as f64 / 10.0 }
+        };
+        let cfg = ServingConfig {
+            queue_cap: (cap > 0).then_some(cap),
+            admission,
+            seed,
+            ..base
+        }
+        .with_tenants(vec![
+            TenantSpec::new("a", 0, ArrivalProcess::ClosedLoop { clients: 2 }, split)
+                .with_weight(4.0),
+            TenantSpec::new("b", 0, arrivals_b, requests - split),
+        ])
+        .with_tenant_scheduler(scheduler);
+        let r = Fleet::new_multi(&cfg, &[&model]).into_report();
+
+        prop_assert_eq!(r.offered, requests as u64);
+        prop_assert_eq!(r.tenants.len(), 2);
+        let budgets = [split as u64, (requests - split) as u64];
+        for (t, budget) in r.tenants.iter().zip(budgets) {
+            prop_assert_eq!(t.offered, budget, "tenant {} budget", t.name);
+            prop_assert_eq!(
+                t.completed + t.dropped + t.degraded, t.offered,
+                "tenant {} accounting", t.name
+            );
+            prop_assert_eq!(
+                t.shed.newest + t.shed.oldest + t.shed.deadline + t.shed.stranded + t.shed.retry,
+                t.dropped,
+                "tenant {} shed breakdown", t.name
+            );
+            prop_assert_eq!(t.shed.degraded, t.degraded);
+            prop_assert_eq!(t.latency.count as u64, t.completed + t.degraded);
+        }
+        let sum = |f: fn(&sconna::accel::serve::TenantUsage) -> u64| {
+            r.tenants.iter().map(f).sum::<u64>()
+        };
+        prop_assert_eq!(sum(|t| t.offered), r.offered);
+        prop_assert_eq!(sum(|t| t.completed), r.completed);
+        prop_assert_eq!(sum(|t| t.dropped), r.dropped);
+        prop_assert_eq!(sum(|t| t.degraded), r.degraded);
+        prop_assert_eq!(sum(|t| t.shed.newest), r.shed.newest);
+        prop_assert_eq!(sum(|t| t.shed.oldest), r.shed.oldest);
+        prop_assert_eq!(sum(|t| t.shed.deadline), r.shed.deadline);
+        prop_assert_eq!(sum(|t| t.shed.stranded), r.shed.stranded);
+        prop_assert_eq!(sum(|t| t.shed.retry), r.shed.retry);
+        prop_assert_eq!(sum(|t| t.shed.degraded), r.shed.degraded);
+        prop_assert_eq!(sum(|t| t.batches), r.batches);
     }
 }
 

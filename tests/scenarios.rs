@@ -27,9 +27,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use sconna::accel::perf::model_reload_time;
 use sconna::accel::serve::{
-    overload_sweep, simulate_serving, simulate_serving_functional, AdmissionPolicy, FailureProcess,
-    FaultPlan, Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth, RetryPolicy,
-    ServingConfig, Supervisor,
+    overload_sweep, simulate_serving, simulate_serving_functional, AdmissionPolicy, ArrivalProcess,
+    FailureProcess, FaultPlan, Fleet, FleetSnapshot, FunctionalWorkload, InstanceHealth,
+    RetryPolicy, ServingConfig, Supervisor, TenantScheduler, TenantSpec,
 };
 use sconna::accel::{AcceleratorConfig, SconnaEngine};
 use sconna::sim::time::SimTime;
@@ -135,6 +135,36 @@ fn check_step(prev: &FleetSnapshot, snap: &FleetSnapshot, cfg: &ServingConfig) {
     // the fleet total exactly.
     let per_instance: u64 = snap.instances.iter().map(|i| i.in_flight as u64).sum();
     assert_eq!(per_instance, snap.in_flight, "per-instance in-flight sum");
+    // Per-tenant conservation mirrors the fleet-wide invariant (a
+    // single-tenant run carries exactly one row), and every tenant
+    // column sums back to the fleet total — no request ever switches
+    // owners or goes uncounted.
+    assert!(!snap.tenants.is_empty(), "every fleet has a tenant roster");
+    for ts in &snap.tenants {
+        assert_eq!(
+            ts.accounted(),
+            ts.offered,
+            "per-tenant conservation violated at {:?}: {ts:?}",
+            snap.now
+        );
+    }
+    let tsum = |f: fn(&sconna::accel::serve::TenantSnapshot) -> u64| {
+        snap.tenants.iter().map(f).sum::<u64>()
+    };
+    assert_eq!(tsum(|t| t.offered), snap.offered, "tenant offered sum");
+    assert_eq!(
+        tsum(|t| t.completed),
+        snap.completed,
+        "tenant completed sum"
+    );
+    assert_eq!(tsum(|t| t.dropped), snap.dropped, "tenant dropped sum");
+    assert_eq!(tsum(|t| t.degraded), snap.degraded, "tenant degraded sum");
+    assert_eq!(tsum(|t| t.queued), snap.queued, "tenant queued sum");
+    assert_eq!(
+        tsum(|t| t.in_flight),
+        snap.in_flight,
+        "tenant in-flight sum"
+    );
     assert_eq!(snap.instances.len(), cfg.instances);
     for inst in &snap.instances {
         assert!(inst.in_flight <= cfg.max_batch, "batch over the limit");
@@ -742,4 +772,154 @@ proptest! {
         );
         prop_assert_eq!(first, replay);
     }
+
+    /// Multi-tenant rosters uphold the per-tenant conservation invariant
+    /// at every step under every scheduler, arbitrary weight mixes and
+    /// request splits — and the final per-tenant report columns sum to
+    /// the fleet totals.
+    #[test]
+    fn prop_multi_tenant_split_conserves_per_tenant(
+        split in 1usize..=19,
+        weight_a in 1u32..=8,
+        sched_idx in 0usize..=2,
+        clients_a in 1usize..=4,
+        clients_b in 1usize..=4,
+        cap in 0usize..=3, // 0 = unbounded
+        seed in 0u64..=500,
+    ) {
+        let model = shufflenet_v2();
+        let requests = 20usize;
+        let scheduler = [
+            TenantScheduler::WeightedFair,
+            TenantScheduler::StrictPriority,
+            TenantScheduler::SharedFifo,
+        ][sched_idx];
+        let mut cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 2, requests)
+            .with_seed(seed)
+            .with_tenants(vec![
+                TenantSpec::new("a", 0, ArrivalProcess::ClosedLoop { clients: clients_a }, split)
+                    .with_weight(weight_a as f64),
+                TenantSpec::new(
+                    "b",
+                    0,
+                    ArrivalProcess::ClosedLoop { clients: clients_b },
+                    requests - split,
+                ),
+            ])
+            .with_tenant_scheduler(scheduler);
+        if cap > 0 {
+            cfg = cfg.with_queue_cap(cap);
+        }
+        let mut fleet = Fleet::new_multi(&cfg, &[&model]);
+        let fin = drive_with_invariants(&mut fleet, &cfg);
+        prop_assert_eq!(fin.offered, requests as u64);
+        prop_assert_eq!(fin.tenants.len(), 2);
+        prop_assert_eq!(fin.tenants[0].offered, split as u64);
+        let r = fleet.into_report();
+        prop_assert_eq!(r.tenants.iter().map(|t| t.offered).sum::<u64>(), r.offered);
+        prop_assert_eq!(r.tenants.iter().map(|t| t.completed).sum::<u64>(), r.completed);
+        prop_assert_eq!(r.tenants.iter().map(|t| t.dropped).sum::<u64>(), r.dropped);
+        prop_assert_eq!(r.tenants.iter().map(|t| t.degraded).sum::<u64>(), r.degraded);
+        prop_assert_eq!(r.tenants.iter().map(|t| t.batches).sum::<u64>(), r.batches);
+        prop_assert_eq!(
+            r.tenants.iter().map(|t| t.latency.count).sum::<usize>(),
+            r.latency.count
+        );
+        // Same model for both tenants: co-residency means no swaps ever.
+        prop_assert_eq!(r.tenants.iter().map(|t| t.model_swaps).sum::<u64>(), 0);
+    }
+}
+
+/// The multi-tenant headline scenario: two tenants on different models
+/// under seeded chaos, per-tenant conservation at every step, and the
+/// full per-tenant functional report — predictions, tenant accuracy and
+/// usage rows included — bit-identical across 1 / 2 / 8 execution
+/// workers.
+#[test]
+fn multi_tenant_chaos_is_deterministic_across_workers() {
+    let (net, samples) = pin_workload();
+    let engine = SconnaEngine::paper_default(5);
+    let shuffle = shufflenet_v2();
+    let goog = googlenet();
+    let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 4, 36)
+        .with_queue_cap(4)
+        .with_seed(29)
+        .with_tenants(vec![
+            TenantSpec::new("shuffle", 0, ArrivalProcess::ClosedLoop { clients: 4 }, 24)
+                .with_weight(2.0),
+            TenantSpec::new("goog", 1, ArrivalProcess::ClosedLoop { clients: 2 }, 12),
+        ]);
+    let window_ps = 2_000_000_000u64;
+    let plan = FaultPlan::new()
+        .stall(
+            SimTime::from_ps(window_ps / 8),
+            1,
+            SimTime::from_ps(window_ps / 8),
+        )
+        .kill(SimTime::from_ps(window_ps / 4), 0)
+        .restart(SimTime::from_ps(window_ps / 2), 0);
+
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let wa = FunctionalWorkload {
+            net: &net,
+            fallback: None,
+            fallback_engine: None,
+            samples: &samples,
+            engine: &engine,
+            workers,
+        };
+        let wb = FunctionalWorkload { workers, ..wa };
+        let mut fleet =
+            Fleet::new_multi_functional(&cfg, &[&shuffle, &goog], &[&wa, &wb]).with_faults(&plan);
+        let mut prev = fleet.snapshot();
+        while fleet.step() {
+            let snap = fleet.snapshot();
+            check_step(&prev, &snap, &cfg);
+            prev = snap;
+        }
+        let fin = fleet.snapshot();
+        check_step(&prev, &fin, &cfg);
+        assert_eq!(fin.offered, 36);
+        let r = fleet.into_functional_report();
+        assert_eq!(r.serving.tenants.len(), 2);
+        assert_eq!(r.tenant_accuracy.len(), 2);
+        reports.push(format!("{r:?}"));
+    }
+    assert_eq!(reports[0], reports[1], "worker count 2 changed the report");
+    assert_eq!(reports[0], reports[2], "worker count 8 changed the report");
+}
+
+/// Trace order is storage, not semantics: permuting a multi-tenant
+/// trace's time vectors (distinct timestamps) leaves the full per-tenant
+/// report bit-identical — arrivals are replayed in time order no matter
+/// how the vectors were written down.
+#[test]
+fn multi_tenant_shuffled_trace_is_bit_identical() {
+    let model = shufflenet_v2();
+    let step = 40_000_000u64; // 40 µs apart: no ties anywhere
+    let times_a: Vec<SimTime> = (0..12u64)
+        .map(|i| SimTime::from_ps(step * (2 * i + 1)))
+        .collect();
+    let times_b: Vec<SimTime> = (0..8u64)
+        .map(|i| SimTime::from_ps(step * (3 * i + 2)))
+        .collect();
+    let mk = |ta: Vec<SimTime>, tb: Vec<SimTime>| {
+        let cfg = ServingConfig::saturation(AcceleratorConfig::sconna(), 2, 2, 20)
+            .with_queue_cap(2)
+            .with_tenants(vec![
+                TenantSpec::new("a", 0, ArrivalProcess::Trace { times: ta }, 12).with_weight(3.0),
+                TenantSpec::new("b", 0, ArrivalProcess::Trace { times: tb }, 8),
+            ]);
+        let mut fleet = Fleet::new_multi(&cfg, &[&model]);
+        drive_with_invariants(&mut fleet, &cfg);
+        format!("{:?}", fleet.into_report())
+    };
+    let baseline = mk(times_a.clone(), times_b.clone());
+    let mut shuffled_a = times_a;
+    let mut shuffled_b = times_b;
+    shuffled_a.reverse();
+    shuffled_b.rotate_left(3);
+    shuffled_b.reverse();
+    assert_eq!(mk(shuffled_a, shuffled_b), baseline);
 }
